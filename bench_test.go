@@ -1,0 +1,183 @@
+package whitemirror
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation, one testing.B benchmark per artefact (the experiment index
+// in DESIGN.md maps each to its paper counterpart). Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports domain metrics (accuracy, purity, detection
+// rates) via b.ReportMetric alongside the usual time/allocation figures,
+// and the rendered reports land in EXPERIMENTS.md via cmd/wmbench.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkTable1_DatasetAttributes regenerates Table I: the attribute
+// inventory of a 100-viewer synthetic IITM-Bandersnatch dataset.
+func BenchmarkTable1_DatasetAttributes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(100, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.N), "viewers")
+	}
+}
+
+// BenchmarkFigure1_StreamingProcess regenerates Figure 1: the
+// check-pointed streaming walkthrough (default at Q1, non-default at Q2)
+// with the type-1/type-2 state reports on the timeline.
+func BenchmarkFigure1_StreamingProcess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Events)), "events")
+	}
+}
+
+// BenchmarkFigure2_RecordLengthDistribution regenerates Figure 2: the
+// SSL record-length histograms for the (Desktop, Firefox, Ethernet,
+// Ubuntu) and (Desktop, Firefox, Ethernet, Windows) conditions, binned
+// exactly as printed in the paper.
+func BenchmarkFigure2_RecordLengthDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2(5, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Purity of the type-1 and type-2 bins, averaged over panels
+		// (the paper's bars sit at 100%).
+		var purity float64
+		for _, p := range res.Panels {
+			purity += p.Type1Purity() + p.Type2Purity()
+		}
+		b.ReportMetric(purity/float64(2*len(res.Panels)), "%bin-purity")
+	}
+}
+
+// BenchmarkResult_ChoiceAccuracy regenerates the §V headline: choice
+// recovery over 10 sessions under differing operational conditions; the
+// paper reports 96% accuracy in the worst case.
+func BenchmarkResult_ChoiceAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Accuracy(10, 2, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.WorstCase, "%worst-case")
+		b.ReportMetric(100*res.Mean, "%mean")
+	}
+}
+
+// BenchmarkAblation_BaselinesIntraVideo regenerates the §II argument:
+// prior-work inter-video classifiers (bitrate fingerprinting, burst kNN)
+// hover near chance on same-title branches while separating distinct
+// titles.
+func BenchmarkAblation_BaselinesIntraVideo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Baselines(20, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.IntraTitleAccuracy["bitrate"], "%bitrate-intra")
+		b.ReportMetric(100*res.InterTitleAccuracy["bitrate"], "%bitrate-inter")
+	}
+}
+
+// BenchmarkCountermeasures regenerates the §VI countermeasure table:
+// record-length attack accuracy with the JSON padded, split and
+// compressed, against the blind-guess floor.
+func BenchmarkCountermeasures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Defenses(5, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.PerDefense["none"], "%undefended")
+		b.ReportMetric(100*res.PerDefense["pad-to-4096"], "%padded")
+		b.ReportMetric(100*res.PriorGuess, "%prior-floor")
+	}
+}
+
+// BenchmarkTimingSideChannel regenerates the §VI warning: with record
+// lengths padded, the check-pointed pause and prefetch-discard volume
+// still reveal choice points and decisions.
+func BenchmarkTimingSideChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Timing(6, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.EventDetectionRate, "%detected")
+		b.ReportMetric(100*res.DecisionAccuracy, "%decision-acc")
+	}
+}
+
+// BenchmarkAblation_Classifiers compares the paper's interval-band rule
+// against nearest-centroid and kNN on the record classification task.
+func BenchmarkAblation_Classifiers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ClassifierAblation(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.PerClassifier["interval-band"], "%interval-band")
+		b.ReportMetric(100*res.PerClassifier["knn-5"], "%knn")
+	}
+}
+
+// BenchmarkAblation_Prefetch shows the timing channel depends on the
+// player's default-branch prefetch: disabling it removes the redundant
+// download that separates non-default choices.
+func BenchmarkAblation_Prefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PrefetchAblation(4, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.WithPrefetch, "%with-prefetch")
+		b.ReportMetric(100*res.WithoutPrefetch, "%without")
+	}
+}
+
+// BenchmarkPipeline_AttackThroughput measures the attack pipeline itself
+// (pcap parse → reassembly → record extraction → classification →
+// decode) on one pre-rendered capture, the figure a deployment would
+// care about.
+func BenchmarkPipeline_AttackThroughput(b *testing.B) {
+	tr, err := Simulate(SessionOptions{Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcapBytes, err := CapturePcap(tr, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	atk, err := TrainAttacker(TrainingOptions{Seed: 22})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(pcapBytes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atk.InferPcap(pcapBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline_SessionSimulation measures end-to-end session
+// simulation cost (the dominant cost of dataset generation).
+func BenchmarkPipeline_SessionSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(SessionOptions{Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command wmattack runs the White Mirror attack on a captured session:
+// it extracts client-side SSL record lengths from a pcap, classifies the
+// interactive state reports, and prints the viewer's inferred choices
+// and reconstructed path through the script graph.
+//
+// Usage:
+//
+//	wmattack -pcap session.pcap -os linux -browser firefox
+//
+// Training happens in-process: the attacker profiles simulated sessions
+// under the named condition first (the paper's per-condition training),
+// then attacks the capture. If a ground-truth sidecar from wmsession
+// exists next to the pcap, the inference is scored against it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/profiles"
+	"repro/internal/script"
+	"repro/internal/session"
+	"repro/internal/viewer"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		pcapPath = flag.String("pcap", "session.pcap", "capture to attack")
+		osName   = flag.String("os", "linux", "condition OS: windows|linux|mac")
+		platform = flag.String("platform", "desktop", "condition platform")
+		browser  = flag.String("browser", "firefox", "condition browser")
+		medium   = flag.String("medium", "wired", "condition connection")
+		traffic  = flag.String("traffic", "morning", "condition traffic time")
+		trainN   = flag.Int("train", 3, "profiling sessions for training")
+		seed     = flag.Uint64("seed", 1000, "training seed")
+	)
+	flag.Parse()
+
+	cond := profiles.Condition{
+		OS:          profiles.OS(*osName),
+		Platform:    profiles.Platform(*platform),
+		Browser:     profiles.Browser(*browser),
+		Medium:      netem.Medium(*medium),
+		TrafficTime: netem.TrafficTime(*traffic),
+	}
+
+	g := script.Bandersnatch()
+	atk, err := train(g, cond, *trainN, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	data, err := os.ReadFile(*pcapPath)
+	if err != nil {
+		fatal(err)
+	}
+	inf, err := atk.InferPcap(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("attack on %s under (%s)\n\n", *pcapPath, cond)
+	fmt.Printf("state reports classified: %d records\n", len(inf.Classified))
+	fmt.Printf("choices inferred: %d\n", len(inf.Decisions))
+	for i, d := range inf.Decisions {
+		branch := "default"
+		if !d {
+			branch = "NON-DEFAULT"
+		}
+		fmt.Printf("  Q%d: %s\n", i+1, branch)
+	}
+	if len(inf.Path.Segments) > 0 {
+		fmt.Printf("\nreconstructed path:")
+		for _, s := range inf.Path.Segments {
+			fmt.Printf(" %s", s)
+		}
+		fmt.Println()
+	}
+
+	// Score against the wmsession sidecar when present.
+	sidecar := *pcapPath + ".truth.json"
+	if buf, err := os.ReadFile(sidecar); err == nil {
+		var truth struct {
+			Decisions []bool `json:"decisions"`
+		}
+		if err := json.Unmarshal(buf, &truth); err == nil {
+			correct, total := attack.ScoreDecisions(inf.Decisions, truth.Decisions)
+			fmt.Printf("\nground truth (%s): %d/%d choices recovered\n",
+				sidecar, correct, total)
+		}
+	}
+}
+
+// train profiles the service under cond, drawing extra sessions until
+// both report types appear in the training set.
+func train(g *script.Graph, cond profiles.Condition, n int, seed uint64) (*attack.Attacker, error) {
+	enc := media.Encode(g, media.DefaultLadder, seed^0xabcd)
+	var traces []*session.Trace
+	for t := 0; t < n+8; t++ {
+		pop := viewer.SamplePopulation(1, wire.NewRNG(seed+uint64(t)*17))
+		tr, err := session.Run(session.Config{
+			Graph: g, Encoding: enc, Viewer: pop[0], Condition: cond,
+			SessionID: fmt.Sprintf("train-%d", t), Seed: seed + uint64(t)*101,
+		})
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, tr)
+		if t >= n-1 && bothClasses(traces) {
+			break
+		}
+	}
+	return attack.NewAttacker(traces, g, script.BandersnatchMaxChoices)
+}
+
+func bothClasses(traces []*session.Trace) bool {
+	var t1, t2 bool
+	for _, e := range attack.TrainingSetFromTraces(traces) {
+		switch e.Class {
+		case attack.ClassType1:
+			t1 = true
+		case attack.ClassType2:
+			t2 = true
+		}
+	}
+	return t1 && t2
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wmattack:", err)
+	os.Exit(1)
+}

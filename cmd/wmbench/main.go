@@ -1,0 +1,122 @@
+// Command wmbench regenerates the paper's tables and figures and prints
+// the rendered reports. It is the human-readable face of the benchmark
+// harness in bench_test.go; EXPERIMENTS.md is assembled from its output.
+//
+// Usage:
+//
+//	wmbench                 # every experiment
+//	wmbench -exp figure2    # one experiment
+//
+// Experiments: table1, figure1, figure2, accuracy, baselines, defenses,
+// timing, classifiers, prefetch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	name string
+	run  func(seed uint64) (string, error)
+}
+
+func runners() []runner {
+	return []runner{
+		{"table1", func(seed uint64) (string, error) {
+			r, err := experiments.Table1(100, seed)
+			return report(r, err)
+		}},
+		{"figure1", func(seed uint64) (string, error) {
+			r, err := experiments.Figure1(seed)
+			return report(r, err)
+		}},
+		{"figure2", func(seed uint64) (string, error) {
+			r, err := experiments.Figure2(5, seed)
+			return report(r, err)
+		}},
+		{"accuracy", func(seed uint64) (string, error) {
+			r, err := experiments.Accuracy(10, 2, seed)
+			return report(r, err)
+		}},
+		{"baselines", func(seed uint64) (string, error) {
+			r, err := experiments.Baselines(20, seed)
+			return report(r, err)
+		}},
+		{"defenses", func(seed uint64) (string, error) {
+			r, err := experiments.Defenses(5, seed)
+			return report(r, err)
+		}},
+		{"timing", func(seed uint64) (string, error) {
+			r, err := experiments.Timing(6, seed)
+			return report(r, err)
+		}},
+		{"classifiers", func(seed uint64) (string, error) {
+			r, err := experiments.ClassifierAblation(seed)
+			return report(r, err)
+		}},
+		{"prefetch", func(seed uint64) (string, error) {
+			r, err := experiments.PrefetchAblation(4, seed)
+			return report(r, err)
+		}},
+	}
+}
+
+// report adapts the heterogeneous result types: each exports a Report
+// field; reflection-free via a type switch.
+func report(r any, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	switch v := r.(type) {
+	case *experiments.Table1Result:
+		return v.Report, nil
+	case *experiments.Figure1Result:
+		return v.Report, nil
+	case *experiments.Figure2Result:
+		return v.Report, nil
+	case *experiments.AccuracyResult:
+		return v.Report, nil
+	case *experiments.BaselineResult:
+		return v.Report, nil
+	case *experiments.DefenseResult:
+		return v.Report, nil
+	case *experiments.TimingResult:
+		return v.Report, nil
+	case *experiments.ClassifierAblationResult:
+		return v.Report, nil
+	case *experiments.PrefetchAblationResult:
+		return v.Report, nil
+	default:
+		return "", fmt.Errorf("unknown result type %T", r)
+	}
+}
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "run a single experiment (empty = all)")
+		seed = flag.Uint64("seed", 3, "deterministic seed")
+	)
+	flag.Parse()
+
+	any := false
+	for _, r := range runners() {
+		if *exp != "" && r.name != *exp {
+			continue
+		}
+		any = true
+		out, err := r.run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wmbench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n%s\n", r.name, out)
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "wmbench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

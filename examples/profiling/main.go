@@ -1,0 +1,100 @@
+// Profiling: the paper's motivating threat — an eavesdropper on a shared
+// network watches many viewers' encrypted sessions and builds behavioural
+// profiles from their recovered choices. This example generates a small
+// viewer population, attacks every session, and aggregates what the
+// recovered paths reveal (food/music tastes, anxiety signals, violence
+// affinity, political leaning) against each viewer's actual attributes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	whitemirror "repro"
+
+	"repro/internal/script"
+)
+
+func main() {
+	const viewers = 8
+
+	graph := whitemirror.Bandersnatch()
+	attacker, err := whitemirror.TrainAttacker(whitemirror.TrainingOptions{
+		Condition: whitemirror.ConditionUbuntu,
+		Seed:      101,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("eavesdropping on %d viewers...\n\n", viewers)
+	var recovered, total int
+	for i := uint64(1); i <= viewers; i++ {
+		trace, err := whitemirror.Simulate(whitemirror.SessionOptions{
+			Seed:      i * 1337,
+			Condition: whitemirror.ConditionUbuntu,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pcapBytes, err := whitemirror.CapturePcap(trace, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inf, err := attacker.InferPcap(pcapBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		truth := trace.GroundTruthDecisions()
+		c, t := score(inf.Decisions, truth)
+		recovered += c
+		total += t
+
+		fmt.Printf("%s  (actual: mind=%s politics=%s age=%s)\n",
+			trace.Viewer.ID, trace.Viewer.Mind, trace.Viewer.Politics, trace.Viewer.Age)
+		for _, sig := range sensitiveSignals(graph, inf) {
+			fmt.Printf("    leaked: %s\n", sig)
+		}
+	}
+	fmt.Printf("\noverall: %d/%d choices recovered across the population\n", recovered, total)
+}
+
+// sensitiveSignals extracts only the sensitive-trait choices from an
+// inference — the profile entries the paper worries about.
+func sensitiveSignals(g *whitemirror.Graph, inf *whitemirror.Inference) []string {
+	p, err := g.Walk(inf.Decisions)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, mc := range g.ChoicesAlong(p) {
+		if !mc.Choice.Sensitive {
+			continue
+		}
+		picked := mc.Choice.Default
+		if !mc.TookDefault {
+			picked = mc.Choice.Alternative
+		}
+		out = append(out, fmt.Sprintf("%s: chose %q at %q",
+			mc.Choice.Trait, segTitle(g, picked), mc.Choice.Question))
+	}
+	return out
+}
+
+func segTitle(g *whitemirror.Graph, id script.SegmentID) string {
+	if s, ok := g.Segment(id); ok {
+		return s.Title
+	}
+	return string(id)
+}
+
+func score(inferred, truth []bool) (correct, total int) {
+	total = len(truth)
+	for i := 0; i < len(truth) && i < len(inferred); i++ {
+		if truth[i] == inferred[i] {
+			correct++
+		}
+	}
+	return correct, total
+}

@@ -1,0 +1,76 @@
+// Quickstart: simulate one interactive viewing session, capture it as a
+// pcap, attack the capture, and compare against ground truth — the whole
+// White Mirror pipeline in one page of code against the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	whitemirror "repro"
+)
+
+func main() {
+	// 1. A viewer watches the interactive title under the paper's
+	//    (Desktop, Firefox, Ethernet, Ubuntu) condition.
+	trace, err := whitemirror.Simulate(whitemirror.SessionOptions{
+		Seed:      42,
+		Condition: whitemirror.ConditionUbuntu,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s: viewer %s met %d choice questions\n",
+		trace.SessionID, trace.Viewer.ID, len(trace.Result.Choices))
+
+	// 2. The eavesdropper records the encrypted traffic (a real libpcap
+	//    file — open it in Wireshark if you write it to disk).
+	pcapBytes, err := whitemirror.CapturePcap(trace, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d bytes of encrypted traffic\n", len(pcapBytes))
+
+	// 3. The attacker first profiles the service under the same
+	//    condition (the paper trains per operating condition)...
+	attacker, err := whitemirror.TrainAttacker(whitemirror.TrainingOptions{
+		Condition: whitemirror.ConditionUbuntu,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. ...then recovers the viewer's choices from record lengths alone.
+	inference, err := attacker.InferPcap(pcapBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := trace.GroundTruthDecisions()
+	correct := 0
+	fmt.Println("\n  Q#  inferred      actual")
+	for i := range truth {
+		inferred := "default"
+		if i < len(inference.Decisions) && !inference.Decisions[i] {
+			inferred = "non-default"
+		}
+		actual := "default"
+		if !truth[i] {
+			actual = "non-default"
+		}
+		mark := "MISS"
+		if inferred == actual {
+			mark = "ok"
+			correct++
+		}
+		fmt.Printf("  Q%d  %-12s  %-12s %s\n", i+1, inferred, actual, mark)
+	}
+	fmt.Printf("\nrecovered %d/%d choices\n", correct, len(truth))
+
+	// 5. What the recovered path reveals about the viewer.
+	fmt.Println("\nleaked behavioural signals:")
+	for _, line := range whitemirror.DescribeChoices(whitemirror.Bandersnatch(), inference) {
+		fmt.Println("  " + line)
+	}
+}

@@ -1,0 +1,184 @@
+// Package abr implements the client-side adaptive-bitrate machinery the
+// interactive player runs: a playback buffer model and two rate-selection
+// rules (throughput-based and buffer-based). Quality decisions shape the
+// server→client traffic volume that the baseline fingerprinting attacks
+// consume; the White Mirror side-channel itself is quality-independent,
+// which the ablation benches demonstrate by sweeping the controller.
+package abr
+
+import (
+	"time"
+
+	"repro/internal/media"
+)
+
+// Buffer models the client's media buffer: seconds of playable content.
+type Buffer struct {
+	// Level is the buffered media duration.
+	Level time.Duration
+	// Capacity is the maximum the player will buffer ahead (Netflix
+	// buffers about four minutes).
+	Capacity time.Duration
+}
+
+// NewBuffer returns an empty buffer with the given capacity.
+func NewBuffer(capacity time.Duration) *Buffer {
+	if capacity <= 0 {
+		capacity = 240 * time.Second
+	}
+	return &Buffer{Capacity: capacity}
+}
+
+// Add credits downloaded media time, clamped at capacity.
+func (b *Buffer) Add(d time.Duration) {
+	b.Level += d
+	if b.Level > b.Capacity {
+		b.Level = b.Capacity
+	}
+}
+
+// Drain debits played media time; it returns the stall time incurred if
+// the requested duration exceeded the buffer (rebuffering).
+func (b *Buffer) Drain(d time.Duration) (stall time.Duration) {
+	if d <= b.Level {
+		b.Level -= d
+		return 0
+	}
+	stall = d - b.Level
+	b.Level = 0
+	return stall
+}
+
+// Full reports whether the buffer is at capacity.
+func (b *Buffer) Full() bool { return b.Level >= b.Capacity }
+
+// Flush empties the buffer (used when a non-default choice discards the
+// prefetched branch).
+func (b *Buffer) Flush() { b.Level = 0 }
+
+// Controller selects the ladder rung for the next chunk.
+type Controller interface {
+	// Select returns the quality index for the next chunk given the
+	// current buffer level and a recent-throughput estimate in bits/s.
+	Select(buf *Buffer, throughputBps float64) int
+	Name() string
+}
+
+// ThroughputRule picks the highest rung whose bitrate fits within a
+// safety fraction of measured throughput. It reacts fast but oscillates
+// on jittery links.
+type ThroughputRule struct {
+	Ladder []media.Quality
+	// Safety is the fraction of throughput considered spendable
+	// (default 0.8).
+	Safety float64
+}
+
+// Name implements Controller.
+func (t *ThroughputRule) Name() string { return "throughput" }
+
+// Select implements Controller.
+func (t *ThroughputRule) Select(_ *Buffer, throughputBps float64) int {
+	safety := t.Safety
+	if safety <= 0 || safety > 1 {
+		safety = 0.8
+	}
+	budget := throughputBps * safety
+	best := 0
+	for i, q := range t.Ladder {
+		if float64(q.Bitrate) <= budget {
+			best = i
+		}
+	}
+	return best
+}
+
+// BufferRule is a BBA-style controller: quality is a piecewise-linear
+// function of buffer occupancy between a reservoir and a cushion,
+// ignoring throughput except as a floor.
+type BufferRule struct {
+	Ladder []media.Quality
+	// Reservoir is the buffer level below which the lowest rung is used
+	// (default 15s). Cushion is the level at which the top rung unlocks
+	// (default 120s).
+	Reservoir, Cushion time.Duration
+}
+
+// Name implements Controller.
+func (b *BufferRule) Name() string { return "buffer" }
+
+// Select implements Controller.
+func (b *BufferRule) Select(buf *Buffer, _ float64) int {
+	res := b.Reservoir
+	if res <= 0 {
+		res = 15 * time.Second
+	}
+	cush := b.Cushion
+	if cush <= res {
+		cush = 120 * time.Second
+	}
+	level := buf.Level
+	switch {
+	case level <= res:
+		return 0
+	case level >= cush:
+		return len(b.Ladder) - 1
+	}
+	frac := float64(level-res) / float64(cush-res)
+	idx := int(frac * float64(len(b.Ladder)-1))
+	if idx >= len(b.Ladder) {
+		idx = len(b.Ladder) - 1
+	}
+	return idx
+}
+
+// FixedRule always selects one rung, used to hold quality constant in
+// experiments isolating the side-channel from ABR dynamics.
+type FixedRule struct {
+	Ladder []media.Quality
+	Index  int
+}
+
+// Name implements Controller.
+func (f *FixedRule) Name() string { return "fixed" }
+
+// Select implements Controller.
+func (f *FixedRule) Select(*Buffer, float64) int {
+	if f.Index < 0 {
+		return 0
+	}
+	if f.Index >= len(f.Ladder) {
+		return len(f.Ladder) - 1
+	}
+	return f.Index
+}
+
+// ThroughputEstimator keeps an exponentially weighted moving average of
+// per-chunk delivery rates, the estimate feeding Controller.Select.
+type ThroughputEstimator struct {
+	// Alpha is the EWMA weight of the newest sample (default 0.3).
+	Alpha float64
+	est   float64
+	seen  bool
+}
+
+// Observe records one chunk download: size in bytes over elapsed time.
+func (t *ThroughputEstimator) Observe(bytes int, elapsed time.Duration) {
+	if elapsed <= 0 {
+		return
+	}
+	sample := float64(bytes) * 8 / elapsed.Seconds()
+	alpha := t.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	if !t.seen {
+		t.est, t.seen = sample, true
+		return
+	}
+	t.est = alpha*sample + (1-alpha)*t.est
+}
+
+// Estimate returns the current throughput estimate in bits/s (zero before
+// any observation).
+func (t *ThroughputEstimator) Estimate() float64 { return t.est }

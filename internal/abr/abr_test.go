@@ -1,0 +1,170 @@
+package abr
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/media"
+)
+
+func TestBufferAddClamp(t *testing.T) {
+	b := NewBuffer(10 * time.Second)
+	b.Add(7 * time.Second)
+	b.Add(7 * time.Second)
+	if b.Level != 10*time.Second {
+		t.Errorf("Level = %v, want capacity clamp at 10s", b.Level)
+	}
+	if !b.Full() {
+		t.Error("Full() = false at capacity")
+	}
+}
+
+func TestBufferDrainAndStall(t *testing.T) {
+	b := NewBuffer(30 * time.Second)
+	b.Add(5 * time.Second)
+	if stall := b.Drain(3 * time.Second); stall != 0 {
+		t.Errorf("stall = %v, want 0", stall)
+	}
+	if b.Level != 2*time.Second {
+		t.Errorf("Level = %v", b.Level)
+	}
+	if stall := b.Drain(5 * time.Second); stall != 3*time.Second {
+		t.Errorf("stall = %v, want 3s", stall)
+	}
+	if b.Level != 0 {
+		t.Errorf("Level = %v after underrun", b.Level)
+	}
+}
+
+func TestBufferFlush(t *testing.T) {
+	b := NewBuffer(30 * time.Second)
+	b.Add(12 * time.Second)
+	b.Flush()
+	if b.Level != 0 {
+		t.Errorf("Level = %v after Flush", b.Level)
+	}
+}
+
+func TestBufferDefaultCapacity(t *testing.T) {
+	b := NewBuffer(0)
+	if b.Capacity != 240*time.Second {
+		t.Errorf("default capacity = %v", b.Capacity)
+	}
+}
+
+func TestThroughputRuleSelect(t *testing.T) {
+	r := &ThroughputRule{Ladder: media.DefaultLadder}
+	cases := []struct {
+		bps  float64
+		want int
+	}{
+		{100_000, 0},     // below the lowest rung: floor at 0
+		{500_000, 0},     // 0.8*500k = 400k: only 235p fits
+		{3_000_000, 2},   // 2.4M: 720p fits, 1080p does not
+		{100_000_000, 4}, // everything fits: top rung
+		{5_400_000, 3},   // 4.32M: 1080p just fits
+	}
+	for _, c := range cases {
+		if got := r.Select(nil, c.bps); got != c.want {
+			t.Errorf("Select(%v bps) = %d, want %d", c.bps, got, c.want)
+		}
+	}
+}
+
+func TestThroughputRuleMonotone(t *testing.T) {
+	r := &ThroughputRule{Ladder: media.DefaultLadder}
+	prev := -1
+	for bps := 100_000.0; bps < 50_000_000; bps *= 1.3 {
+		got := r.Select(nil, bps)
+		if got < prev {
+			t.Fatalf("quality decreased as throughput rose: %d after %d", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestBufferRuleRegions(t *testing.T) {
+	r := &BufferRule{Ladder: media.DefaultLadder}
+	b := NewBuffer(240 * time.Second)
+
+	b.Level = 5 * time.Second // inside reservoir
+	if got := r.Select(b, 0); got != 0 {
+		t.Errorf("reservoir Select = %d", got)
+	}
+	b.Level = 200 * time.Second // above cushion
+	if got := r.Select(b, 0); got != len(media.DefaultLadder)-1 {
+		t.Errorf("cushion Select = %d", got)
+	}
+	b.Level = 60 * time.Second // mid-ramp
+	got := r.Select(b, 0)
+	if got <= 0 || got >= len(media.DefaultLadder)-1 {
+		t.Errorf("mid-ramp Select = %d, want interior rung", got)
+	}
+}
+
+func TestBufferRuleMonotoneInLevel(t *testing.T) {
+	r := &BufferRule{Ladder: media.DefaultLadder}
+	b := NewBuffer(240 * time.Second)
+	prev := -1
+	for s := 0; s <= 240; s += 5 {
+		b.Level = time.Duration(s) * time.Second
+		got := r.Select(b, 0)
+		if got < prev {
+			t.Fatalf("quality decreased as buffer grew: %d after %d at %ds", got, prev, s)
+		}
+		prev = got
+	}
+}
+
+func TestFixedRuleClamps(t *testing.T) {
+	f := &FixedRule{Ladder: media.DefaultLadder, Index: 2}
+	if got := f.Select(nil, 0); got != 2 {
+		t.Errorf("Select = %d", got)
+	}
+	f.Index = 99
+	if got := f.Select(nil, 0); got != len(media.DefaultLadder)-1 {
+		t.Errorf("over-index Select = %d", got)
+	}
+	f.Index = -5
+	if got := f.Select(nil, 0); got != 0 {
+		t.Errorf("under-index Select = %d", got)
+	}
+}
+
+func TestControllersHaveNames(t *testing.T) {
+	for _, c := range []Controller{
+		&ThroughputRule{Ladder: media.DefaultLadder},
+		&BufferRule{Ladder: media.DefaultLadder},
+		&FixedRule{Ladder: media.DefaultLadder},
+	} {
+		if c.Name() == "" {
+			t.Errorf("%T has empty name", c)
+		}
+	}
+}
+
+func TestEstimatorEWMA(t *testing.T) {
+	var e ThroughputEstimator
+	if e.Estimate() != 0 {
+		t.Error("estimate nonzero before observations")
+	}
+	// 1 MB in 1 s = 8 Mbit/s.
+	e.Observe(1_000_000, time.Second)
+	if got := e.Estimate(); got != 8_000_000 {
+		t.Errorf("first estimate = %v", got)
+	}
+	// A slower sample pulls the EWMA down but not all the way.
+	e.Observe(250_000, time.Second) // 2 Mbit/s
+	got := e.Estimate()
+	if got >= 8_000_000 || got <= 2_000_000 {
+		t.Errorf("EWMA = %v, want between 2M and 8M", got)
+	}
+}
+
+func TestEstimatorIgnoresZeroElapsed(t *testing.T) {
+	var e ThroughputEstimator
+	e.Observe(1000, 0)
+	if e.Estimate() != 0 {
+		t.Error("zero-elapsed observation should be ignored")
+	}
+}

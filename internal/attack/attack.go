@@ -1,0 +1,164 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/script"
+	"repro/internal/session"
+)
+
+// TrainingSetFromTraces converts labeled session traces into classifier
+// training examples: every client application write contributes its
+// records with the ground-truth label. This mirrors the paper's setup,
+// where the attacker first observes instrumented sessions under a known
+// condition to learn that condition's bands.
+func TrainingSetFromTraces(traces []*session.Trace) []Example {
+	var out []Example
+	for _, tr := range traces {
+		for _, w := range tr.ClientWrites {
+			var cls Class
+			switch w.Label {
+			case session.LabelType1:
+				cls = ClassType1
+			case session.LabelType2:
+				cls = ClassType2
+			case session.LabelHandshake:
+				continue // not application data
+			default:
+				cls = ClassOther
+			}
+			for _, r := range w.Records {
+				out = append(out, Example{Length: r.Length, Class: cls})
+			}
+		}
+	}
+	return out
+}
+
+// Attacker bundles a trained classifier with the title's script graph.
+type Attacker struct {
+	Classifier Classifier
+	// Graph, when non-nil, enables graph-constrained decoding.
+	Graph *script.Graph
+	// MaxChoices bounds path enumeration depth for constrained decoding.
+	MaxChoices int
+}
+
+// NewAttacker trains a classifier from labeled traces using the paper's
+// interval-band rule and returns an attacker for the given graph.
+func NewAttacker(training []*session.Trace, g *script.Graph, maxChoices int) (*Attacker, error) {
+	examples := TrainingSetFromTraces(training)
+	clf, err := (&IntervalBandTrainer{}).Train(examples)
+	if err != nil {
+		return nil, err
+	}
+	return &Attacker{Classifier: clf, Graph: g, MaxChoices: maxChoices}, nil
+}
+
+// Inference is the attack's output for one capture.
+type Inference struct {
+	// Choices is the decoded choice sequence.
+	Choices []InferredChoice
+	// Decisions is the boolean form (true = default branch).
+	Decisions []bool
+	// Path is the reconstructed walk when a graph was supplied.
+	Path script.Path
+	// Classified retains the per-record classifications for reporting.
+	Classified []ClassifiedRecord
+	// UsedConstrainedDecode reports whether the graph search replaced the
+	// plain decode.
+	UsedConstrainedDecode bool
+}
+
+// Infer runs the attack on an extracted observation.
+func (a *Attacker) Infer(obs *Observation) (*Inference, error) {
+	if a.Classifier == nil {
+		return nil, fmt.Errorf("attack: attacker has no classifier")
+	}
+	classified := ClassifyRecords(obs.ClientRecords, a.Classifier)
+	choices := DecodeChoices(classified)
+	inf := &Inference{
+		Choices:    choices,
+		Decisions:  Decisions(choices),
+		Classified: classified,
+	}
+	if a.Graph == nil {
+		return inf, nil
+	}
+	maxChoices := a.MaxChoices
+	if maxChoices <= 0 {
+		maxChoices = 16
+	}
+	// Prefer the plain decode when it already corresponds to a valid
+	// complete path; otherwise let the graph search repair it.
+	if pathValid(a.Graph, inf.Decisions) {
+		p, err := a.Graph.Walk(inf.Decisions)
+		if err == nil {
+			inf.Path = p
+			return inf, nil
+		}
+	}
+	hyp, err := ConstrainedDecode(a.Graph, classified, maxChoices)
+	if err != nil {
+		return inf, err
+	}
+	inf.Decisions = hyp.Decisions
+	inf.UsedConstrainedDecode = true
+	p, err := a.Graph.Walk(hyp.Decisions)
+	if err != nil {
+		return inf, err
+	}
+	inf.Path = p
+	// Rebuild Choices to match the repaired decisions, preserving
+	// timestamps where the plain decode agrees in length.
+	if len(hyp.Decisions) != len(choices) {
+		inf.Choices = nil
+		for i, d := range hyp.Decisions {
+			inf.Choices = append(inf.Choices, InferredChoice{Index: i, TookDefault: d})
+		}
+	} else {
+		for i := range inf.Choices {
+			inf.Choices[i].TookDefault = hyp.Decisions[i]
+		}
+	}
+	return inf, nil
+}
+
+// pathValid reports whether decisions walk g to an ending while consuming
+// exactly the full vector.
+func pathValid(g *script.Graph, decisions []bool) bool {
+	p, err := g.Walk(decisions)
+	if err != nil {
+		return false
+	}
+	if len(p.Decisions) != len(decisions) {
+		return false
+	}
+	last, ok := g.Segment(p.Segments[len(p.Segments)-1])
+	return ok && last.Ending
+}
+
+// InferPcap extracts the observation from capture bytes and runs Infer.
+func (a *Attacker) InferPcap(pcapBytes []byte) (*Inference, error) {
+	obs, err := ExtractPcapBytes(pcapBytes)
+	if err != nil {
+		return nil, err
+	}
+	return a.Infer(obs)
+}
+
+// ScoreDecisions compares inferred against ground-truth decisions and
+// returns (correct, total). Extra or missing trailing choices count as
+// wrong, so slips are penalized rather than silently truncated.
+func ScoreDecisions(inferred, truth []bool) (correct, total int) {
+	total = len(truth)
+	if len(inferred) > total {
+		total = len(inferred)
+	}
+	for i := 0; i < len(truth) && i < len(inferred); i++ {
+		if truth[i] == inferred[i] {
+			correct++
+		}
+	}
+	return correct, total
+}

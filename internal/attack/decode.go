@@ -1,0 +1,205 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/script"
+	"repro/internal/tlsrec"
+)
+
+// ClassifiedRecord pairs an observed client record with its classification.
+type ClassifiedRecord struct {
+	Record     tlsrec.Record
+	Class      Class
+	Confidence float64
+}
+
+// ClassifyRecords runs the classifier over the client application records.
+func ClassifyRecords(recs []tlsrec.Record, c Classifier) []ClassifiedRecord {
+	out := make([]ClassifiedRecord, 0, len(recs))
+	for _, r := range recs {
+		if r.Type != tlsrec.ContentApplicationData {
+			continue
+		}
+		cls, conf := c.Classify(r.Length)
+		out = append(out, ClassifiedRecord{Record: r, Class: cls, Confidence: conf})
+	}
+	return out
+}
+
+// InferredChoice is one decoded choice: the i-th question encountered and
+// whether the viewer took the default branch.
+type InferredChoice struct {
+	Index       int
+	TookDefault bool
+	// QuestionAt is the capture time of the type-1 record.
+	QuestionAt time.Time
+	// DecidedAt is the capture time of the type-2 record for non-default
+	// choices (zero when the default was taken: no second report exists).
+	DecidedAt time.Time
+}
+
+// DecodeChoices converts a classified record sequence into a choice
+// sequence using the paper's rule: each type-1 record marks a question;
+// a type-2 record before the next type-1 marks the non-default branch at
+// that question, otherwise the default was taken.
+func DecodeChoices(recs []ClassifiedRecord) []InferredChoice {
+	var out []InferredChoice
+	for _, r := range recs {
+		switch r.Class {
+		case ClassType1:
+			out = append(out, InferredChoice{
+				Index: len(out), TookDefault: true, QuestionAt: r.Record.Time,
+			})
+		case ClassType2:
+			if len(out) == 0 {
+				// A type-2 with no preceding type-1 is a classifier slip;
+				// ignore it (the constrained decoder handles these better).
+				continue
+			}
+			out[len(out)-1].TookDefault = false
+			out[len(out)-1].DecidedAt = r.Record.Time
+		}
+	}
+	return out
+}
+
+// Decisions converts inferred choices to the decision vector.
+func Decisions(choices []InferredChoice) []bool {
+	out := make([]bool, len(choices))
+	for i, c := range choices {
+		out[i] = c.TookDefault
+	}
+	return out
+}
+
+// --- Graph-constrained decoding ----------------------------------------------
+//
+// The plain decoder trusts every classification. The constrained decoder
+// instead searches over all root-to-ending paths of the script graph and
+// scores each path's expected report sequence against the observed,
+// confidence-weighted classifications; the best-scoring path wins. This
+// corrects isolated classifier slips (e.g. a telemetry record that fell
+// into a band) because wrong report sequences rarely correspond to any
+// valid path.
+
+// PathHypothesis is one scored candidate.
+type PathHypothesis struct {
+	Decisions []bool
+	Score     float64
+}
+
+// ConstrainedDecode enumerates the graph's decision vectors (binary
+// choices make this 2^depth, bounded by maxChoices) and returns the best
+// hypothesis. Records classified ClassOther contribute nothing; the
+// score matches observed type-1/type-2 events against each candidate
+// path's expected sequence.
+func ConstrainedDecode(g *script.Graph, recs []ClassifiedRecord, maxChoices int) (PathHypothesis, error) {
+	observed := observedEvents(recs)
+	best := PathHypothesis{Score: math.Inf(-1)}
+	n := 0
+	enumeratePaths(g, maxChoices, func(decisions []bool) {
+		n++
+		score := scorePath(decisions, observed)
+		if score > best.Score {
+			best = PathHypothesis{
+				Decisions: append([]bool(nil), decisions...),
+				Score:     score,
+			}
+		}
+	})
+	if n == 0 {
+		return best, fmt.Errorf("attack: graph has no complete paths within %d choices", maxChoices)
+	}
+	return best, nil
+}
+
+// observedEvent is a type-1 or type-2 observation with confidence.
+type observedEvent struct {
+	class Class
+	conf  float64
+}
+
+func observedEvents(recs []ClassifiedRecord) []observedEvent {
+	var out []observedEvent
+	for _, r := range recs {
+		if r.Class == ClassType1 || r.Class == ClassType2 {
+			out = append(out, observedEvent{class: r.Class, conf: r.Confidence})
+		}
+	}
+	return out
+}
+
+// expectedEvents renders the report sequence a decision vector produces:
+// type-1 at each choice, followed by type-2 when the alternative is taken.
+func expectedEvents(decisions []bool) []Class {
+	var out []Class
+	for _, d := range decisions {
+		out = append(out, ClassType1)
+		if !d {
+			out = append(out, ClassType2)
+		}
+	}
+	return out
+}
+
+// scorePath aligns the expected sequence against the observations with a
+// simple edit-style score: matches earn the observation's confidence,
+// mismatches and indels pay a penalty. Alignment is needed because a slip
+// can insert or delete an event.
+func scorePath(decisions []bool, observed []observedEvent) float64 {
+	expected := expectedEvents(decisions)
+	const gapPenalty = -1.2
+	const mismatchPenalty = -1.5
+	// Needleman–Wunsch over (expected × observed).
+	m, n := len(expected), len(observed)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for j := 1; j <= n; j++ {
+		prev[j] = prev[j-1] + gapPenalty
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = prev[0] + gapPenalty
+		for j := 1; j <= n; j++ {
+			match := mismatchPenalty
+			if expected[i-1] == observed[j-1].class {
+				match = observed[j-1].conf
+			}
+			cur[j] = math.Max(prev[j-1]+match,
+				math.Max(prev[j]+gapPenalty, cur[j-1]+gapPenalty))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// enumeratePaths walks every root-to-ending decision vector of g up to
+// maxChoices deep, invoking fn with each complete vector.
+func enumeratePaths(g *script.Graph, maxChoices int, fn func([]bool)) {
+	var rec func(id script.SegmentID, decisions []bool)
+	rec = func(id script.SegmentID, decisions []bool) {
+		for {
+			s, ok := g.Segment(id)
+			if !ok {
+				return
+			}
+			if s.Ending {
+				fn(decisions)
+				return
+			}
+			if s.Choice == nil {
+				id = s.Next
+				continue
+			}
+			if len(decisions) >= maxChoices {
+				return // too deep; prune
+			}
+			rec(s.Choice.Default, append(decisions, true))
+			rec(s.Choice.Alternative, append(decisions, false))
+			return
+		}
+	}
+	rec(g.Start, nil)
+}

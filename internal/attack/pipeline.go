@@ -1,0 +1,143 @@
+// Package attack implements the paper's contribution: recovering the
+// choices a viewer made in an interactive movie from passively captured
+// encrypted traffic, using client-side SSL record lengths as the
+// side-channel.
+//
+// The pipeline is capture → TCP reassembly → TLS record extraction →
+// record-length classification (type-1 / type-2 / other) → choice-sequence
+// decoding, optionally constrained by the title's branching script graph.
+package attack
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/pcapio"
+	"repro/internal/tcpreasm"
+	"repro/internal/tlsrec"
+)
+
+// Observation is the attacker's view of one TLS connection: the client
+// and server record sequences with lengths and timestamps, and nothing
+// else (bodies are opaque ciphertext).
+type Observation struct {
+	// ClientRecords are the client→server records in stream order.
+	ClientRecords []tlsrec.Record
+	// ServerRecords are the server→client records in stream order.
+	ServerRecords []tlsrec.Record
+}
+
+// ErrNoTLSConversation is returned when a capture contains no parseable
+// TLS conversation.
+var ErrNoTLSConversation = errors.New("attack: no TLS conversation in capture")
+
+// ExtractPcap parses a pcap stream and extracts the observation for the
+// largest TLS conversation (by total bytes). Undecodable frames are
+// skipped, mirroring how an eavesdropper tolerates unrelated traffic.
+func ExtractPcap(r io.Reader) (*Observation, error) {
+	pr, err := pcapio.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	asm := tcpreasm.NewAssembler()
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("attack: reading capture: %w", err)
+		}
+		p, err := layers.DecodePacket(rec.Timestamp, rec.Data)
+		if err != nil {
+			continue // non-TCP or foreign traffic
+		}
+		asm.Feed(p)
+	}
+	return extractFromAssembler(asm)
+}
+
+// ExtractPcapBytes is ExtractPcap over an in-memory capture.
+func ExtractPcapBytes(data []byte) (*Observation, error) {
+	return ExtractPcap(bytes.NewReader(data))
+}
+
+func extractFromAssembler(asm *tcpreasm.Assembler) (*Observation, error) {
+	var best *Observation
+	var bestBytes int64
+	for _, conv := range asm.Conversations() {
+		if conv.ClientToServer == nil || conv.ServerToClient == nil {
+			continue
+		}
+		obs, err := observeConversation(conv)
+		if err != nil {
+			continue // not TLS
+		}
+		total := conv.ClientToServer.Len() + conv.ServerToClient.Len()
+		if total > bestBytes {
+			best, bestBytes = obs, total
+		}
+	}
+	if best == nil {
+		return nil, ErrNoTLSConversation
+	}
+	return best, nil
+}
+
+// observeConversation extracts records from both direction streams with
+// per-record timestamps recovered from segment arrival times.
+func observeConversation(conv tcpreasm.Conversation) (*Observation, error) {
+	cRecs, err := recordsFromStream(conv.ClientToServer)
+	if err != nil {
+		return nil, err
+	}
+	sRecs, err := recordsFromStream(conv.ServerToClient)
+	if err != nil {
+		return nil, err
+	}
+	return &Observation{ClientRecords: cRecs, ServerRecords: sRecs}, nil
+}
+
+func recordsFromStream(st *tcpreasm.Stream) ([]tlsrec.Record, error) {
+	chunks := st.Chunks()
+	at := func(off int64) time.Time {
+		// Binary search the chunk covering off.
+		lo, hi := 0, len(chunks)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if chunks[mid].StreamOffset <= off {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			if len(chunks) > 0 {
+				return chunks[0].Time
+			}
+			return time.Time{}
+		}
+		return chunks[lo-1].Time
+	}
+	recs, _, err := tlsrec.ParseStream(st.Bytes(), at)
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ApplicationRecords filters an observation's client records down to
+// application-data records — the candidates for state-report detection.
+func (o *Observation) ApplicationRecords() []tlsrec.Record {
+	var out []tlsrec.Record
+	for _, r := range o.ClientRecords {
+		if r.Type == tlsrec.ContentApplicationData {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+// Package baseline re-implements the prior-work traffic-analysis
+// techniques the paper's §II argues cannot distinguish segments of the
+// same interactive title, because they rely on inter-video features:
+//
+//   - bitrate fingerprinting in the style of Reed & Kranch [1]: windowed
+//     average downlink bitrate vectors matched by distance;
+//   - burst-series fingerprinting in the style of Schuster et al. [2]:
+//     per-period burst-size sequences classified by kNN;
+//   - an ADU (application data unit) heuristic in the style of
+//     Silhouette [3]: reconstructing object sizes from uninterrupted
+//     server-to-client runs.
+//
+// The ablation experiment (A1 in DESIGN.md) runs these against pairs of
+// same-title segments (where they hover near chance, reproducing the
+// paper's argument) and against different synthetic titles (where they
+// perform well, confirming the implementations are not strawmen).
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/tlsrec"
+)
+
+// Sample is the downlink view a baseline consumes: server→client record
+// lengths and times, aggregated from an attack.Observation.
+type Sample struct {
+	// Times and Lengths are parallel: one entry per server record.
+	Times   []time.Time
+	Lengths []int
+	// Label is the ground-truth identity used for training/scoring.
+	Label string
+}
+
+// FromServerRecords builds a Sample from server-side records.
+func FromServerRecords(recs []tlsrec.Record, label string) Sample {
+	s := Sample{Label: label}
+	for _, r := range recs {
+		if r.Type != tlsrec.ContentApplicationData {
+			continue
+		}
+		s.Times = append(s.Times, r.Time)
+		s.Lengths = append(s.Lengths, r.Length)
+	}
+	return s
+}
+
+// Duration returns the sample's time span.
+func (s Sample) Duration() time.Duration {
+	if len(s.Times) < 2 {
+		return 0
+	}
+	return s.Times[len(s.Times)-1].Sub(s.Times[0])
+}
+
+// --- Bitrate fingerprinting (Reed & Kranch style) ---------------------------
+
+// BitrateFingerprint is a vector of windowed average bitrates (bits/s).
+type BitrateFingerprint []float64
+
+// BitrateWindow is the aggregation window.
+const BitrateWindow = 10 * time.Second
+
+// BitrateFingerprintOf computes the fingerprint of a sample.
+func BitrateFingerprintOf(s Sample) BitrateFingerprint {
+	if len(s.Times) == 0 {
+		return nil
+	}
+	start := s.Times[0]
+	var fp BitrateFingerprint
+	var window int64
+	cur := 0
+	for i, t := range s.Times {
+		w := int(t.Sub(start) / BitrateWindow)
+		for cur < w {
+			fp = append(fp, float64(window*8)/BitrateWindow.Seconds())
+			window = 0
+			cur++
+		}
+		window += int64(s.Lengths[i])
+	}
+	fp = append(fp, float64(window*8)/BitrateWindow.Seconds())
+	return fp
+}
+
+// Distance is the mean absolute log-ratio between aligned windows — a
+// scale-aware comparison that tolerates length mismatch by comparing the
+// overlapping prefix.
+func (a BitrateFingerprint) Distance(b BitrateFingerprint) float64 {
+	n := min(len(a), len(b))
+	if n == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		x, y := a[i]+1, b[i]+1
+		sum += math.Abs(math.Log(x / y))
+	}
+	return sum / float64(n)
+}
+
+// BitrateClassifier matches a fingerprint to the nearest labeled
+// reference.
+type BitrateClassifier struct {
+	refs []Sample
+	fps  []BitrateFingerprint
+}
+
+// NewBitrateClassifier indexes the reference samples.
+func NewBitrateClassifier(refs []Sample) (*BitrateClassifier, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("baseline: bitrate classifier needs references")
+	}
+	c := &BitrateClassifier{refs: refs}
+	for _, r := range refs {
+		c.fps = append(c.fps, BitrateFingerprintOf(r))
+	}
+	return c, nil
+}
+
+// Classify returns the label of the nearest reference.
+func (c *BitrateClassifier) Classify(s Sample) string {
+	fp := BitrateFingerprintOf(s)
+	best, bestD := "", math.Inf(1)
+	for i, ref := range c.fps {
+		if d := fp.Distance(ref); d < bestD {
+			best, bestD = c.refs[i].Label, d
+		}
+	}
+	return best
+}
+
+// --- Burst-series fingerprinting (Schuster et al. style) --------------------
+
+// BurstGap is the quiet time that terminates a burst.
+const BurstGap = 500 * time.Millisecond
+
+// Bursts aggregates a sample into burst sizes: total bytes delivered in
+// runs separated by gaps longer than BurstGap.
+func Bursts(s Sample) []float64 {
+	if len(s.Times) == 0 {
+		return nil
+	}
+	var bursts []float64
+	cur := float64(s.Lengths[0])
+	for i := 1; i < len(s.Times); i++ {
+		if s.Times[i].Sub(s.Times[i-1]) > BurstGap {
+			bursts = append(bursts, cur)
+			cur = 0
+		}
+		cur += float64(s.Lengths[i])
+	}
+	bursts = append(bursts, cur)
+	return bursts
+}
+
+// BurstClassifier is a kNN over truncated burst-size series.
+type BurstClassifier struct {
+	K int
+
+	refs   []Sample
+	series [][]float64
+}
+
+// NewBurstClassifier indexes references.
+func NewBurstClassifier(refs []Sample, k int) (*BurstClassifier, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("baseline: burst classifier needs references")
+	}
+	if k <= 0 {
+		k = 3
+	}
+	c := &BurstClassifier{K: k, refs: refs}
+	for _, r := range refs {
+		c.series = append(c.series, Bursts(r))
+	}
+	return c, nil
+}
+
+// burstDistance compares burst series over the overlapping prefix with a
+// log-ratio metric.
+func burstDistance(a, b []float64) float64 {
+	n := min(len(a), len(b))
+	if n == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(math.Log((a[i] + 1) / (b[i] + 1)))
+	}
+	// Penalize length mismatch: unmatched bursts count as full misses.
+	mismatch := float64(len(a)+len(b)-2*n) * 0.5
+	return (sum + mismatch) / float64(n)
+}
+
+// Classify returns the majority label among the k nearest references.
+func (c *BurstClassifier) Classify(s Sample) string {
+	q := Bursts(s)
+	type scored struct {
+		d     float64
+		label string
+	}
+	all := make([]scored, 0, len(c.series))
+	for i, ref := range c.series {
+		all = append(all, scored{d: burstDistance(q, ref), label: c.refs[i].Label})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	k := min(c.K, len(all))
+	votes := map[string]int{}
+	for _, s := range all[:k] {
+		votes[s.label]++
+	}
+	best, bestV := "", -1
+	for l, v := range votes {
+		if v > bestV || (v == bestV && l < best) {
+			best, bestV = l, v
+		}
+	}
+	return best
+}
+
+// --- ADU reconstruction (Silhouette style) -----------------------------------
+
+// ADU is one reconstructed application data unit (e.g. a video chunk):
+// contiguous server bytes uninterrupted by a client-visible gap.
+type ADU struct {
+	Bytes int
+	Start time.Time
+}
+
+// ADUGap is the quiet time that splits ADUs (shorter than BurstGap:
+// object boundaries inside a burst).
+const ADUGap = 80 * time.Millisecond
+
+// ADUs reconstructs application data units from a sample.
+func ADUs(s Sample) []ADU {
+	if len(s.Times) == 0 {
+		return nil
+	}
+	var out []ADU
+	cur := ADU{Bytes: s.Lengths[0], Start: s.Times[0]}
+	for i := 1; i < len(s.Times); i++ {
+		if s.Times[i].Sub(s.Times[i-1]) > ADUGap {
+			out = append(out, cur)
+			cur = ADU{Start: s.Times[i]}
+		}
+		cur.Bytes += s.Lengths[i]
+	}
+	out = append(out, cur)
+	return out
+}
+
+// IsVideoStream applies Silhouette's screening heuristic: video streams
+// show many large ADUs with regular pacing. It returns the classification
+// plus the large-ADU count that produced it.
+func IsVideoStream(s Sample) (bool, int) {
+	const largeADU = 100_000 // bytes; a low-quality 4s chunk exceeds this
+	adus := ADUs(s)
+	large := 0
+	for _, a := range adus {
+		if a.Bytes >= largeADU {
+			large++
+		}
+	}
+	// Even a minute of video yields a steady run of large ADUs; web
+	// browsing yields isolated ones.
+	return large >= 5, large
+}

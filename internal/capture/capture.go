@@ -1,0 +1,227 @@
+// Package capture materializes a simulated session trace as a genuine
+// libpcap file: each direction's TLS byte stream is cut into MTU-bounded
+// TCP segments, wrapped in IPv4/Ethernet frames with a proper three-way
+// handshake and FIN exchange, timestamped from the trace's write schedule,
+// and interleaved in time order. The resulting file is indistinguishable
+// in structure from a tcpdump capture of the same conversation, which is
+// what the attack pipeline consumes.
+package capture
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/pcapio"
+	"repro/internal/session"
+	"repro/internal/wire"
+)
+
+// Endpoints fixes the addresses used in synthesized captures.
+type Endpoints struct {
+	ClientAddr netip.Addr
+	ServerAddr netip.Addr
+	ClientPort uint16
+	ServerPort uint16
+	ClientMAC  layers.MAC
+	ServerMAC  layers.MAC
+}
+
+// DefaultEndpoints resemble a home viewer reaching a CDN edge over 443.
+func DefaultEndpoints() Endpoints {
+	return Endpoints{
+		ClientAddr: netip.MustParseAddr("192.168.1.23"),
+		ServerAddr: netip.MustParseAddr("198.51.100.7"),
+		ClientPort: 51732,
+		ServerPort: 443,
+		ClientMAC:  layers.MAC{0x02, 0x42, 0xc0, 0xa8, 0x01, 0x17},
+		ServerMAC:  layers.MAC{0x02, 0x42, 0xc6, 0x33, 0x64, 0x07},
+	}
+}
+
+// Options tunes the synthesis.
+type Options struct {
+	Endpoints Endpoints
+	// MTU bounds frame payloads (TCP MSS = MTU - 40). Zero uses 1500.
+	MTU int
+	// Seed drives small segmentation jitter (segments occasionally carry
+	// less than a full MSS, as real stacks emit on flush boundaries).
+	Seed uint64
+}
+
+// frame is one synthesized packet awaiting interleave.
+type frame struct {
+	ts   time.Time
+	data []byte
+	// seqKey breaks timestamp ties so a direction's segments stay ordered.
+	seqKey int
+}
+
+// WritePcap renders tr as a pcap stream into w.
+func WritePcap(w io.Writer, tr *session.Trace, opts Options) error {
+	if opts.MTU == 0 {
+		opts.MTU = tr.Profile.MTU
+	}
+	if opts.MTU < 576 {
+		return fmt.Errorf("capture: MTU %d too small", opts.MTU)
+	}
+	var zero Endpoints
+	if opts.Endpoints == zero {
+		opts.Endpoints = DefaultEndpoints()
+	}
+	ep := opts.Endpoints
+	mss := opts.MTU - 40 // IPv4 + TCP headers
+	rng := wire.NewRNG(opts.Seed + 0x9e37)
+
+	c2s := layers.FlowKey{SrcAddr: ep.ClientAddr, DstAddr: ep.ServerAddr,
+		SrcPort: ep.ClientPort, DstPort: ep.ServerPort}
+	s2c := c2s.Reverse()
+	cEth := layers.Ethernet{Src: ep.ClientMAC, Dst: ep.ServerMAC}
+	sEth := layers.Ethernet{Src: ep.ServerMAC, Dst: ep.ClientMAC}
+
+	var frames []frame
+	var ipID uint16 = 1
+	addFrame := func(ts time.Time, key layers.FlowKey, eth layers.Ethernet,
+		tcp layers.TCP, payload []byte) error {
+		raw, err := layers.BuildTCPFrame(key, eth, tcp, payload, ipID)
+		if err != nil {
+			return err
+		}
+		ipID++
+		frames = append(frames, frame{ts: ts, data: raw, seqKey: len(frames)})
+		return nil
+	}
+
+	start := handshakeStart(tr)
+	cISN, sISN := uint32(rng.Uint64()), uint32(rng.Uint64())
+
+	// Three-way handshake slightly before the first TLS byte.
+	hs := start.Add(-30 * time.Millisecond)
+	if err := addFrame(hs, c2s, cEth,
+		layers.TCP{Seq: cISN, Flags: layers.TCPSyn, Window: 64240}, nil); err != nil {
+		return err
+	}
+	if err := addFrame(hs.Add(10*time.Millisecond), s2c, sEth,
+		layers.TCP{Seq: sISN, Ack: cISN + 1, Flags: layers.TCPSyn | layers.TCPAck, Window: 65160}, nil); err != nil {
+		return err
+	}
+	if err := addFrame(hs.Add(20*time.Millisecond), c2s, cEth,
+		layers.TCP{Seq: cISN + 1, Ack: sISN + 1, Flags: layers.TCPAck, Window: 64240}, nil); err != nil {
+		return err
+	}
+
+	// Data segments for each direction.
+	cEnd, err := segmentDirection(addFrame, tr.ClientToServer, c2s, cEth,
+		cISN+1, sISN+1, mss, rng)
+	if err != nil {
+		return err
+	}
+	sEnd, err := segmentDirection(addFrame, tr.ServerToClient, s2c, sEth,
+		sISN+1, cISN+1, mss, rng)
+	if err != nil {
+		return err
+	}
+
+	// FIN exchange after the last data in either direction.
+	finAt := tr.Result.EndedAt.Add(50 * time.Millisecond)
+	if err := addFrame(finAt, c2s, cEth,
+		layers.TCP{Seq: cEnd, Ack: sEnd, Flags: layers.TCPFin | layers.TCPAck, Window: 64240}, nil); err != nil {
+		return err
+	}
+	if err := addFrame(finAt.Add(12*time.Millisecond), s2c, sEth,
+		layers.TCP{Seq: sEnd, Ack: cEnd + 1, Flags: layers.TCPFin | layers.TCPAck, Window: 65160}, nil); err != nil {
+		return err
+	}
+
+	// Interleave by timestamp (stable on insertion order within a tie).
+	sort.SliceStable(frames, func(i, j int) bool {
+		if frames[i].ts.Equal(frames[j].ts) {
+			return frames[i].seqKey < frames[j].seqKey
+		}
+		return frames[i].ts.Before(frames[j].ts)
+	})
+
+	pw := pcapio.NewWriter(w)
+	for _, f := range frames {
+		if err := pw.WritePacket(f.ts, f.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addFrameFunc matches the addFrame closure's signature.
+type addFrameFunc func(ts time.Time, key layers.FlowKey, eth layers.Ethernet,
+	tcp layers.TCP, payload []byte) error
+
+// segmentDirection cuts one direction's byte stream into MSS-bounded
+// segments timestamped from the write schedule. Returns the next sequence
+// number after the stream.
+func segmentDirection(add addFrameFunc,
+	d session.DirStream, key layers.FlowKey, eth layers.Ethernet,
+	isn, peerSeq uint32, mss int, rng *wire.RNG) (uint32, error) {
+	stream := d.Bytes
+	off := 0
+	seq := isn
+	for off < len(stream) {
+		n := mss
+		// Real senders flush on application write boundaries: end the
+		// segment early at the next write mark so segment boundaries and
+		// timestamps line up with application behaviour.
+		ts := d.TimeAt(int64(off))
+		if nextOff, ok := nextMark(d, int64(off)); ok && nextOff-int64(off) < int64(n) {
+			n = int(nextOff - int64(off))
+		}
+		if off+n > len(stream) {
+			n = len(stream) - off
+		}
+		// Occasional sub-MSS flush (ack-clocking artefacts).
+		if n == mss && rng.Bool(0.02) {
+			n = rng.IntRange(mss/2, mss)
+		}
+		payload := stream[off : off+n]
+		flags := layers.TCPAck
+		// PSH on write boundaries (the last segment of an application
+		// write), approximated by checking whether the next byte starts a
+		// new write.
+		if nextOff, ok := nextMark(d, int64(off)); !ok || nextOff == int64(off+n) {
+			flags |= layers.TCPPsh
+		}
+		if err := add(ts, key, eth, layers.TCP{
+			Seq: seq, Ack: peerSeq, Flags: flags, Window: 64240,
+		}, payload); err != nil {
+			return 0, err
+		}
+		seq += uint32(n)
+		off += n
+	}
+	return seq, nil
+}
+
+// nextMark returns the first write-mark offset strictly greater than off.
+func nextMark(d session.DirStream, off int64) (int64, bool) {
+	lo, hi := 0, len(d.Writes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.Writes[mid].Offset <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(d.Writes) {
+		return 0, false
+	}
+	return d.Writes[lo].Offset, true
+}
+
+// handshakeStart returns the trace's earliest write time.
+func handshakeStart(tr *session.Trace) time.Time {
+	if len(tr.ClientToServer.Writes) > 0 {
+		return tr.ClientToServer.Writes[0].Time
+	}
+	return time.Unix(0, 0)
+}

@@ -1,0 +1,273 @@
+// Package dataset assembles the reproduction's analogue of the paper's
+// IITM-Bandersnatch dataset: data points of the form {encrypted trace,
+// ground-truth choices} for a population of viewers spanning the Table I
+// operational and behavioural attributes. Points carry the full session
+// trace in memory and can persist to disk as {pcap, metadata JSON} pairs.
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/capture"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/profiles"
+	"repro/internal/script"
+	"repro/internal/session"
+	"repro/internal/stats"
+	"repro/internal/viewer"
+	"repro/internal/wire"
+)
+
+// Point is one dataset entry.
+type Point struct {
+	Index     int
+	Viewer    viewer.Viewer
+	Condition profiles.Condition
+	Trace     *session.Trace
+}
+
+// Dataset is the generated study.
+type Dataset struct {
+	Points []Point
+	Graph  *script.Graph
+}
+
+// Config controls generation.
+type Config struct {
+	// N is the number of viewers (the paper collected 100).
+	N int
+	// Seed drives the whole generation deterministically.
+	Seed uint64
+	// Graph defaults to the Bandersnatch case-study script.
+	Graph *script.Graph
+	// Encoding defaults to the graph encoded at the default ladder.
+	Encoding *media.Encoding
+	// Conditions defaults to the full Table I grid, assigned round-robin
+	// with shuffling so every axis value appears.
+	Conditions []profiles.Condition
+}
+
+// Generate builds a dataset of N labeled sessions.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.N <= 0 {
+		cfg.N = 100
+	}
+	if cfg.Graph == nil {
+		cfg.Graph = script.Bandersnatch()
+	}
+	if cfg.Encoding == nil {
+		cfg.Encoding = media.Encode(cfg.Graph, media.DefaultLadder, cfg.Seed^0xabcd)
+	}
+	conds := cfg.Conditions
+	if len(conds) == 0 {
+		conds = profiles.Grid()
+	}
+	rng := wire.NewRNG(cfg.Seed)
+	pop := viewer.SamplePopulation(cfg.N, rng.Fork(1))
+
+	// Shuffle condition assignment so axes mix across viewers.
+	order := make([]int, cfg.N)
+	for i := range order {
+		order[i] = i % len(conds)
+	}
+	rng.Fork(2).Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	ds := &Dataset{Graph: cfg.Graph}
+	for i, v := range pop {
+		cond := conds[order[i]]
+		tr, err := session.Run(session.Config{
+			Graph:     cfg.Graph,
+			Encoding:  cfg.Encoding,
+			Viewer:    v,
+			Condition: cond,
+			SessionID: fmt.Sprintf("iitm-%03d", i+1),
+			Seed:      cfg.Seed*1_000_003 + uint64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dataset: session %d: %w", i, err)
+		}
+		ds.Points = append(ds.Points, Point{Index: i, Viewer: v, Condition: cond, Trace: tr})
+	}
+	return ds, nil
+}
+
+// Metadata is the JSON sidecar persisted per point.
+type Metadata struct {
+	SessionID string `json:"sessionId"`
+	Viewer    viewer.Viewer
+	Condition conditionJSON `json:"condition"`
+	Decisions []bool        `json:"decisions"`
+	Segments  []string      `json:"segments"`
+}
+
+type conditionJSON struct {
+	OS          string `json:"os"`
+	Platform    string `json:"platform"`
+	Browser     string `json:"browser"`
+	Medium      string `json:"medium"`
+	TrafficTime string `json:"trafficTime"`
+}
+
+// WriteTo persists the dataset under dir as NNN.pcap + NNN.json pairs.
+func (ds *Dataset) WriteTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	for _, p := range ds.Points {
+		base := filepath.Join(dir, fmt.Sprintf("%03d", p.Index+1))
+		f, err := os.Create(base + ".pcap")
+		if err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		err = capture.WritePcap(f, p.Trace, capture.Options{Seed: uint64(p.Index)})
+		cerr := f.Close()
+		if err != nil {
+			return fmt.Errorf("dataset: writing %s.pcap: %w", base, err)
+		}
+		if cerr != nil {
+			return fmt.Errorf("dataset: closing %s.pcap: %w", base, cerr)
+		}
+		meta := Metadata{
+			SessionID: p.Trace.SessionID,
+			Viewer:    p.Viewer,
+			Condition: conditionJSON{
+				OS:          string(p.Condition.OS),
+				Platform:    string(p.Condition.Platform),
+				Browser:     string(p.Condition.Browser),
+				Medium:      string(p.Condition.Medium),
+				TrafficTime: string(p.Condition.TrafficTime),
+			},
+			Decisions: p.Trace.GroundTruthDecisions(),
+		}
+		for _, s := range p.Trace.Result.Path.Segments {
+			meta.Segments = append(meta.Segments, string(s))
+		}
+		buf, err := json.MarshalIndent(meta, "", "  ")
+		if err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		if err := os.WriteFile(base+".json", buf, 0o644); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadMetadata loads the sidecar files from a persisted dataset directory.
+func ReadMetadata(dir string) ([]Metadata, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	var out []Metadata
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		var m Metadata
+		if err := json.Unmarshal(buf, &m); err != nil {
+			return nil, fmt.Errorf("dataset: parsing %s: %w", e.Name(), err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// TableI renders the paper's Table I for this dataset: every attribute
+// axis with the values present.
+func (ds *Dataset) TableI() string {
+	countCond := func(f func(profiles.Condition) string) map[string]int {
+		m := map[string]int{}
+		for _, p := range ds.Points {
+			m[f(p.Condition)]++
+		}
+		return m
+	}
+	countView := func(f func(viewer.Viewer) string) map[string]int {
+		m := map[string]int{}
+		for _, p := range ds.Points {
+			m[f(p.Viewer)]++
+		}
+		return m
+	}
+	rows := [][]string{}
+	addRows := func(group, attr string, counts map[string]int, order []string) {
+		for _, k := range order {
+			rows = append(rows, []string{group, attr, k, fmt.Sprintf("%d", counts[k])})
+		}
+	}
+	addRows("Operational", "Operating System",
+		countCond(func(c profiles.Condition) string { return string(c.OS) }),
+		[]string{"windows", "linux", "mac"})
+	addRows("Operational", "Platform",
+		countCond(func(c profiles.Condition) string { return string(c.Platform) }),
+		[]string{"desktop", "laptop"})
+	addRows("Operational", "Traffic Conditions",
+		countCond(func(c profiles.Condition) string { return string(c.TrafficTime) }),
+		[]string{string(netem.TrafficMorning), string(netem.TrafficNoon), string(netem.TrafficNight)})
+	addRows("Operational", "Connection Type",
+		countCond(func(c profiles.Condition) string { return string(c.Medium) }),
+		[]string{string(netem.MediumWired), string(netem.MediumWireless)})
+	addRows("Operational", "Browser",
+		countCond(func(c profiles.Condition) string { return string(c.Browser) }),
+		[]string{"chrome", "firefox"})
+	addRows("Behavioral", "Age-group",
+		countView(func(v viewer.Viewer) string { return string(v.Age) }),
+		[]string{"<20", "20-25", "25-30", ">30"})
+	addRows("Behavioral", "Gender",
+		countView(func(v viewer.Viewer) string { return string(v.Gender) }),
+		[]string{"male", "female", "undisclosed"})
+	addRows("Behavioral", "Political Alignment",
+		countView(func(v viewer.Viewer) string { return string(v.Politics) }),
+		[]string{"liberal", "centrist", "communist", "undisclosed"})
+	addRows("Behavioral", "State of Mind",
+		countView(func(v viewer.Viewer) string { return string(v.Mind) }),
+		[]string{"happy", "stressed", "sad", "undisclosed"})
+	return stats.RenderTable([]string{"Conditions", "Attribute", "Value", "Viewers"}, rows)
+}
+
+// WriteAttributesCSV emits the behavioural/operational attribute table as
+// CSV, the form behavioural-sciences consumers of the paper's dataset
+// would ingest.
+func (ds *Dataset) WriteAttributesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"session", "os", "platform", "browser", "medium",
+		"traffic", "age", "gender", "politics", "mind", "decisions"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range ds.Points {
+		dec := ""
+		for _, d := range p.Trace.GroundTruthDecisions() {
+			if d {
+				dec += "D"
+			} else {
+				dec += "A"
+			}
+		}
+		row := []string{
+			p.Trace.SessionID,
+			string(p.Condition.OS), string(p.Condition.Platform),
+			string(p.Condition.Browser), string(p.Condition.Medium),
+			string(p.Condition.TrafficTime),
+			string(p.Viewer.Age), string(p.Viewer.Gender),
+			string(p.Viewer.Politics), string(p.Viewer.Mind),
+			dec,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

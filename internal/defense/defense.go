@@ -1,0 +1,394 @@
+// Package defense implements the countermeasures the paper's §VI sketches
+// against the record-length side-channel — padding the state-report JSON
+// to a constant size, splitting it into small indistinguishable records,
+// and compressing it — together with the residual *timing* side-channel
+// the paper warns about: even with record lengths neutralized, the
+// check-pointed streaming pattern (playback pause at the question, a
+// client report, and the prefetch-cancel stall on non-default choices)
+// remains visible in packet timing.
+package defense
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/tlsrec"
+)
+
+// Transform is a session.Config.Defense function.
+type Transform func(label session.WriteLabel, plain int) []int
+
+// PadReports pads type-1 and type-2 reports (and nothing else) up to a
+// constant plaintext size, erasing the length difference between them.
+func PadReports(target int) Transform {
+	return func(label session.WriteLabel, plain int) []int {
+		if label != session.LabelType1 && label != session.LabelType2 {
+			return []int{plain}
+		}
+		if plain < target {
+			plain = target
+		}
+		return []int{plain}
+	}
+}
+
+// SplitReports splits report writes into records of at most chunk bytes,
+// so their records blend with ordinary request traffic.
+func SplitReports(chunk int) Transform {
+	return func(label session.WriteLabel, plain int) []int {
+		if label != session.LabelType1 && label != session.LabelType2 {
+			return []int{plain}
+		}
+		if chunk <= 0 {
+			return []int{plain}
+		}
+		var out []int
+		for plain > 0 {
+			n := chunk
+			if n > plain {
+				n = plain
+			}
+			out = append(out, n)
+			plain -= n
+		}
+		if len(out) == 0 {
+			out = []int{0}
+		}
+		return out
+	}
+}
+
+// CompressReports models gzip of the JSON body: the high-entropy session
+// state compresses poorly but the structural boilerplate collapses, and
+// the output length becomes noisy. ratioPct is the residual size as a
+// percentage (e.g. 55 keeps 55% of the bytes); jitter adds size noise so
+// equal inputs stop producing equal outputs. A deterministic hash of the
+// plain size drives the jitter so sessions stay reproducible.
+func CompressReports(ratioPct, jitter int) Transform {
+	return func(label session.WriteLabel, plain int) []int {
+		if label != session.LabelType1 && label != session.LabelType2 {
+			return []int{plain}
+		}
+		out := plain * ratioPct / 100
+		if jitter > 0 {
+			h := uint64(plain)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+			h ^= h >> 29
+			out += int(h % uint64(2*jitter+1))
+			out -= jitter
+		}
+		if out < 32 {
+			out = 32
+		}
+		return []int{out}
+	}
+}
+
+// Chain composes transforms left to right (the output sizes of one feed
+// the next; only the first stage sees the true label semantics, later
+// stages apply to every produced size).
+func Chain(ts ...Transform) Transform {
+	return func(label session.WriteLabel, plain int) []int {
+		sizes := []int{plain}
+		for _, t := range ts {
+			var next []int
+			for _, n := range sizes {
+				next = append(next, t(label, n)...)
+			}
+			sizes = next
+		}
+		return sizes
+	}
+}
+
+// --- The residual timing side-channel ----------------------------------------
+
+// TimingEvent is one suspected choice point recovered from timing alone.
+type TimingEvent struct {
+	// At is the time of the client record that triggered the detection.
+	At time.Time
+	// DownlinkGap is the longest server-silence within the horizon after
+	// the event.
+	DownlinkGap time.Duration
+	// DownlinkBytes is the server volume delivered within the horizon
+	// after the event. A non-default choice discards the prefetched
+	// default branch and refetches the alternative, so its horizon
+	// carries the discarded prefix *plus* the alternative segment —
+	// measurably more than the default case.
+	DownlinkBytes int
+	// PairCount counts back-to-back client record pairs (sub-50ms apart)
+	// in the window after the event, excluding the burst at the event
+	// itself. When the viewer commits a non-default choice the browser
+	// posts the type-2 report and the player fires the first alternative
+	// chunk request in the same handler turn — two client records within
+	// a round-trip of each other — whereas a default decision produces a
+	// lone chunk request. The pair survives any length padding.
+	PairCount int
+}
+
+// TimingAttack detects choice points from traffic timing and volume
+// without using record lengths — the residual channel the paper's §VI
+// warns about after the JSON is padded, split or compressed:
+//
+//   - At a choice question, playback is check-pointed: the player's
+//     request pipeline goes quiet during segment playout, then a client
+//     application record (the state report) appears after a long client
+//     silence.
+//   - On a non-default choice the prefetched default branch is discarded
+//     and the alternative is fetched from scratch, so the downlink volume
+//     in the window after the question carries the discarded prefix plus
+//     the alternative segment — systematically more than the default
+//     case, whatever the record lengths look like.
+//
+// The detector flags client records preceded by client-side quiet time
+// of at least QuietBefore, then measures the downlink gap and volume in
+// the following horizon; volumes above the learned split indicate
+// non-default choices.
+type TimingAttack struct {
+	// QuietBefore is the minimum client-silence before a record to flag
+	// it as a potential state report (default 3s: ordinary chunk requests
+	// are rarely that far apart while streaming).
+	QuietBefore time.Duration
+	// GapSplit separates default from non-default downlink gaps (legacy
+	// feature, kept for the prefetch ablation).
+	GapSplit time.Duration
+	// VolumeSplit separates default from non-default downlink volumes;
+	// set by CalibrateVolume.
+	VolumeSplit int
+	// Feature selects the classification feature (default FeaturePairs,
+	// which needs no calibration).
+	Feature Feature
+}
+
+// Feature names the timing-attack classification feature.
+type Feature int
+
+// Features.
+const (
+	// FeaturePairs classifies on the decision-time client record pair —
+	// the most robust feature, needing no calibration.
+	FeaturePairs Feature = iota
+	// FeatureVolume classifies on calibrated post-event downlink volume
+	// (requires prefetch to create the redundant download).
+	FeatureVolume
+	// FeatureGap classifies on calibrated downlink-gap length.
+	FeatureGap
+)
+
+// DetectionHorizon bounds the post-event window over which gap and
+// volume are measured: the ten-second decision window plus restart slack.
+const DetectionHorizon = 15 * time.Second
+
+// DetectEvents flags suspected choice points in an observation's records.
+func (a *TimingAttack) DetectEvents(client, server []tlsrec.Record) []TimingEvent {
+	quiet := a.QuietBefore
+	if quiet <= 0 {
+		quiet = 3 * time.Second
+	}
+	var events []TimingEvent
+	var lastClient time.Time
+	for _, r := range client {
+		if r.Type != tlsrec.ContentApplicationData {
+			continue
+		}
+		if !lastClient.IsZero() && r.Time.Sub(lastClient) >= quiet {
+			events = append(events, TimingEvent{
+				At:            r.Time,
+				DownlinkGap:   downlinkGapAfter(server, r.Time),
+				DownlinkBytes: downlinkBytesAfter(server, r.Time),
+				PairCount:     pairCountAfter(client, r.Time),
+			})
+		}
+		lastClient = r.Time
+	}
+	return coalesceEvents(events, 5*time.Second)
+}
+
+// pairCountAfter counts sub-50ms client record pairs in the window after
+// t, skipping the first 200ms (the type-1/prefetch burst at the event
+// itself fires simultaneously and must not count as a decision pair).
+func pairCountAfter(client []tlsrec.Record, t time.Time) int {
+	const (
+		skipLead   = 200 * time.Millisecond
+		pairGap    = 50 * time.Millisecond
+		windowSpan = 12 * time.Second
+	)
+	var pairs int
+	var prev time.Time
+	for _, r := range client {
+		if r.Type != tlsrec.ContentApplicationData {
+			continue
+		}
+		d := r.Time.Sub(t)
+		if d < skipLead {
+			continue
+		}
+		if d > windowSpan {
+			break
+		}
+		if !prev.IsZero() && r.Time.Sub(prev) <= pairGap {
+			pairs++
+			prev = time.Time{} // a record belongs to at most one pair
+			continue
+		}
+		prev = r.Time
+	}
+	return pairs
+}
+
+// coalesceEvents merges detections within window of each other (a type-1
+// followed by a type-2 at the same question is one choice point; the
+// longer gap and larger volume win).
+func coalesceEvents(events []TimingEvent, window time.Duration) []TimingEvent {
+	if len(events) == 0 {
+		return events
+	}
+	out := []TimingEvent{events[0]}
+	for _, e := range events[1:] {
+		last := &out[len(out)-1]
+		if e.At.Sub(last.At) <= window {
+			if e.DownlinkGap > last.DownlinkGap {
+				last.DownlinkGap = e.DownlinkGap
+			}
+			if e.DownlinkBytes > last.DownlinkBytes {
+				last.DownlinkBytes = e.DownlinkBytes
+			}
+			if e.PairCount > last.PairCount {
+				last.PairCount = e.PairCount
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// downlinkGapAfter returns the longest server-silence starting within the
+// horizon after t. Trailing silence up to the horizon counts as a gap, so
+// a downlink that goes quiet and stays quiet is measured rather than
+// ignored.
+func downlinkGapAfter(server []tlsrec.Record, t time.Time) time.Duration {
+	// server records are time-ordered; find the first at/after t.
+	i := sort.Search(len(server), func(i int) bool {
+		return !server[i].Time.Before(t)
+	})
+	var longest time.Duration
+	prev := t
+	for ; i < len(server); i++ {
+		st := server[i].Time
+		if st.Sub(t) > DetectionHorizon {
+			prev = t.Add(DetectionHorizon) // horizon reached with traffic beyond it
+			break
+		}
+		if gap := st.Sub(prev); gap > longest {
+			longest = gap
+		}
+		prev = st
+	}
+	// Trailing silence.
+	if tail := t.Add(DetectionHorizon).Sub(prev); tail > longest {
+		longest = tail
+	}
+	return longest
+}
+
+// downlinkBytesAfter totals the server record payload delivered within
+// the horizon after t.
+func downlinkBytesAfter(server []tlsrec.Record, t time.Time) int {
+	i := sort.Search(len(server), func(i int) bool {
+		return !server[i].Time.Before(t)
+	})
+	var total int
+	for ; i < len(server); i++ {
+		if server[i].Time.Sub(t) > DetectionHorizon {
+			break
+		}
+		total += server[i].Length
+	}
+	return total
+}
+
+// Calibrate learns the gap split point from labeled examples: gaps for
+// default and non-default choices. It sets GapSplit to the midpoint of
+// the class means and returns it.
+func (a *TimingAttack) Calibrate(defaultGaps, nonDefaultGaps []time.Duration) time.Duration {
+	mean := func(ds []time.Duration) float64 {
+		if len(ds) == 0 {
+			return 0
+		}
+		var s float64
+		for _, d := range ds {
+			s += float64(d)
+		}
+		return s / float64(len(ds))
+	}
+	split := (mean(defaultGaps) + mean(nonDefaultGaps)) / 2
+	a.GapSplit = time.Duration(split)
+	return a.GapSplit
+}
+
+// CalibrateVolume learns the volume split from labeled horizon volumes
+// for default and non-default choices, setting VolumeSplit to the
+// midpoint of the class means.
+func (a *TimingAttack) CalibrateVolume(defaultVols, nonDefaultVols []int) int {
+	mean := func(vs []int) float64 {
+		if len(vs) == 0 {
+			return 0
+		}
+		var s float64
+		for _, v := range vs {
+			s += float64(v)
+		}
+		return s / float64(len(vs))
+	}
+	a.VolumeSplit = int((mean(defaultVols) + mean(nonDefaultVols)) / 2)
+	return a.VolumeSplit
+}
+
+// ClassifyEvents converts detected events into a decision vector (true =
+// default) using the configured feature. The default pair feature needs
+// no calibration; volume and gap fall back to all-default when their
+// split was never calibrated.
+func (a *TimingAttack) ClassifyEvents(events []TimingEvent) []bool {
+	out := make([]bool, len(events))
+	for i, e := range events {
+		switch a.Feature {
+		case FeatureVolume:
+			out[i] = a.VolumeSplit == 0 || e.DownlinkBytes <= a.VolumeSplit
+		case FeatureGap:
+			out[i] = a.GapSplit == 0 || e.DownlinkGap <= a.GapSplit
+		default: // FeaturePairs
+			out[i] = e.PairCount == 0
+		}
+	}
+	return out
+}
+
+// MatchEvents aligns detected events to ground-truth question times: for
+// each truth time the nearest event within tolerance is matched (greedy,
+// in time order). It returns the matched event index per truth entry
+// (-1 = missed).
+func MatchEvents(events []TimingEvent, truthTimes []time.Time, tolerance time.Duration) []int {
+	out := make([]int, len(truthTimes))
+	used := make([]bool, len(events))
+	for i, tt := range truthTimes {
+		out[i] = -1
+		bestD := tolerance
+		for j, e := range events {
+			if used[j] {
+				continue
+			}
+			d := e.At.Sub(tt)
+			if d < 0 {
+				d = -d
+			}
+			if d <= bestD {
+				out[i], bestD = j, d
+			}
+		}
+		if out[i] >= 0 {
+			used[out[i]] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/profiles"
+	"repro/internal/script"
+	"repro/internal/session"
+	"repro/internal/stats"
+	"repro/internal/viewer"
+	"repro/internal/wire"
+)
+
+// AccuracyResult reproduces the §V headline: per-session choice-recovery
+// accuracy over sessions viewed by different people under different
+// operational and network conditions; the paper reports 96% in the worst
+// case.
+type AccuracyResult struct {
+	Sessions  []SessionAccuracy
+	Mean      float64
+	WorstCase float64
+	Report    string
+}
+
+// SessionAccuracy scores one session.
+type SessionAccuracy struct {
+	Condition profiles.Condition
+	ViewerID  string
+	Correct   int
+	Total     int
+}
+
+// Accuracy runs n test sessions (the paper used 10), each under a
+// different condition drawn from the Table I grid, trains the paper's
+// interval-band classifier per condition on trainPerCond held-out
+// sessions, and scores per-choice recovery.
+func Accuracy(n, trainPerCond int, seed uint64) (*AccuracyResult, error) {
+	if n <= 0 {
+		n = 10
+	}
+	if trainPerCond <= 0 {
+		trainPerCond = 2
+	}
+	g := script.Bandersnatch()
+	enc := sharedEncoding(g, seed)
+	grid := profiles.Grid()
+	rng := wire.NewRNG(seed)
+	pop := viewer.SamplePopulation(n, rng.Fork(1))
+
+	res := &AccuracyResult{}
+	var accs []float64
+	for i := 0; i < n; i++ {
+		cond := grid[(i*7)%len(grid)] // stride the grid for variety
+		// Train per condition on sessions disjoint from the test session,
+		// collecting more until both report types have been observed (a
+		// viewer who took only defaults never sent a type-2, and the
+		// attacker keeps profiling until both bands are known).
+		var training []*session.Trace
+		for t := 0; t < trainPerCond+8; t++ {
+			tr, err := runOne(g, enc, viewer.SamplePopulation(1, rng.Fork(uint64(1000+i*10+t)))[0],
+				cond, seed+uint64(9000+i*100+t), nil)
+			if err != nil {
+				return nil, err
+			}
+			training = append(training, tr)
+			if t >= trainPerCond-1 && trainingHasBothClasses(training) {
+				break
+			}
+		}
+		atk, err := attack.NewAttacker(training, g, script.BandersnatchMaxChoices)
+		if err != nil {
+			return nil, fmt.Errorf("training under %s: %w", cond, err)
+		}
+
+		tr, err := runOne(g, enc, pop[i], cond, seed+uint64(i)*31, nil)
+		if err != nil {
+			return nil, err
+		}
+		obs, err := observationOf(tr)
+		if err != nil {
+			return nil, err
+		}
+		inf, err := atk.Infer(obs)
+		if err != nil {
+			return nil, err
+		}
+		correct, total := attack.ScoreDecisions(inf.Decisions, tr.GroundTruthDecisions())
+		res.Sessions = append(res.Sessions, SessionAccuracy{
+			Condition: cond, ViewerID: pop[i].ID, Correct: correct, Total: total,
+		})
+		if total > 0 {
+			accs = append(accs, float64(correct)/float64(total))
+		}
+	}
+	res.Mean = stats.Mean(accs)
+	res.WorstCase = stats.Min(accs)
+	res.Report = renderAccuracy(res)
+	return res, nil
+}
+
+// trainingHasBothClasses reports whether the traces contain at least one
+// type-1 and one type-2 example.
+func trainingHasBothClasses(traces []*session.Trace) bool {
+	var has1, has2 bool
+	for _, e := range attack.TrainingSetFromTraces(traces) {
+		switch e.Class {
+		case attack.ClassType1:
+			has1 = true
+		case attack.ClassType2:
+			has2 = true
+		}
+	}
+	return has1 && has2
+}
+
+func renderAccuracy(res *AccuracyResult) string {
+	var b strings.Builder
+	b.WriteString("Headline result (§V): choice recovery from encrypted traffic\n")
+	rows := [][]string{}
+	for i, s := range res.Sessions {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1), s.ViewerID, s.Condition.String(),
+			fmt.Sprintf("%d/%d", s.Correct, s.Total),
+			fmt.Sprintf("%.0f%%", 100*float64(s.Correct)/float64(max(s.Total, 1))),
+		})
+	}
+	b.WriteString(stats.RenderTable(
+		[]string{"session", "viewer", "condition", "choices", "accuracy"}, rows))
+	fmt.Fprintf(&b, "\nmean accuracy:  %.1f%%\n", 100*res.Mean)
+	fmt.Fprintf(&b, "worst case:     %.1f%%   (paper: 96%% worst case)\n", 100*res.WorstCase)
+	return b.String()
+}
+
+// --- Ablation: classifier comparison ------------------------------------------
+
+// ClassifierAblationResult compares the paper's interval-band rule with
+// nearest-centroid and kNN on the same per-record classification task.
+type ClassifierAblationResult struct {
+	PerClassifier map[string]float64 // record-level accuracy
+	Report        string
+}
+
+// ClassifierAblation trains each classifier under one condition and
+// scores per-record classification on held-out sessions.
+func ClassifierAblation(seed uint64) (*ClassifierAblationResult, error) {
+	g := script.Bandersnatch()
+	enc := sharedEncoding(g, seed)
+	cond := profiles.Fig2Ubuntu
+	rng := wire.NewRNG(seed)
+
+	var training []*session.Trace
+	for t := 0; t < 10; t++ {
+		tr, err := runOne(g, enc, viewer.SamplePopulation(1, rng.Fork(uint64(t+1)))[0],
+			cond, seed+uint64(t)*131, nil)
+		if err != nil {
+			return nil, err
+		}
+		training = append(training, tr)
+		if t >= 2 && trainingHasBothClasses(training) {
+			break
+		}
+	}
+	examples := attack.TrainingSetFromTraces(training)
+
+	trainers := map[string]attack.Trainer{
+		"interval-band":    &attack.IntervalBandTrainer{},
+		"nearest-centroid": attack.NearestCentroidTrainer{},
+		"knn-5":            attack.KNNTrainer{K: 5},
+	}
+	res := &ClassifierAblationResult{PerClassifier: map[string]float64{}}
+	for name, tr := range trainers {
+		clf, err := tr.Train(examples)
+		if err != nil {
+			return nil, fmt.Errorf("training %s: %w", name, err)
+		}
+		cm := stats.NewConfusionMatrix("others", "type-1", "type-2")
+		for t := 0; t < 4; t++ {
+			trc, err := runOne(g, enc, viewer.SamplePopulation(1, rng.Fork(uint64(100+t)))[0],
+				cond, seed+uint64(5000+t*17), nil)
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range trc.ClientWrites {
+				if w.Label == session.LabelHandshake {
+					continue
+				}
+				actual := "others"
+				switch w.Label {
+				case session.LabelType1:
+					actual = "type-1"
+				case session.LabelType2:
+					actual = "type-2"
+				}
+				for _, r := range w.Records {
+					got, _ := clf.Classify(r.Length)
+					cm.Observe(actual, got.String())
+				}
+			}
+		}
+		res.PerClassifier[name] = cm.Accuracy()
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: record classifier comparison (record-level accuracy)\n")
+	rows := [][]string{}
+	for _, name := range []string{"interval-band", "nearest-centroid", "knn-5"} {
+		rows = append(rows, []string{name, fmt.Sprintf("%.2f%%", 100*res.PerClassifier[name])})
+	}
+	b.WriteString(stats.RenderTable([]string{"classifier", "accuracy"}, rows))
+	res.Report = b.String()
+	return res, nil
+}

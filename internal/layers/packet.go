@@ -1,0 +1,129 @@
+package layers
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// FlowKey identifies one direction of a TCP conversation.
+type FlowKey struct {
+	SrcAddr, DstAddr netip.Addr
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the key for the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{SrcAddr: k.DstAddr, DstAddr: k.SrcAddr,
+		SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+// Canonical returns the direction-independent form of the key (the lesser
+// endpoint first) plus whether the receiver was already canonical, so both
+// directions of a conversation map to the same bucket.
+func (k FlowKey) Canonical() (FlowKey, bool) {
+	if k.SrcAddr.Compare(k.DstAddr) < 0 ||
+		(k.SrcAddr == k.DstAddr && k.SrcPort <= k.DstPort) {
+		return k, true
+	}
+	return k.Reverse(), false
+}
+
+// String renders "src:port > dst:port".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d > %s:%d", k.SrcAddr, k.SrcPort, k.DstAddr, k.DstPort)
+}
+
+// Packet is a fully decoded frame: link, network and transport headers plus
+// application payload and capture timestamp.
+type Packet struct {
+	Timestamp time.Time
+	Eth       Ethernet
+	IPVersion int // 4 or 6
+	IP4       IPv4
+	IP6       IPv6
+	TCP       TCP
+	Payload   []byte
+}
+
+// Flow returns the packet's directional flow key.
+func (p *Packet) Flow() FlowKey {
+	k := FlowKey{SrcPort: p.TCP.SrcPort, DstPort: p.TCP.DstPort}
+	if p.IPVersion == 4 {
+		k.SrcAddr, k.DstAddr = p.IP4.Src, p.IP4.Dst
+	} else {
+		k.SrcAddr, k.DstAddr = p.IP6.Src, p.IP6.Dst
+	}
+	return k
+}
+
+// DecodePacket parses an Ethernet/IP/TCP frame. Non-TCP frames return
+// ErrUnsupported; the caller typically skips them.
+func DecodePacket(ts time.Time, frame []byte) (*Packet, error) {
+	eth, rest, err := DecodeEthernet(frame)
+	if err != nil {
+		return nil, err
+	}
+	p := &Packet{Timestamp: ts, Eth: eth}
+	var proto IPProtocol
+	switch eth.EtherType {
+	case EtherTypeIPv4:
+		ip, payload, err := DecodeIPv4(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.IPVersion, p.IP4, rest, proto = 4, ip, payload, ip.Protocol
+	case EtherTypeIPv6:
+		ip, payload, err := DecodeIPv6(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.IPVersion, p.IP6, rest, proto = 6, ip, payload, ip.NextHeader
+	default:
+		return nil, fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, uint16(eth.EtherType))
+	}
+	if proto != IPProtocolTCP {
+		return nil, fmt.Errorf("%w: IP protocol %d", ErrUnsupported, proto)
+	}
+	tcp, payload, err := DecodeTCP(rest)
+	if err != nil {
+		return nil, err
+	}
+	p.TCP, p.Payload = tcp, payload
+	return p, nil
+}
+
+// BuildTCPFrame serializes a complete Ethernet/IPv4-or-IPv6/TCP frame.
+// The address family of key.SrcAddr selects the IP version. ipID feeds the
+// IPv4 identification field so consecutive frames look realistic.
+func BuildTCPFrame(key FlowKey, eth Ethernet, tcp TCP, payload []byte, ipID uint16) ([]byte, error) {
+	w := wire.NewWriter(ethernetHeaderLen + ipv4HeaderLen + tcpHeaderLen + len(payload))
+	switch {
+	case key.SrcAddr.Is4():
+		eth.EtherType = EtherTypeIPv4
+		eth.AppendTo(w)
+		ip := IPv4{TTL: 64, Protocol: IPProtocolTCP, ID: ipID,
+			Flags: 0x2, // don't fragment
+			Src:   key.SrcAddr, Dst: key.DstAddr}
+		if err := ip.AppendTo(w, tcpHeaderLen+len(payload)); err != nil {
+			return nil, err
+		}
+	case key.SrcAddr.Is6():
+		eth.EtherType = EtherTypeIPv6
+		eth.AppendTo(w)
+		ip := IPv6{HopLimit: 64, NextHeader: IPProtocolTCP,
+			Src: key.SrcAddr, Dst: key.DstAddr}
+		if err := ip.AppendTo(w, tcpHeaderLen+len(payload)); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("layers: flow key has no valid source address")
+	}
+	tcp.SrcPort, tcp.DstPort = key.SrcPort, key.DstPort
+	if err := tcp.AppendTo(w, key.SrcAddr, key.DstAddr, payload); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}

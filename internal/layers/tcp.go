@@ -1,0 +1,129 @@
+package layers
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/wire"
+)
+
+// TCPFlags is the TCP flag byte.
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	TCPFin TCPFlags = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// String renders set flags in tcpdump-like order.
+func (f TCPFlags) String() string {
+	s := ""
+	if f&TCPSyn != 0 {
+		s += "S"
+	}
+	if f&TCPFin != 0 {
+		s += "F"
+	}
+	if f&TCPRst != 0 {
+		s += "R"
+	}
+	if f&TCPPsh != 0 {
+		s += "P"
+	}
+	if f&TCPAck != 0 {
+		s += "."
+	}
+	if f&TCPUrg != 0 {
+		s += "U"
+	}
+	if s == "" {
+		s = "none"
+	}
+	return s
+}
+
+// TCP is a TCP header without options (data offset 5 on encode; options
+// skipped on decode).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            TCPFlags
+	Window           uint16
+	Urgent           uint16
+}
+
+const tcpHeaderLen = 20
+
+// AppendTo serializes the TCP header followed by payload, computing the
+// checksum over the IPv4/IPv6 pseudo-header. src and dst are the IP-layer
+// addresses.
+func (t *TCP) AppendTo(w *wire.Writer, src, dst netip.Addr, payload []byte) error {
+	start := w.Len()
+	w.U16(t.SrcPort)
+	w.U16(t.DstPort)
+	w.U32(t.Seq)
+	w.U32(t.Ack)
+	w.U8(5 << 4) // data offset 5, reserved 0
+	w.U8(uint8(t.Flags))
+	w.U16(t.Window)
+	w.U16(0) // checksum placeholder
+	w.U16(t.Urgent)
+	w.Write(payload)
+
+	segLen := tcpHeaderLen + len(payload)
+	var sum uint32
+	switch {
+	case src.Is4() && dst.Is4():
+		s4, d4 := src.As4(), dst.As4()
+		sum = wire.AddChecksum(sum, s4[:])
+		sum = wire.AddChecksum(sum, d4[:])
+		sum = wire.AddChecksum(sum, []byte{0, uint8(IPProtocolTCP),
+			byte(segLen >> 8), byte(segLen)})
+	case src.Is6() && dst.Is6():
+		s6, d6 := src.As16(), dst.As16()
+		sum = wire.AddChecksum(sum, s6[:])
+		sum = wire.AddChecksum(sum, d6[:])
+		sum = wire.AddChecksum(sum, []byte{
+			byte(segLen >> 24), byte(segLen >> 16), byte(segLen >> 8), byte(segLen),
+			0, 0, 0, uint8(IPProtocolTCP)})
+	default:
+		return fmt.Errorf("layers: mismatched address families %v / %v", src, dst)
+	}
+	sum = wire.AddChecksum(sum, w.Bytes()[start:])
+	w.SetU16(start+16, wire.FinishChecksum(sum))
+	return nil
+}
+
+// DecodeTCP parses a TCP header and returns it with the payload bytes.
+func DecodeTCP(data []byte) (TCP, []byte, error) {
+	if len(data) < tcpHeaderLen {
+		return TCP{}, nil, fmt.Errorf("%w: TCP header needs %d bytes, have %d",
+			ErrTruncated, tcpHeaderLen, len(data))
+	}
+	r := wire.NewReader(data)
+	var t TCP
+	t.SrcPort = r.U16()
+	t.DstPort = r.U16()
+	t.Seq = r.U32()
+	t.Ack = r.U32()
+	off := int(r.U8()>>4) * 4
+	t.Flags = TCPFlags(r.U8())
+	t.Window = r.U16()
+	r.Skip(2) // checksum
+	t.Urgent = r.U16()
+	if err := r.Err(); err != nil {
+		return TCP{}, nil, err
+	}
+	if off < tcpHeaderLen {
+		return TCP{}, nil, fmt.Errorf("layers: TCP data offset %d below minimum", off)
+	}
+	if off > len(data) {
+		return TCP{}, nil, fmt.Errorf("%w: TCP options extend past segment", ErrTruncated)
+	}
+	return t, data[off:], nil
+}

@@ -1,0 +1,184 @@
+// Package media models the encoded-video side of the streaming substrate:
+// bitrate ladders, the decomposition of script segments into fixed-duration
+// chunks, and a variable-bitrate chunk size model.
+//
+// The attack never inspects chunk contents — only their sizes and timing —
+// so chunks carry sizes, not samples. Sizes are drawn from a seeded
+// log-normal VBR model per (segment, quality) pair, giving the realistic
+// dispersion that inter-video fingerprinting baselines rely on while
+// keeping within-title bitrates equal across branches (the paper's §II
+// argument for why bitrate cannot separate segments of the same title).
+package media
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/script"
+	"repro/internal/wire"
+)
+
+// ChunkDuration is the fixed media time per chunk. Netflix DASH uses
+// multi-second GOP-aligned chunks; four seconds is representative.
+const ChunkDuration = 4 * time.Second
+
+// Quality is one rung of the bitrate ladder.
+type Quality struct {
+	Name string
+	// Bitrate is the nominal encode rate in bits per second.
+	Bitrate int
+}
+
+// DefaultLadder is a representative Netflix-like AVC ladder.
+var DefaultLadder = []Quality{
+	{Name: "235p", Bitrate: 320_000},
+	{Name: "480p", Bitrate: 1_050_000},
+	{Name: "720p", Bitrate: 2_350_000},
+	{Name: "1080p", Bitrate: 4_300_000},
+	{Name: "4k", Bitrate: 15_600_000},
+}
+
+// Chunk is one fetchable unit of media.
+type Chunk struct {
+	Segment script.SegmentID
+	// Index is the chunk's position within its segment.
+	Index int
+	// QualityIdx indexes the ladder the chunk was encoded at.
+	QualityIdx int
+	// Size is the chunk's encoded size in bytes.
+	Size int
+	// Duration is the media time the chunk covers (the final chunk of a
+	// segment may be shorter).
+	Duration time.Duration
+}
+
+// Encoding is the chunked form of a whole script: every segment encoded at
+// every ladder rung.
+type Encoding struct {
+	Ladder []Quality
+	chunks map[script.SegmentID][][]Chunk // segment -> quality -> chunks
+}
+
+// Encode chunks every segment of g at every rung of ladder. Chunk sizes
+// are seeded from seed so identical titles encode identically across runs
+// — crucial for the baseline experiments, which fingerprint sizes.
+func Encode(g *script.Graph, ladder []Quality, seed uint64) *Encoding {
+	if len(ladder) == 0 {
+		ladder = DefaultLadder
+	}
+	enc := &Encoding{
+		Ladder: ladder,
+		chunks: make(map[script.SegmentID][][]Chunk),
+	}
+	rng := wire.NewRNG(seed)
+	for _, seg := range g.Segments() {
+		perQuality := make([][]Chunk, len(ladder))
+		// Each segment gets one complexity factor shared across qualities
+		// (a talky scene is cheap at every rung; an action scene dear).
+		// Sigma is kept small: segments of the same title are encoded
+		// against the same ladder targets, which is precisely the paper's
+		// §II argument that bitrate cannot separate same-title branches.
+		complexity := rng.Fork(uint64(len(seg.ID))).LogNormal(0, 0.08)
+		for qi, q := range ladder {
+			perQuality[qi] = chunkSegment(seg, qi, q, complexity,
+				rng.Fork(uint64(qi)*1000+uint64(len(seg.Title))))
+		}
+		enc.chunks[seg.ID] = perQuality
+	}
+	return enc
+}
+
+// chunkSegment cuts one segment at one quality into chunks.
+func chunkSegment(seg *script.Segment, qi int, q Quality, complexity float64, rng *wire.RNG) []Chunk {
+	var chunks []Chunk
+	remaining := seg.Duration
+	for idx := 0; remaining > 0; idx++ {
+		d := ChunkDuration
+		if remaining < d {
+			d = remaining
+		}
+		nominal := float64(q.Bitrate) / 8 * d.Seconds() * complexity
+		// VBR dispersion around the nominal size: sigma 0.18 matches the
+		// coefficient of variation of DASH traces used in prior work.
+		size := int(rng.LogNormal(0, 0.18) * nominal)
+		if size < 256 {
+			size = 256
+		}
+		chunks = append(chunks, Chunk{
+			Segment: seg.ID, Index: idx, QualityIdx: qi,
+			Size: size, Duration: d,
+		})
+		remaining -= d
+	}
+	return chunks
+}
+
+// Chunks returns the chunk list for a segment at a quality index.
+func (e *Encoding) Chunks(id script.SegmentID, qualityIdx int) ([]Chunk, error) {
+	per, ok := e.chunks[id]
+	if !ok {
+		return nil, fmt.Errorf("media: segment %q not in encoding", id)
+	}
+	if qualityIdx < 0 || qualityIdx >= len(per) {
+		return nil, fmt.Errorf("media: quality index %d out of range [0,%d)",
+			qualityIdx, len(per))
+	}
+	return per[qualityIdx], nil
+}
+
+// SegmentBytes totals the encoded size of a segment at a quality.
+func (e *Encoding) SegmentBytes(id script.SegmentID, qualityIdx int) (int, error) {
+	chunks, err := e.Chunks(id, qualityIdx)
+	if err != nil {
+		return 0, err
+	}
+	var total int
+	for _, c := range chunks {
+		total += c.Size
+	}
+	return total, nil
+}
+
+// AverageBitrate returns a segment's realized average bitrate in bits per
+// second at a quality — the quantity prior-work classifiers fingerprint.
+func (e *Encoding) AverageBitrate(id script.SegmentID, qualityIdx int) (float64, error) {
+	chunks, err := e.Chunks(id, qualityIdx)
+	if err != nil {
+		return 0, err
+	}
+	var bytes int
+	var dur time.Duration
+	for _, c := range chunks {
+		bytes += c.Size
+		dur += c.Duration
+	}
+	if dur == 0 {
+		return 0, nil
+	}
+	return float64(bytes) * 8 / dur.Seconds(), nil
+}
+
+// Manifest is the client-visible index of a title: which segments exist,
+// their chunk counts and the ladder. It mirrors the role of a DASH MPD.
+type Manifest struct {
+	Title  string
+	Ladder []Quality
+	// ChunkCounts maps segment to the number of chunks (quality-invariant
+	// because chunking is duration-based).
+	ChunkCounts map[script.SegmentID]int
+}
+
+// BuildManifest derives the manifest for an encoding of g.
+func BuildManifest(g *script.Graph, e *Encoding) Manifest {
+	m := Manifest{
+		Title:       g.Title,
+		Ladder:      e.Ladder,
+		ChunkCounts: make(map[script.SegmentID]int),
+	}
+	for _, seg := range g.Segments() {
+		if chunks, err := e.Chunks(seg.ID, 0); err == nil {
+			m.ChunkCounts[seg.ID] = len(chunks)
+		}
+	}
+	return m
+}

@@ -1,0 +1,191 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/script"
+)
+
+func testEncoding(t *testing.T) (*script.Graph, *Encoding) {
+	t.Helper()
+	g := script.Bandersnatch()
+	return g, Encode(g, DefaultLadder, 42)
+}
+
+func TestEncodeCoversAllSegmentsAndQualities(t *testing.T) {
+	g, e := testEncoding(t)
+	for _, seg := range g.Segments() {
+		for qi := range DefaultLadder {
+			chunks, err := e.Chunks(seg.ID, qi)
+			if err != nil {
+				t.Fatalf("Chunks(%s, %d): %v", seg.ID, qi, err)
+			}
+			if len(chunks) == 0 {
+				t.Errorf("segment %s quality %d has no chunks", seg.ID, qi)
+			}
+		}
+	}
+}
+
+func TestChunkDurationsSumToSegment(t *testing.T) {
+	g, e := testEncoding(t)
+	for _, seg := range g.Segments() {
+		chunks, _ := e.Chunks(seg.ID, 0)
+		var total time.Duration
+		for i, c := range chunks {
+			if c.Duration <= 0 || c.Duration > ChunkDuration {
+				t.Errorf("%s chunk %d duration %v", seg.ID, i, c.Duration)
+			}
+			if c.Index != i {
+				t.Errorf("%s chunk index %d != position %d", seg.ID, c.Index, i)
+			}
+			total += c.Duration
+		}
+		if total != seg.Duration {
+			t.Errorf("%s chunk durations sum to %v, segment is %v", seg.ID, total, seg.Duration)
+		}
+	}
+}
+
+func TestChunkSizesScaleWithBitrate(t *testing.T) {
+	g, e := testEncoding(t)
+	for _, seg := range g.Segments() {
+		low, _ := e.SegmentBytes(seg.ID, 0)
+		high, _ := e.SegmentBytes(seg.ID, len(DefaultLadder)-1)
+		if high <= low {
+			t.Errorf("%s: 4k bytes %d <= 235p bytes %d", seg.ID, high, low)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	g := script.Bandersnatch()
+	e1 := Encode(g, DefaultLadder, 7)
+	e2 := Encode(g, DefaultLadder, 7)
+	for _, seg := range g.Segments() {
+		c1, _ := e1.Chunks(seg.ID, 2)
+		c2, _ := e2.Chunks(seg.ID, 2)
+		for i := range c1 {
+			if c1[i].Size != c2[i].Size {
+				t.Fatalf("%s chunk %d differs across identical seeds", seg.ID, i)
+			}
+		}
+	}
+}
+
+func TestEncodeSeedChangesSizes(t *testing.T) {
+	g := script.Bandersnatch()
+	e1 := Encode(g, DefaultLadder, 1)
+	e2 := Encode(g, DefaultLadder, 2)
+	diff := false
+	for _, seg := range g.Segments() {
+		c1, _ := e1.Chunks(seg.ID, 0)
+		c2, _ := e2.Chunks(seg.ID, 0)
+		for i := range c1 {
+			if c1[i].Size != c2[i].Size {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical encodings")
+	}
+}
+
+func TestAverageBitrateNearNominal(t *testing.T) {
+	g, e := testEncoding(t)
+	// Across all segments, the mean realized bitrate at a rung should be
+	// within ~35% of nominal (complexity and VBR dispersion included).
+	for qi, q := range DefaultLadder {
+		var sum float64
+		var n int
+		for _, seg := range g.Segments() {
+			br, err := e.AverageBitrate(seg.ID, qi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += br
+			n++
+		}
+		mean := sum / float64(n)
+		if ratio := mean / float64(q.Bitrate); math.Abs(ratio-1) > 0.35 {
+			t.Errorf("quality %s mean bitrate %.0f is %.2fx nominal", q.Name, mean, ratio)
+		}
+	}
+}
+
+func TestIntraTitleBitratesOverlap(t *testing.T) {
+	// The paper's §II claim: segments of the same title at the same rung
+	// have overlapping bitrates, so bitrate cannot identify the branch.
+	// Check that the spread across segments is small relative to the gap
+	// between ladder rungs.
+	g, e := testEncoding(t)
+	var minBR, maxBR float64 = math.MaxFloat64, 0
+	for _, seg := range g.Segments() {
+		br, _ := e.AverageBitrate(seg.ID, 2)
+		if br < minBR {
+			minBR = br
+		}
+		if br > maxBR {
+			maxBR = br
+		}
+	}
+	rungGap := float64(DefaultLadder[3].Bitrate - DefaultLadder[2].Bitrate)
+	if maxBR-minBR > rungGap {
+		t.Errorf("intra-title bitrate spread %.0f exceeds inter-rung gap %.0f",
+			maxBR-minBR, rungGap)
+	}
+}
+
+func TestChunksErrors(t *testing.T) {
+	_, e := testEncoding(t)
+	if _, err := e.Chunks("ghost", 0); err == nil {
+		t.Error("missing segment not reported")
+	}
+	if _, err := e.Chunks("S0", 99); err == nil {
+		t.Error("bad quality index not reported")
+	}
+	if _, err := e.Chunks("S0", -1); err == nil {
+		t.Error("negative quality index not reported")
+	}
+}
+
+func TestBuildManifest(t *testing.T) {
+	g, e := testEncoding(t)
+	m := BuildManifest(g, e)
+	if m.Title != g.Title {
+		t.Errorf("title = %q", m.Title)
+	}
+	if len(m.ChunkCounts) != len(g.Segments()) {
+		t.Errorf("manifest covers %d segments, want %d", len(m.ChunkCounts), len(g.Segments()))
+	}
+	s0, _ := g.Segment("S0")
+	wantChunks := int(math.Ceil(s0.Duration.Seconds() / ChunkDuration.Seconds()))
+	if m.ChunkCounts["S0"] != wantChunks {
+		t.Errorf("S0 chunk count = %d, want %d", m.ChunkCounts["S0"], wantChunks)
+	}
+}
+
+func TestEncodeEmptyLadderDefaults(t *testing.T) {
+	g := script.TinyScript()
+	e := Encode(g, nil, 1)
+	if len(e.Ladder) != len(DefaultLadder) {
+		t.Errorf("empty ladder not defaulted")
+	}
+}
+
+func TestMinimumChunkSize(t *testing.T) {
+	g, e := testEncoding(t)
+	for _, seg := range g.Segments() {
+		for qi := range DefaultLadder {
+			chunks, _ := e.Chunks(seg.ID, qi)
+			for _, c := range chunks {
+				if c.Size < 256 {
+					t.Errorf("%s q%d chunk %d size %d below floor", seg.ID, qi, c.Index, c.Size)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package netem emulates the network path between the viewer and the CDN:
+// access-link bandwidth, propagation delay, jitter, random loss (as extra
+// retransmission delay — the simulator works at the byte-schedule level),
+// and diurnal congestion. The paper's dataset spans wired and wireless
+// connections captured in the morning, at noon and at night; netem's
+// condition knobs reproduce those axes so the side-channel can be shown to
+// survive them.
+package netem
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Medium is the access technology.
+type Medium string
+
+// Connection media from the paper's Table I.
+const (
+	MediumWired    Medium = "wired"
+	MediumWireless Medium = "wireless"
+)
+
+// TrafficTime is the diurnal congestion regime from the paper's Table I.
+type TrafficTime string
+
+// Traffic conditions.
+const (
+	TrafficMorning TrafficTime = "morning"
+	TrafficNoon    TrafficTime = "noon"
+	TrafficNight   TrafficTime = "night"
+)
+
+// PathParams describes one direction of the emulated path.
+type PathParams struct {
+	// BandwidthBps is the bottleneck rate in bits per second.
+	BandwidthBps float64
+	// BaseRTT is the round-trip propagation delay.
+	BaseRTT time.Duration
+	// JitterStd is the standard deviation of per-transfer jitter.
+	JitterStd time.Duration
+	// LossRate is the probability a transfer suffers one retransmission
+	// timeout's worth of extra delay.
+	LossRate float64
+	// RTOPenalty is the extra delay charged per loss event.
+	RTOPenalty time.Duration
+}
+
+// Profile derives path parameters for a medium and traffic time. The
+// numbers model a 2019 home broadband link: 50 Mbit/s wired with ~12 ms
+// RTT; wireless sheds ~40% bandwidth and adds jitter; peak-hour (night)
+// congestion halves the spare capacity and inflates delay.
+func Profile(m Medium, tt TrafficTime) PathParams {
+	p := PathParams{
+		BandwidthBps: 50_000_000,
+		BaseRTT:      12 * time.Millisecond,
+		JitterStd:    1 * time.Millisecond,
+		LossRate:     0.001,
+		RTOPenalty:   200 * time.Millisecond,
+	}
+	if m == MediumWireless {
+		p.BandwidthBps *= 0.6
+		p.BaseRTT += 6 * time.Millisecond
+		p.JitterStd = 5 * time.Millisecond
+		p.LossRate = 0.01
+	}
+	switch tt {
+	case TrafficMorning:
+		// Light load: defaults stand.
+	case TrafficNoon:
+		p.BandwidthBps *= 0.8
+		p.BaseRTT += 4 * time.Millisecond
+	case TrafficNight:
+		p.BandwidthBps *= 0.5
+		p.BaseRTT += 15 * time.Millisecond
+		p.JitterStd *= 2
+		p.LossRate *= 3
+	}
+	return p
+}
+
+// Path is a stateful one-direction link that schedules byte deliveries in
+// virtual time. It is not safe for concurrent use; the simulator is
+// single-threaded virtual-time code.
+type Path struct {
+	Params PathParams
+	rng    *wire.RNG
+	// busyUntil is when the bottleneck finishes its current backlog.
+	busyUntil time.Time
+}
+
+// NewPath returns a Path over params seeded by rng (which must not be
+// shared with other consumers that require stream stability).
+func NewPath(params PathParams, rng *wire.RNG) *Path {
+	return &Path{Params: params, rng: rng}
+}
+
+// Transfer schedules n bytes entering the link at start and returns the
+// delivery completion time. Serialization queues behind earlier transfers
+// (FIFO bottleneck); propagation, jitter and loss penalties follow.
+func (p *Path) Transfer(start time.Time, n int) time.Time {
+	if start.After(p.busyUntil) {
+		p.busyUntil = start
+	}
+	serialization := time.Duration(float64(n*8) / p.Params.BandwidthBps * float64(time.Second))
+	p.busyUntil = p.busyUntil.Add(serialization)
+	done := p.busyUntil
+
+	oneWay := p.Params.BaseRTT / 2
+	done = done.Add(oneWay)
+	if p.Params.JitterStd > 0 {
+		j := time.Duration(p.rng.Normal(0, float64(p.Params.JitterStd)))
+		if j < -oneWay {
+			j = -oneWay
+		}
+		done = done.Add(j)
+	}
+	if p.Params.LossRate > 0 && p.rng.Bool(p.Params.LossRate) {
+		done = done.Add(p.Params.RTOPenalty)
+	}
+	return done
+}
+
+// RTT returns one sampled round-trip time including jitter.
+func (p *Path) RTT() time.Duration {
+	rtt := p.Params.BaseRTT
+	if p.Params.JitterStd > 0 {
+		j := time.Duration(p.rng.Normal(0, float64(p.Params.JitterStd)))
+		if j < -rtt/2 {
+			j = -rtt / 2
+		}
+		rtt += j
+	}
+	return rtt
+}
+
+// Idle resets the bottleneck backlog, modelling a pause long enough for
+// queues to drain (e.g. the player waiting at a choice point with a full
+// buffer).
+func (p *Path) Idle() { p.busyUntil = time.Time{} }

@@ -1,0 +1,127 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestProfileAxes(t *testing.T) {
+	wiredMorning := Profile(MediumWired, TrafficMorning)
+	wirelessMorning := Profile(MediumWireless, TrafficMorning)
+	wiredNight := Profile(MediumWired, TrafficNight)
+
+	if wirelessMorning.BandwidthBps >= wiredMorning.BandwidthBps {
+		t.Error("wireless should be slower than wired")
+	}
+	if wirelessMorning.LossRate <= wiredMorning.LossRate {
+		t.Error("wireless should be lossier than wired")
+	}
+	if wiredNight.BandwidthBps >= wiredMorning.BandwidthBps {
+		t.Error("night congestion should reduce bandwidth")
+	}
+	if wiredNight.BaseRTT <= wiredMorning.BaseRTT {
+		t.Error("night congestion should inflate RTT")
+	}
+}
+
+func TestTransferSerialization(t *testing.T) {
+	p := NewPath(PathParams{BandwidthBps: 8_000_000, BaseRTT: 0}, wire.NewRNG(1))
+	start := time.Unix(1000, 0)
+	// 1 MB at 8 Mbit/s = 1 second.
+	done := p.Transfer(start, 1_000_000)
+	got := done.Sub(start)
+	if got < 900*time.Millisecond || got > 1100*time.Millisecond {
+		t.Errorf("1MB transfer took %v, want ~1s", got)
+	}
+}
+
+func TestTransferQueuesFIFO(t *testing.T) {
+	p := NewPath(PathParams{BandwidthBps: 8_000_000, BaseRTT: 0}, wire.NewRNG(1))
+	start := time.Unix(1000, 0)
+	first := p.Transfer(start, 1_000_000)
+	// Second transfer entering at the same instant must queue behind the
+	// first: ~2 s total.
+	second := p.Transfer(start, 1_000_000)
+	if !second.After(first) {
+		t.Errorf("second transfer (%v) did not queue behind first (%v)", second, first)
+	}
+	if got := second.Sub(start); got < 1900*time.Millisecond {
+		t.Errorf("queued transfer completed in %v, want ~2s", got)
+	}
+}
+
+func TestTransferPropagationDelay(t *testing.T) {
+	p := NewPath(PathParams{BandwidthBps: 1e12, BaseRTT: 20 * time.Millisecond}, wire.NewRNG(1))
+	start := time.Unix(1000, 0)
+	done := p.Transfer(start, 100)
+	if got := done.Sub(start); got < 9*time.Millisecond || got > 11*time.Millisecond {
+		t.Errorf("tiny transfer delay = %v, want ~10ms one-way", got)
+	}
+}
+
+func TestTransferLossPenalty(t *testing.T) {
+	params := PathParams{BandwidthBps: 1e12, LossRate: 1.0, RTOPenalty: 300 * time.Millisecond}
+	p := NewPath(params, wire.NewRNG(1))
+	start := time.Unix(1000, 0)
+	done := p.Transfer(start, 100)
+	if got := done.Sub(start); got < 300*time.Millisecond {
+		t.Errorf("certain-loss transfer delay = %v, want >= RTO penalty", got)
+	}
+}
+
+func TestTransferMonotoneCompletion(t *testing.T) {
+	p := NewPath(Profile(MediumWired, TrafficMorning), wire.NewRNG(2))
+	start := time.Unix(1000, 0)
+	prev := time.Time{}
+	for i := 0; i < 50; i++ {
+		done := p.Transfer(start.Add(time.Duration(i)*time.Millisecond), 100_000)
+		// Jitter can reorder completion very slightly, but the bottleneck
+		// itself must never go backwards by more than the jitter budget.
+		if !prev.IsZero() && done.Before(prev.Add(-50*time.Millisecond)) {
+			t.Fatalf("completion time jumped backwards: %v then %v", prev, done)
+		}
+		prev = done
+	}
+}
+
+func TestIdleResetsBacklog(t *testing.T) {
+	p := NewPath(PathParams{BandwidthBps: 8_000_000}, wire.NewRNG(1))
+	start := time.Unix(1000, 0)
+	p.Transfer(start, 10_000_000) // builds a long backlog
+	p.Idle()
+	later := start.Add(time.Millisecond)
+	done := p.Transfer(later, 1000)
+	if done.Sub(later) > 100*time.Millisecond {
+		t.Errorf("post-Idle transfer delayed %v by stale backlog", done.Sub(later))
+	}
+}
+
+func TestRTTJitterBounded(t *testing.T) {
+	p := NewPath(Profile(MediumWireless, TrafficNight), wire.NewRNG(3))
+	for i := 0; i < 1000; i++ {
+		rtt := p.RTT()
+		if rtt <= 0 {
+			t.Fatalf("RTT = %v, must stay positive", rtt)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []time.Time {
+		p := NewPath(Profile(MediumWireless, TrafficNoon), wire.NewRNG(77))
+		start := time.Unix(1000, 0)
+		var out []time.Time
+		for i := 0; i < 20; i++ {
+			out = append(out, p.Transfer(start.Add(time.Duration(i)*time.Second), 500_000))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("run diverged at transfer %d", i)
+		}
+	}
+}

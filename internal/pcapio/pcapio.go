@@ -1,0 +1,230 @@
+// Package pcapio reads and writes classic libpcap capture files
+// (the tcpdump ".pcap" format) with the standard library only.
+//
+// The simulator writes its synthetic viewing sessions as genuine pcap
+// files and the attack reads them back through this package, so the
+// analysis pipeline is byte-compatible with captures produced by tcpdump
+// or Wireshark. Both file endiannesses and both timestamp resolutions
+// (microsecond magic 0xa1b2c3d4 and nanosecond magic 0xa1b23c4d) are
+// supported on read; writes use the host-independent big-endian
+// microsecond form by default.
+package pcapio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Link types (a tiny subset of the registry).
+const (
+	// LinkTypeEthernet is DLT_EN10MB: Ethernet II frames.
+	LinkTypeEthernet uint32 = 1
+)
+
+const (
+	magicMicros        = 0xa1b2c3d4
+	magicNanos         = 0xa1b23c4d
+	magicMicrosSwapped = 0xd4c3b2a1
+	magicNanosSwapped  = 0x4d3cb2a1
+
+	fileHeaderLen   = 24
+	recordHeaderLen = 16
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic  = errors.New("pcapio: not a pcap file (bad magic)")
+	ErrTruncated = errors.New("pcapio: truncated capture file")
+)
+
+// Record is one captured frame.
+type Record struct {
+	Timestamp time.Time
+	// OrigLen is the frame's length on the wire; Data may be shorter if
+	// the capture used a snap length.
+	OrigLen int
+	Data    []byte
+}
+
+// Writer emits a pcap file to an io.Writer.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+	nanos   bool
+	wrote   bool
+}
+
+// WriterOption customises a Writer.
+type WriterOption func(*Writer)
+
+// WithNanosecondResolution makes the writer use the nanosecond-precision
+// magic number and timestamp encoding.
+func WithNanosecondResolution() WriterOption {
+	return func(w *Writer) { w.nanos = true }
+}
+
+// WithSnapLen sets the advertised snap length (default 262144, tcpdump's
+// modern default).
+func WithSnapLen(n uint32) WriterOption {
+	return func(w *Writer) { w.snapLen = n }
+}
+
+// NewWriter creates a pcap writer for Ethernet frames. The file header is
+// written lazily on the first WritePacket (or eagerly via Flush of a
+// zero-packet file is not supported; call WriteHeader explicitly if an
+// empty capture must still be a valid file).
+func NewWriter(w io.Writer, opts ...WriterOption) *Writer {
+	pw := &Writer{w: w, snapLen: 262144}
+	for _, o := range opts {
+		o(pw)
+	}
+	return pw
+}
+
+// WriteHeader writes the global file header. It is idempotent.
+func (w *Writer) WriteHeader() error {
+	if w.wrote {
+		return nil
+	}
+	var hdr [fileHeaderLen]byte
+	magic := uint32(magicMicros)
+	if w.nanos {
+		magic = magicNanos
+	}
+	binary.BigEndian.PutUint32(hdr[0:], magic)
+	binary.BigEndian.PutUint16(hdr[4:], 2) // version major
+	binary.BigEndian.PutUint16(hdr[6:], 4) // version minor
+	// thiszone and sigfigs stay zero.
+	binary.BigEndian.PutUint32(hdr[16:], w.snapLen)
+	binary.BigEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcapio: writing file header: %w", err)
+	}
+	w.wrote = true
+	return nil
+}
+
+// WritePacket appends one frame with the given capture timestamp.
+func (w *Writer) WritePacket(ts time.Time, frame []byte) error {
+	if err := w.WriteHeader(); err != nil {
+		return err
+	}
+	capLen := len(frame)
+	if uint32(capLen) > w.snapLen {
+		capLen = int(w.snapLen)
+	}
+	var hdr [recordHeaderLen]byte
+	sec := ts.Unix()
+	var sub int64
+	if w.nanos {
+		sub = int64(ts.Nanosecond())
+	} else {
+		sub = int64(ts.Nanosecond() / 1000)
+	}
+	binary.BigEndian.PutUint32(hdr[0:], uint32(sec))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(sub))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(capLen))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(frame)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcapio: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(frame[:capLen]); err != nil {
+		return fmt.Errorf("pcapio: writing record data: %w", err)
+	}
+	return nil
+}
+
+// Reader parses a pcap file from an io.Reader.
+type Reader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	nanos    bool
+	linkType uint32
+	snapLen  uint32
+}
+
+// NewReader parses the global header and returns a Reader positioned at
+// the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [fileHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: file header: %v", ErrTruncated, err)
+	}
+	pr := &Reader{r: r}
+	magic := binary.BigEndian.Uint32(hdr[0:])
+	switch magic {
+	case magicMicros:
+		pr.order = binary.BigEndian
+	case magicNanos:
+		pr.order, pr.nanos = binary.BigEndian, true
+	case magicMicrosSwapped:
+		pr.order = binary.LittleEndian
+	case magicNanosSwapped:
+		pr.order, pr.nanos = binary.LittleEndian, true
+	default:
+		return nil, fmt.Errorf("%w: %#08x", ErrBadMagic, magic)
+	}
+	pr.snapLen = pr.order.Uint32(hdr[16:])
+	pr.linkType = pr.order.Uint32(hdr[20:])
+	return pr, nil
+}
+
+// LinkType returns the capture's link-layer type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// SnapLen returns the capture's snap length.
+func (r *Reader) SnapLen() uint32 { return r.snapLen }
+
+// Next returns the next record, or io.EOF at a clean end of file.
+// A record header that promises more bytes than the file contains yields
+// ErrTruncated, so partially written captures are detected rather than
+// silently shortened.
+func (r *Reader) Next() (Record, error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+	}
+	sec := r.order.Uint32(hdr[0:])
+	sub := r.order.Uint32(hdr[4:])
+	capLen := r.order.Uint32(hdr[8:])
+	origLen := r.order.Uint32(hdr[12:])
+	if r.snapLen > 0 && capLen > r.snapLen+64 {
+		// Guard against nonsense lengths from corrupt files before
+		// allocating. (+64 tolerates writers that set snaplen loosely.)
+		return Record{}, fmt.Errorf("pcapio: record capture length %d exceeds snap length %d",
+			capLen, r.snapLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
+	}
+	var ts time.Time
+	if r.nanos {
+		ts = time.Unix(int64(sec), int64(sub))
+	} else {
+		ts = time.Unix(int64(sec), int64(sub)*1000)
+	}
+	return Record{Timestamp: ts, OrigLen: int(origLen), Data: data}, nil
+}
+
+// ReadAll drains the reader into a slice. It returns records read so far
+// alongside any error other than io.EOF.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,261 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	frames := [][]byte{
+		{1, 2, 3, 4, 5},
+		{0xaa},
+		make([]byte, 1500),
+	}
+	base := time.Unix(1700000000, 0)
+	for i, f := range frames {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Millisecond), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("LinkType = %d", r.LinkType())
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(frames) {
+		t.Fatalf("read %d records, want %d", len(recs), len(frames))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec.Data, frames[i]) {
+			t.Errorf("record %d data mismatch", i)
+		}
+		want := base.Add(time.Duration(i) * time.Millisecond)
+		if !rec.Timestamp.Equal(want) {
+			t.Errorf("record %d ts = %v, want %v", i, rec.Timestamp, want)
+		}
+		if rec.OrigLen != len(frames[i]) {
+			t.Errorf("record %d OrigLen = %d", i, rec.OrigLen)
+		}
+	}
+}
+
+func TestNanosecondResolution(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WithNanosecondResolution())
+	ts := time.Unix(1700000000, 123456789)
+	if err := w.WritePacket(ts, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Timestamp.Equal(ts) {
+		t.Errorf("nanosecond ts = %v, want %v", rec.Timestamp, ts)
+	}
+}
+
+func TestMicrosecondTruncatesNanos(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ts := time.Unix(1700000000, 123456789)
+	if err := w.WritePacket(ts, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Unix(1700000000, 123456000)
+	if !rec.Timestamp.Equal(want) {
+		t.Errorf("microsecond ts = %v, want %v", rec.Timestamp, want)
+	}
+}
+
+func TestLittleEndianRead(t *testing.T) {
+	// Hand-build a little-endian microsecond file, the most common form
+	// produced by tcpdump on x86.
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	hdr := make([]byte, 24)
+	le.PutUint32(hdr[0:], 0xa1b2c3d4)
+	le.PutUint16(hdr[4:], 2)
+	le.PutUint16(hdr[6:], 4)
+	le.PutUint32(hdr[16:], 65535)
+	le.PutUint32(hdr[20:], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	le.PutUint32(rec[0:], 1700000000)
+	le.PutUint32(rec[4:], 42)
+	le.PutUint32(rec[8:], 3)
+	le.PutUint32(rec[12:], 3)
+	buf.Write(rec)
+	buf.Write([]byte{7, 8, 9})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Timestamp.Equal(time.Unix(1700000000, 42000)) {
+		t.Errorf("ts = %v", got.Timestamp)
+	}
+	if !bytes.Equal(got.Data, []byte{7, 8, 9}) {
+		t.Errorf("data = %v", got.Data)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader(make([]byte, 24)))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte{0xa1, 0xb2}))
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestTruncatedRecordBody(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePacket(time.Now(), []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the last two payload bytes off.
+	data := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WithSnapLen(8))
+	frame := make([]byte, 100)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	if err := w.WritePacket(time.Now(), frame); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 8 {
+		t.Errorf("captured %d bytes, want 8", len(rec.Data))
+	}
+	if rec.OrigLen != 100 {
+		t.Errorf("OrigLen = %d, want 100", rec.OrigLen)
+	}
+}
+
+func TestBogusCaptureLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WithSnapLen(128))
+	if err := w.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[8:], 1<<30) // absurd caplen
+	buf.Write(rec)
+	r, _ := NewReader(&buf)
+	if _, err := r.Next(); err == nil {
+		t.Error("expected error for bogus capture length")
+	}
+}
+
+func TestEmptyFileWithHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if buf.Len() != 24 {
+		t.Fatalf("double header written: %d bytes", buf.Len())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payloads [][]byte, secs []uint32) bool {
+		if len(payloads) > 50 {
+			payloads = payloads[:50]
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, WithNanosecondResolution())
+		for i, p := range payloads {
+			if len(p) > 4096 {
+				p = p[:4096]
+			}
+			payloads[i] = p
+			var sec uint32 = 1700000000
+			if i < len(secs) {
+				sec = secs[i] % 2000000000
+			}
+			if err := w.WritePacket(time.Unix(int64(sec), int64(i)), p); err != nil {
+				return false
+			}
+		}
+		if len(payloads) == 0 {
+			return true
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		recs, err := r.ReadAll()
+		if err != nil || len(recs) != len(payloads) {
+			return false
+		}
+		for i := range recs {
+			if !bytes.Equal(recs[i].Data, payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package player implements the interactive streaming client's state
+// machine: chunked segment playback with an ABR controller and buffer,
+// the check-pointed choice-question flow the paper describes (type-1
+// report when a question appears, default-branch prefetch during the
+// ten-second window, type-2 report plus prefetch cancellation when the
+// viewer picks the non-default option), and periodic telemetry uploads.
+//
+// The player is transport-agnostic: an Env implementation supplies chunk
+// fetch timing and consumes the client's application writes. The session
+// package wires an Env backed by the CDN model and netem; tests wire
+// trivial Envs.
+package player
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/media"
+	"repro/internal/script"
+)
+
+// EventKind labels one client-side application event.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventChunkRequest is an ordinary media chunk request.
+	EventChunkRequest EventKind = iota
+	// EventType1 is the choice-point-reached state report.
+	EventType1
+	// EventType2 is the non-default-selection state report.
+	EventType2
+	// EventTelemetry is a periodic playback-quality upload.
+	EventTelemetry
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventChunkRequest:
+		return "chunk-request"
+	case EventType1:
+		return "type-1"
+	case EventType2:
+		return "type-2"
+	case EventTelemetry:
+		return "telemetry"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Env is the player's window on the world.
+type Env interface {
+	// FetchChunk issues a chunk request at now and returns the time the
+	// chunk's last byte arrives. Implementations record both the client
+	// request write and the server response bytes.
+	FetchChunk(now time.Time, c media.Chunk) time.Time
+	// SendReport records a client application write of the given kind at
+	// now (type-1, type-2 or telemetry; chunk requests are recorded by
+	// FetchChunk).
+	SendReport(now time.Time, kind EventKind, cp script.SegmentID, sel script.SegmentID, positionMs int64)
+	// Decide returns the viewer's decision at a choice question: whether
+	// the default branch is taken and the fraction of the window consumed
+	// before committing (1.0 = timer expiry).
+	Decide(c script.Choice) (tookDefault bool, delayFrac float64)
+	// Throughput returns the current downlink estimate in bits/s.
+	Throughput() float64
+}
+
+// ChoiceRecord is the ground truth for one choice met during playback.
+type ChoiceRecord struct {
+	At          script.SegmentID
+	Question    string
+	TookDefault bool
+	// QuestionAt is when the question appeared (type-1 sent).
+	QuestionAt time.Time
+	// DecidedAt is when the decision committed (type-2 sent if
+	// non-default).
+	DecidedAt time.Time
+	// PrefetchedChunks counts default-branch chunks fetched during the
+	// window; discarded if the alternative was chosen.
+	PrefetchedChunks int
+}
+
+// Result summarizes one playback session.
+type Result struct {
+	Path    script.Path
+	Choices []ChoiceRecord
+	// Stalls is the total rebuffering time.
+	Stalls time.Duration
+	// EndedAt is the virtual time playback finished.
+	EndedAt time.Time
+	// ChunksFetched counts every chunk downloaded, including discarded
+	// prefetches.
+	ChunksFetched int
+}
+
+// Config parameterizes a playback run.
+type Config struct {
+	Graph    *script.Graph
+	Encoding *media.Encoding
+	Control  abr.Controller
+	// BufferCapacity bounds the client buffer (default 4 minutes).
+	BufferCapacity time.Duration
+	// TelemetryInterval spaces periodic uploads (default 60s of playback;
+	// zero disables).
+	TelemetryInterval time.Duration
+	// Prefetch enables default-branch prefetching during choice windows
+	// (the film's behaviour; disabling it ablates the timing channel).
+	Prefetch bool
+	// Start is the virtual wall-clock start of the session.
+	Start time.Time
+}
+
+// Play runs a full interactive session and returns the ground truth.
+func Play(cfg Config, env Env) (Result, error) {
+	if cfg.Graph == nil || cfg.Encoding == nil {
+		return Result{}, fmt.Errorf("player: config needs graph and encoding")
+	}
+	if cfg.Control == nil {
+		return Result{}, fmt.Errorf("player: config needs an ABR controller")
+	}
+	if cfg.TelemetryInterval < 0 {
+		return Result{}, fmt.Errorf("player: negative telemetry interval")
+	}
+
+	p := &playback{
+		cfg:        cfg,
+		env:        env,
+		buf:        abr.NewBuffer(cfg.BufferCapacity),
+		now:        cfg.Start,
+		skipChunks: make(map[script.SegmentID]int),
+	}
+	cur := cfg.Graph.Start
+	var res Result
+	for steps := 0; ; steps++ {
+		if steps > 10000 {
+			return res, fmt.Errorf("player: session exceeded 10000 segments")
+		}
+		seg, ok := cfg.Graph.Segment(cur)
+		if !ok {
+			return res, fmt.Errorf("player: missing segment %q", cur)
+		}
+		res.Path.Segments = append(res.Path.Segments, cur)
+
+		if err := p.streamSegment(seg); err != nil {
+			return res, err
+		}
+		if seg.Ending {
+			break
+		}
+		if seg.Choice == nil {
+			cur = seg.Next
+			continue
+		}
+
+		rec, next, err := p.choicePoint(seg)
+		if err != nil {
+			return res, err
+		}
+		res.Choices = append(res.Choices, rec)
+		res.Path.Decisions = append(res.Path.Decisions, rec.TookDefault)
+		cur = next
+	}
+	res.Stalls = p.stalls
+	res.EndedAt = p.now
+	res.ChunksFetched = p.chunks
+	return res, nil
+}
+
+// playback is the mutable state of one session.
+type playback struct {
+	cfg            Config
+	env            Env
+	buf            *abr.Buffer
+	now            time.Time
+	played         time.Duration // total media time played
+	stalls         time.Duration
+	chunks         int
+	sinceTelemetry time.Duration
+	// skipChunks counts prefetched chunks already fetched (and credited)
+	// for a segment about to stream, so they are not fetched twice.
+	skipChunks map[script.SegmentID]int
+}
+
+// streamSegment downloads and plays one segment to completion.
+func (p *playback) streamSegment(seg *script.Segment) error {
+	chunks, err := p.chunksFor(seg.ID)
+	if err != nil {
+		return err
+	}
+	skip := p.skipChunks[seg.ID]
+	delete(p.skipChunks, seg.ID)
+	for i, c := range chunks {
+		if i < skip {
+			continue // prefetched during the choice window, already credited
+		}
+		p.fetchIntoBuffer(c)
+	}
+	// Play out the segment in real time. The fetch loop (plus prefetch
+	// credit) put seg.Duration of media in the buffer.
+	p.playOut(seg.Duration)
+	return nil
+}
+
+// chunksFor selects quality per current conditions and returns the
+// segment's chunk list at that quality.
+func (p *playback) chunksFor(id script.SegmentID) ([]media.Chunk, error) {
+	qi := p.cfg.Control.Select(p.buf, p.env.Throughput())
+	return p.cfg.Encoding.Chunks(id, qi)
+}
+
+// fetchIntoBuffer downloads one chunk, advancing virtual time to the
+// download completion when the buffer cannot absorb more ahead of the
+// playhead (steady-state pacing), and crediting the buffer.
+func (p *playback) fetchIntoBuffer(c media.Chunk) {
+	done := p.env.FetchChunk(p.now, c)
+	p.chunks++
+	elapsed := done.Sub(p.now)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	// Playback consumes buffer while the download runs.
+	p.consume(elapsed)
+	p.now = done
+	p.buf.Add(c.Duration)
+	// If the buffer is full, the player paces: it waits until one chunk
+	// duration drains before the next request.
+	if p.buf.Full() {
+		p.advance(c.Duration)
+	}
+}
+
+// playOut drains d of media time in real time.
+func (p *playback) playOut(d time.Duration) {
+	p.advance(d)
+}
+
+// advance moves the wall clock and playhead together by d.
+func (p *playback) advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.now = p.now.Add(d)
+	p.consume(d)
+}
+
+// consume drains media from the buffer for d of wall time, charging
+// stalls on underrun, and fires telemetry ticks.
+func (p *playback) consume(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	stall := p.buf.Drain(d)
+	p.stalls += stall
+	p.played += d - stall
+	if p.cfg.TelemetryInterval > 0 {
+		p.sinceTelemetry += d
+		for p.sinceTelemetry >= p.cfg.TelemetryInterval {
+			p.sinceTelemetry -= p.cfg.TelemetryInterval
+			p.env.SendReport(p.now, EventTelemetry, "", "", p.playedMs())
+		}
+	}
+}
+
+func (p *playback) playedMs() int64 { return p.played.Milliseconds() }
+
+// choicePoint runs the question flow at the end of seg and returns the
+// ground-truth record plus the next segment.
+func (p *playback) choicePoint(seg *script.Segment) (ChoiceRecord, script.SegmentID, error) {
+	c := seg.Choice
+	rec := ChoiceRecord{At: seg.ID, Question: c.Question, QuestionAt: p.now}
+
+	// Question appears: the browser posts the type-1 state report.
+	p.env.SendReport(p.now, EventType1, seg.ID, "", p.playedMs())
+
+	// The viewer deliberates for delayFrac of the window. Meanwhile the
+	// player prefetches the default branch.
+	tookDefault, delayFrac := p.env.Decide(*c)
+	decideAfter := time.Duration(float64(c.Window) * delayFrac)
+	deadline := p.now.Add(decideAfter)
+
+	var prefetched []media.Chunk
+	if p.cfg.Prefetch {
+		chunks, err := p.chunksFor(c.Default)
+		if err != nil {
+			return rec, "", err
+		}
+		for _, ch := range chunks {
+			if !p.now.Before(deadline) {
+				break
+			}
+			done := p.env.FetchChunk(p.now, ch)
+			p.chunks++
+			if done.After(deadline) {
+				// The decision lands mid-download; the chunk still
+				// completes (bytes were committed to the wire).
+				p.now = done
+				prefetched = append(prefetched, ch)
+				break
+			}
+			p.now = done
+			prefetched = append(prefetched, ch)
+		}
+	}
+	if p.now.Before(deadline) {
+		p.now = deadline
+	}
+	rec.PrefetchedChunks = len(prefetched)
+	rec.TookDefault = tookDefault
+	rec.DecidedAt = p.now
+
+	if tookDefault {
+		// Prefetched chunks are kept: credit them now (they were not
+		// credited during the window so a cancel could discard them).
+		for _, ch := range prefetched {
+			p.buf.Add(ch.Duration)
+		}
+		// Remaining default chunks stream as part of the segment loop on
+		// the next iteration; mark the prefetched prefix as consumed by
+		// storing a skip count.
+		p.skipChunks[c.Default] = len(prefetched)
+		return rec, c.Default, nil
+	}
+
+	// Non-default: the browser posts the type-2 report, the prefetched
+	// default bytes are discarded, and fetching restarts on Si'.
+	p.env.SendReport(p.now, EventType2, seg.ID, c.Alternative, p.playedMs())
+	return rec, c.Alternative, nil
+}

@@ -1,0 +1,287 @@
+package player
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/media"
+	"repro/internal/script"
+)
+
+// stubEnv is a deterministic Env: chunk fetches take a fixed latency per
+// byte, decisions follow a scripted vector, and every report is logged.
+type stubEnv struct {
+	perByte   time.Duration
+	decisions []bool
+	delayFrac float64
+	di        int
+
+	reports []loggedReport
+	fetches int
+}
+
+type loggedReport struct {
+	kind EventKind
+	cp   script.SegmentID
+	sel  script.SegmentID
+	at   time.Time
+}
+
+func (e *stubEnv) FetchChunk(now time.Time, c media.Chunk) time.Time {
+	e.fetches++
+	return now.Add(time.Duration(c.Size) * e.perByte)
+}
+
+func (e *stubEnv) SendReport(now time.Time, kind EventKind, cp, sel script.SegmentID, _ int64) {
+	e.reports = append(e.reports, loggedReport{kind: kind, cp: cp, sel: sel, at: now})
+}
+
+func (e *stubEnv) Decide(script.Choice) (bool, float64) {
+	d := true
+	if e.di < len(e.decisions) {
+		d = e.decisions[e.di]
+	}
+	e.di++
+	frac := e.delayFrac
+	if frac == 0 {
+		frac = 0.5
+	}
+	return d, frac
+}
+
+func (e *stubEnv) Throughput() float64 { return 50_000_000 }
+
+func (e *stubEnv) byKind(k EventKind) []loggedReport {
+	var out []loggedReport
+	for _, r := range e.reports {
+		if r.kind == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func testConfig(g *script.Graph) Config {
+	enc := media.Encode(g, media.DefaultLadder, 1)
+	return Config{
+		Graph:    g,
+		Encoding: enc,
+		Control:  &abr.FixedRule{Ladder: media.DefaultLadder, Index: 2},
+		Prefetch: true,
+		Start:    time.Unix(1700000000, 0),
+	}
+}
+
+func TestPlayTinyScriptDefaults(t *testing.T) {
+	g := script.TinyScript()
+	env := &stubEnv{perByte: time.Microsecond, decisions: []bool{true, true}}
+	res, err := Play(testConfig(g), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two choices, both default: two type-1 reports, zero type-2.
+	if got := len(env.byKind(EventType1)); got != 2 {
+		t.Errorf("type-1 reports = %d, want 2", got)
+	}
+	if got := len(env.byKind(EventType2)); got != 0 {
+		t.Errorf("type-2 reports = %d, want 0", got)
+	}
+	if len(res.Choices) != 2 || !res.Choices[0].TookDefault || !res.Choices[1].TookDefault {
+		t.Errorf("choices = %+v", res.Choices)
+	}
+	wantPath := []script.SegmentID{"Seg0", "S1", "Q2seg", "S2"}
+	if len(res.Path.Segments) != len(wantPath) {
+		t.Fatalf("path = %v", res.Path.Segments)
+	}
+	for i := range wantPath {
+		if res.Path.Segments[i] != wantPath[i] {
+			t.Errorf("path[%d] = %s, want %s", i, res.Path.Segments[i], wantPath[i])
+		}
+	}
+}
+
+func TestPlayNonDefaultEmitsType2(t *testing.T) {
+	g := script.TinyScript()
+	env := &stubEnv{perByte: time.Microsecond, decisions: []bool{true, false}}
+	res, err := Play(testConfig(g), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := env.byKind(EventType2)
+	if len(t2) != 1 {
+		t.Fatalf("type-2 reports = %d, want 1", len(t2))
+	}
+	if t2[0].cp != "Q2seg" || t2[0].sel != "S2'" {
+		t.Errorf("type-2 report = %+v", t2[0])
+	}
+	if last := res.Path.Segments[len(res.Path.Segments)-1]; last != "S2'" {
+		t.Errorf("final segment = %s, want S2'", last)
+	}
+}
+
+func TestType1PrecedesType2AtSameChoice(t *testing.T) {
+	g := script.TinyScript()
+	env := &stubEnv{perByte: time.Microsecond, decisions: []bool{false, false}}
+	if _, err := Play(testConfig(g), env); err != nil {
+		t.Fatal(err)
+	}
+	// Reports alternate: type-1, type-2, type-1, type-2, with each type-2
+	// strictly after its type-1.
+	var lastType1 time.Time
+	for _, r := range env.reports {
+		switch r.kind {
+		case EventType1:
+			lastType1 = r.at
+		case EventType2:
+			if !r.at.After(lastType1) {
+				t.Errorf("type-2 at %v not after its type-1 at %v", r.at, lastType1)
+			}
+		}
+	}
+}
+
+func TestDecisionDelayRespected(t *testing.T) {
+	g := script.TinyScript()
+	env := &stubEnv{perByte: time.Nanosecond, decisions: []bool{false, false}, delayFrac: 0.8}
+	res, err := Play(testConfig(g), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Choices {
+		gap := c.DecidedAt.Sub(c.QuestionAt)
+		if gap < 7*time.Second { // 0.8 of the 10s window, minus nothing
+			t.Errorf("decision gap %v, want >= ~8s", gap)
+		}
+	}
+}
+
+func TestPrefetchHappensDuringWindow(t *testing.T) {
+	g := script.TinyScript()
+	env := &stubEnv{perByte: time.Microsecond, decisions: []bool{true, true}, delayFrac: 0.9}
+	res, err := Play(testConfig(g), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Choices[0].PrefetchedChunks == 0 {
+		t.Error("no default-branch chunks prefetched during a 9s window")
+	}
+}
+
+func TestPrefetchDisabled(t *testing.T) {
+	g := script.TinyScript()
+	cfg := testConfig(g)
+	cfg.Prefetch = false
+	env := &stubEnv{perByte: time.Microsecond, decisions: []bool{true, true}}
+	res, err := Play(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Choices {
+		if c.PrefetchedChunks != 0 {
+			t.Errorf("prefetched %d chunks with prefetch disabled", c.PrefetchedChunks)
+		}
+	}
+}
+
+func TestDiscardedPrefetchRefetched(t *testing.T) {
+	// With a non-default choice, the alternative segment is fetched in
+	// full, so total fetches exceed the default-only case.
+	g := script.TinyScript()
+	envDefault := &stubEnv{perByte: time.Microsecond, decisions: []bool{true, true}, delayFrac: 0.9}
+	if _, err := Play(testConfig(g), envDefault); err != nil {
+		t.Fatal(err)
+	}
+	envAlt := &stubEnv{perByte: time.Microsecond, decisions: []bool{false, false}, delayFrac: 0.9}
+	if _, err := Play(testConfig(g), envAlt); err != nil {
+		t.Fatal(err)
+	}
+	if envAlt.fetches <= envDefault.fetches-2 {
+		t.Errorf("alternative path fetched %d chunks vs %d for default; discarded prefetch not refetched",
+			envAlt.fetches, envDefault.fetches)
+	}
+}
+
+func TestTelemetryFires(t *testing.T) {
+	g := script.TinyScript()
+	cfg := testConfig(g)
+	cfg.TelemetryInterval = 30 * time.Second
+	env := &stubEnv{perByte: time.Microsecond, decisions: []bool{true, true}}
+	_, err := Play(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TinyScript plays ~8 minutes of content: expect ~16 telemetry events.
+	n := len(env.byKind(EventTelemetry))
+	if n < 8 {
+		t.Errorf("telemetry events = %d, want >= 8 over ~8min", n)
+	}
+}
+
+func TestBandersnatchFullSession(t *testing.T) {
+	g := script.Bandersnatch()
+	env := &stubEnv{perByte: 100 * time.Nanosecond,
+		decisions: []bool{true, false, false, true, false, true, true, false, true}}
+	res, err := Play(testConfig(g), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.Segment(res.Path.Segments[len(res.Path.Segments)-1])
+	if !last.Ending {
+		t.Errorf("session did not reach an ending: %s", last.ID)
+	}
+	if len(env.byKind(EventType1)) != len(res.Choices) {
+		t.Errorf("type-1 count %d != choices %d", len(env.byKind(EventType1)), len(res.Choices))
+	}
+	var nonDefault int
+	for _, c := range res.Choices {
+		if !c.TookDefault {
+			nonDefault++
+		}
+	}
+	if len(env.byKind(EventType2)) != nonDefault {
+		t.Errorf("type-2 count %d != non-default choices %d",
+			len(env.byKind(EventType2)), nonDefault)
+	}
+	if res.EndedAt.Before(cfgStart()) {
+		t.Error("virtual clock went backwards")
+	}
+}
+
+func cfgStart() time.Time { return time.Unix(1700000000, 0) }
+
+func TestPlayConfigValidation(t *testing.T) {
+	g := script.TinyScript()
+	if _, err := Play(Config{}, &stubEnv{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := testConfig(g)
+	cfg.Control = nil
+	if _, err := Play(cfg, &stubEnv{}); err == nil {
+		t.Error("nil controller accepted")
+	}
+	cfg = testConfig(g)
+	cfg.TelemetryInterval = -time.Second
+	if _, err := Play(cfg, &stubEnv{}); err == nil {
+		t.Error("negative telemetry interval accepted")
+	}
+}
+
+func TestVirtualTimeMonotone(t *testing.T) {
+	g := script.Bandersnatch()
+	env := &stubEnv{perByte: time.Microsecond, decisions: make([]bool, 9)}
+	res, err := Play(testConfig(g), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := time.Time{}
+	for _, r := range env.reports {
+		if r.at.Before(prev) {
+			t.Fatalf("report times went backwards: %v then %v", prev, r.at)
+		}
+		prev = r.at
+	}
+	if res.EndedAt.Before(prev) {
+		t.Error("EndedAt before last report")
+	}
+}

@@ -1,0 +1,142 @@
+package profiles
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netem"
+)
+
+func TestFig2UbuntuCalibration(t *testing.T) {
+	// The paper's Figure 2 left panel: type-1 records fall in 2211–2213,
+	// type-2 in 2992–3017 for (Desktop, Firefox, Ethernet, Ubuntu).
+	p := Lookup(Fig2Ubuntu)
+	lo1, hi1 := p.Type1RecordRange()
+	if lo1 < 2211 || hi1 > 2213 {
+		t.Errorf("Ubuntu type-1 band [%d,%d], want within [2211,2213]", lo1, hi1)
+	}
+	lo2, hi2 := p.Type2RecordRange()
+	if lo2 < 2992 || hi2 > 3017 {
+		t.Errorf("Ubuntu type-2 band [%d,%d], want within [2992,3017]", lo2, hi2)
+	}
+}
+
+func TestFig2WindowsCalibration(t *testing.T) {
+	// Right panel: type-1 in 2341–2343, type-2 in 3118–3147.
+	p := Lookup(Fig2Windows)
+	lo1, hi1 := p.Type1RecordRange()
+	if lo1 < 2341 || hi1 > 2343 {
+		t.Errorf("Windows type-1 band [%d,%d], want within [2341,2343]", lo1, hi1)
+	}
+	lo2, hi2 := p.Type2RecordRange()
+	if lo2 < 3118 || hi2 > 3147 {
+		t.Errorf("Windows type-2 band [%d,%d], want within [3118,3147]", lo2, hi2)
+	}
+}
+
+func TestBandsSeparableEverywhere(t *testing.T) {
+	// The side-channel invariant: under every condition in the grid the
+	// type-1 band, the type-2 band and the small-request range must not
+	// overlap.
+	for _, c := range Grid() {
+		p := Lookup(c)
+		lo1, hi1 := p.Type1RecordRange()
+		lo2, hi2 := p.Type2RecordRange()
+		if hi1 >= lo2 {
+			t.Errorf("%s: type-1 [%d,%d] overlaps type-2 [%d,%d]", c, lo1, hi1, lo2, hi2)
+		}
+		reqHi := p.Suite.CiphertextLen(p.RequestLen + p.RequestJitter)
+		if reqHi >= lo1 {
+			t.Errorf("%s: requests reach %d, into type-1 band starting %d", c, reqHi, lo1)
+		}
+		telLo := p.Suite.CiphertextLen(p.TelemetryLen - p.TelemetryJitter)
+		if telLo <= hi2 {
+			t.Errorf("%s: telemetry floor %d inside type-2 band ending %d", c, telLo, hi2)
+		}
+	}
+}
+
+func TestBandsDifferAcrossOS(t *testing.T) {
+	// The paper's Figure 2 point: the bins move between conditions, which
+	// is why the attack trains per condition.
+	u := Lookup(Fig2Ubuntu)
+	w := Lookup(Fig2Windows)
+	ulo, _ := u.Type1RecordRange()
+	wlo, _ := w.Type1RecordRange()
+	if ulo == wlo {
+		t.Error("Ubuntu and Windows type-1 bands coincide; Figure 2 shows them apart")
+	}
+}
+
+func TestGridComplete(t *testing.T) {
+	grid := Grid()
+	want := len(AllOS) * len(AllPlatforms) * len(AllBrowsers) * len(AllMedia) * len(AllTrafficTimes)
+	if len(grid) != want {
+		t.Fatalf("grid has %d cells, want %d", len(grid), want)
+	}
+	seen := map[string]bool{}
+	for _, c := range grid {
+		s := c.String()
+		if seen[s] {
+			t.Errorf("duplicate grid cell %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	for _, c := range Grid() {
+		a, b := Lookup(c), Lookup(c)
+		if a != b {
+			t.Fatalf("%s: Lookup not deterministic", c)
+		}
+	}
+}
+
+func TestProfilesPlausible(t *testing.T) {
+	for _, c := range Grid() {
+		p := Lookup(c)
+		if p.MTU < 576 || p.MTU > 9000 {
+			t.Errorf("%s: MTU %d implausible", c, p.MTU)
+		}
+		if p.Type1BodyLen <= 0 || p.Type2BodyLen <= p.Type1BodyLen {
+			t.Errorf("%s: body lengths %d/%d out of order", c, p.Type1BodyLen, p.Type2BodyLen)
+		}
+		if p.Net.BandwidthBps <= 0 {
+			t.Errorf("%s: no bandwidth", c)
+		}
+		if p.ClientHelloLen <= 0 {
+			t.Errorf("%s: no ClientHello length", c)
+		}
+	}
+}
+
+func TestChromeDiffersFromFirefox(t *testing.T) {
+	ff := Lookup(Condition{OS: OSLinux, Platform: PlatformDesktop,
+		Browser: BrowserFirefox, Medium: netem.MediumWired, TrafficTime: netem.TrafficMorning})
+	ch := Lookup(Condition{OS: OSLinux, Platform: PlatformDesktop,
+		Browser: BrowserChrome, Medium: netem.MediumWired, TrafficTime: netem.TrafficMorning})
+	if ff.Type1BodyLen == ch.Type1BodyLen {
+		t.Error("Chrome and Firefox type-1 bodies identical")
+	}
+	if ff.ClientHelloLen == ch.ClientHelloLen {
+		t.Error("Chrome and Firefox ClientHello identical")
+	}
+}
+
+func TestWirelessLowersMTU(t *testing.T) {
+	c := Fig2Ubuntu
+	c.Medium = netem.MediumWireless
+	if Lookup(c).MTU >= Lookup(Fig2Ubuntu).MTU {
+		t.Error("wireless MTU not reduced")
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	s := Fig2Ubuntu.String()
+	for _, part := range []string{"desktop", "firefox", "wired", "linux", "morning"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("Condition.String %q missing %q", s, part)
+		}
+	}
+}

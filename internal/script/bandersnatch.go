@@ -1,0 +1,139 @@
+package script
+
+import "time"
+
+// decisionWindow is the ten-second choice timer the paper describes.
+const decisionWindow = 10 * time.Second
+
+// Bandersnatch builds the case-study graph used throughout the
+// reproduction. It is a schematic interactive-movie script, not a copy of
+// the film: the three choice prompts quoted in the paper (a breakfast
+// choice, a visit-or-follow choice, and a tea-or-shout choice) anchor the
+// early structure, and the remainder is an original synthetic continuation
+// with the same shape — binary choices, a default branch per choice,
+// loop-backs, and multiple endings. Traits annotate what each choice
+// would reveal about a viewer, mirroring the paper's benign-to-sensitive
+// range.
+//
+// Segment durations are one tenth of film scale. Every quantity the
+// experiments measure — record lengths, the ten-second decision windows,
+// prefetch-stall gaps — is independent of segment duration; scaling down
+// keeps simulated media volume (and therefore simulation and capture
+// cost) proportionate without changing any observable the attack uses.
+func Bandersnatch() *Graph {
+	g := NewGraph("Bandersnatch (schematic)")
+
+	seg := func(id SegmentID, title string, d time.Duration, next SegmentID) {
+		g.Add(&Segment{ID: id, Title: title, Duration: d, Next: next})
+	}
+	choice := func(id SegmentID, title string, d time.Duration, q string,
+		def, alt SegmentID, trait Trait, sensitive bool) {
+		g.Add(&Segment{ID: id, Title: title, Duration: d, Choice: &Choice{
+			Question: q, Default: def, Alternative: alt,
+			Trait: trait, Sensitive: sensitive, Window: decisionWindow,
+		}})
+	}
+	end := func(id SegmentID, title string, d time.Duration) {
+		g.Add(&Segment{ID: id, Title: title, Duration: d, Ending: true})
+	}
+
+	// Segment 0: common opening for all viewers (per the paper's Figure 1),
+	// ending at Q1, the breakfast-cereal question.
+	choice("S0", "Opening: morning at home", 48*time.Second,
+		"Frosties or Sugar Puffs?",
+		"S1", "S1b", TraitFood, false)
+
+	// Both breakfast branches converge on the bus ride; the choice leaks a
+	// benign preference only.
+	seg("S1", "Breakfast: default cereal", 9*time.Second, "S2")
+	seg("S1b", "Breakfast: other cereal", 9*time.Second, "S2")
+
+	// Q2: music choice on the bus (benign).
+	choice("S2", "Bus ride to the studio", 18*time.Second,
+		"Listen to the compilation tape or the band album?",
+		"S3", "S3b", TraitMusic, false)
+	seg("S3", "Arrival: default soundtrack", 12*time.Second, "S4")
+	seg("S3b", "Arrival: alternative soundtrack", 12*time.Second, "S4")
+
+	// Q3: accept or refuse the studio job offer — structural fork.
+	choice("S4", "The studio pitch", 36*time.Second,
+		"Accept the job offer or refuse?",
+		"S5", "S6", TraitCuriosity, false)
+
+	// Accepting leads to a short arc that loops back (the film's famous
+	// "wrong choice, try again" structure).
+	seg("S5", "Working at the studio", 24*time.Second, "S5x")
+	end("S5x", "Early ending: the rushed game fails", 12*time.Second)
+
+	// Refusing continues the main storyline.
+	choice("S6", "Working from home", 42*time.Second,
+		"Visit therapist or follow Colin?",
+		"S7", "S8", TraitAnxiety, true)
+
+	// Therapist arc (default).
+	choice("S7", "At the therapist", 30*time.Second,
+		"Talk about your mother or about work?",
+		"S9", "S9b", TraitAnxiety, true)
+	seg("S9", "Session: family history", 24*time.Second, "S10")
+	seg("S9b", "Session: work stress", 24*time.Second, "S10")
+
+	// Colin arc (non-default) rejoins at S10 after a detour.
+	choice("S8", "At Colin's flat", 36*time.Second,
+		"Take the offer or decline it?",
+		"S8a", "S8b", TraitCuriosity, true)
+	seg("S8a", "The balcony conversation", 18*time.Second, "S10")
+	seg("S8b", "Leaving early", 12*time.Second, "S10")
+
+	// Q: frustration scene quoted in the paper.
+	choice("S10", "Deadline pressure at home", 48*time.Second,
+		"Throw tea over computer or shout at dad?",
+		"S11", "S11b", TraitViolence, true)
+	seg("S11", "Aftermath: the ruined machine", 18*time.Second, "S12")
+	seg("S11b", "Aftermath: the argument", 18*time.Second, "S12")
+
+	// Political-leaning fork: which pamphlet to pick up in the waiting
+	// room (synthetic; exercises the paper's political-inclination trait).
+	choice("S12", "The waiting room", 24*time.Second,
+		"Pick up the workers' pamphlet or the market gazette?",
+		"S13", "S13b", TraitPolitics, true)
+	seg("S13", "Reading: collectivist pamphlet", 12*time.Second, "S14")
+	seg("S13b", "Reading: market gazette", 12*time.Second, "S14")
+
+	// Final confrontation with three outcomes via two stacked choices.
+	choice("S14", "The confrontation", 36*time.Second,
+		"Back down or press on?",
+		"S15", "S16", TraitViolence, true)
+	end("S15", "Ending: walking away", 24*time.Second)
+	choice("S16", "Point of no return", 18*time.Second,
+		"Hide the evidence or call for help?",
+		"S17", "S18", TraitViolence, true)
+	end("S17", "Ending: the cover-up", 30*time.Second)
+	end("S18", "Ending: the confession", 30*time.Second)
+
+	return g
+}
+
+// BandersnatchMaxChoices is the largest number of choices any path through
+// the case-study graph can meet (S0→S2→S4→S6→S8→S10→S12→S14→S16), used to
+// size decision vectors.
+const BandersnatchMaxChoices = 9
+
+// TinyScript builds a minimal two-choice graph matching the paper's
+// Figure 1 example exactly: Segment 0 → Q1 → (S1|S1') → Q2 → (S2|S2').
+// Used by the Figure 1 experiment and in unit tests.
+func TinyScript() *Graph {
+	g := NewGraph("Figure 1 example")
+	g.Add(&Segment{ID: "Seg0", Title: "Segment 0", Duration: 2 * time.Minute, Choice: &Choice{
+		Question: "Q1", Default: "S1", Alternative: "S1'",
+		Trait: TraitNone, Window: decisionWindow,
+	}})
+	g.Add(&Segment{ID: "S1", Title: "S1 (default)", Duration: 2 * time.Minute, Next: "Q2seg"})
+	g.Add(&Segment{ID: "S1'", Title: "S1' (alternative)", Duration: 2 * time.Minute, Next: "Q2seg"})
+	g.Add(&Segment{ID: "Q2seg", Title: "Segment before Q2", Duration: 2 * time.Minute, Choice: &Choice{
+		Question: "Q2", Default: "S2", Alternative: "S2'",
+		Trait: TraitNone, Window: decisionWindow,
+	}})
+	g.Add(&Segment{ID: "S2", Title: "S2 (default)", Duration: 2 * time.Minute, Ending: true})
+	g.Add(&Segment{ID: "S2'", Title: "S2' (alternative)", Duration: 2 * time.Minute, Ending: true})
+	return g
+}

@@ -1,0 +1,331 @@
+// Package script models the branching narrative of an interactive movie:
+// a directed graph of playable segments where some segments end at a
+// choice point offering two options, one of which is the default branch
+// that the player prefetches.
+//
+// The White Mirror attack reconstructs a viewer's walk through this graph
+// from the type-1/type-2 state-report side-channel, so the graph is a
+// first-class object: the attack uses it to constrain decoding and the
+// behavioural profiler uses per-choice trait annotations to interpret the
+// recovered path.
+package script
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SegmentID names one playable segment.
+type SegmentID string
+
+// Trait labels the behavioural signal a choice carries, mirroring the
+// paper's observation that choices range from benign (food, music) to
+// sensitive (violence affinity, political inclination).
+type Trait string
+
+// Traits used by the Bandersnatch case-study graph.
+const (
+	TraitFood      Trait = "food-preference"
+	TraitMusic     Trait = "music-preference"
+	TraitAnxiety   Trait = "state-of-mind"
+	TraitViolence  Trait = "affinity-to-violence"
+	TraitPolitics  Trait = "political-inclination"
+	TraitCuriosity Trait = "curiosity"
+	TraitNone      Trait = "none"
+)
+
+// Choice is a binary decision at the end of a segment.
+type Choice struct {
+	// Question is the on-screen prompt (e.g. a breakfast-cereal choice).
+	Question string
+	// Default is the branch the player prefetches; taken automatically if
+	// the viewer lets the ten-second timer expire.
+	Default SegmentID
+	// Alternative is the non-default branch Si'; selecting it triggers a
+	// type-2 state report and cancels the prefetch.
+	Alternative SegmentID
+	// Trait annotates what the decision reveals about the viewer.
+	Trait Trait
+	// Sensitive marks traits the paper calls sensitive rather than benign.
+	Sensitive bool
+	// Window is how long the viewer has to decide (ten seconds for
+	// Bandersnatch).
+	Window time.Duration
+}
+
+// Options returns the two branches in presentation order, default first.
+func (c Choice) Options() [2]SegmentID {
+	return [2]SegmentID{c.Default, c.Alternative}
+}
+
+// Segment is one contiguous run of video content.
+type Segment struct {
+	ID SegmentID
+	// Title is a human-readable label used in reports.
+	Title string
+	// Duration is the segment's play time.
+	Duration time.Duration
+	// Choice, when non-nil, ends the segment at a choice point.
+	Choice *Choice
+	// Next, for choiceless segments, is the single successor ("" for an
+	// ending).
+	Next SegmentID
+	// Ending marks a terminal segment.
+	Ending bool
+}
+
+// Graph is a validated branching script.
+type Graph struct {
+	Title    string
+	Start    SegmentID
+	segments map[SegmentID]*Segment
+	order    []SegmentID // insertion order for deterministic iteration
+}
+
+// NewGraph returns an empty graph with the given title.
+func NewGraph(title string) *Graph {
+	return &Graph{Title: title, segments: make(map[SegmentID]*Segment)}
+}
+
+// Add inserts a segment. Adding a duplicate ID panics: graphs are built
+// from static literals and a duplicate is a programming error.
+func (g *Graph) Add(s *Segment) {
+	if _, dup := g.segments[s.ID]; dup {
+		panic(fmt.Sprintf("script: duplicate segment %q", s.ID))
+	}
+	g.segments[s.ID] = s
+	g.order = append(g.order, s.ID)
+	if g.Start == "" {
+		g.Start = s.ID
+	}
+}
+
+// Segment looks up a segment by ID.
+func (g *Graph) Segment(id SegmentID) (*Segment, bool) {
+	s, ok := g.segments[id]
+	return s, ok
+}
+
+// Segments returns all segments in insertion order.
+func (g *Graph) Segments() []*Segment {
+	out := make([]*Segment, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.segments[id])
+	}
+	return out
+}
+
+// ChoicePoints returns the segments that end at a choice, in insertion
+// order. The i-th element is the i-th potential question a viewer can
+// meet, matching the paper's Q1, Q2, … numbering along any given path.
+func (g *Graph) ChoicePoints() []*Segment {
+	var out []*Segment
+	for _, id := range g.order {
+		if g.segments[id].Choice != nil {
+			out = append(out, g.segments[id])
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants:
+//   - the start segment exists,
+//   - every referenced successor exists,
+//   - every choice's default and alternative differ,
+//   - endings have no successors,
+//   - every segment is reachable from the start, and
+//   - every path from the start reaches an ending (no cycles without exit
+//     are tolerated; cycles are allowed in Bandersnatch-style scripts, so
+//     the check is that an ending is reachable from every segment).
+func (g *Graph) Validate() error {
+	start, ok := g.segments[g.Start]
+	if !ok {
+		return fmt.Errorf("script %q: start segment %q missing", g.Title, g.Start)
+	}
+	_ = start
+	for _, id := range g.order {
+		s := g.segments[id]
+		switch {
+		case s.Ending:
+			if s.Next != "" || s.Choice != nil {
+				return fmt.Errorf("script %q: ending %q has successors", g.Title, id)
+			}
+		case s.Choice != nil:
+			c := s.Choice
+			if c.Default == c.Alternative {
+				return fmt.Errorf("script %q: choice at %q has identical branches", g.Title, id)
+			}
+			for _, succ := range c.Options() {
+				if _, ok := g.segments[succ]; !ok {
+					return fmt.Errorf("script %q: choice at %q references missing segment %q",
+						g.Title, id, succ)
+				}
+			}
+			if c.Window <= 0 {
+				return fmt.Errorf("script %q: choice at %q has no decision window", g.Title, id)
+			}
+		default:
+			if s.Next == "" {
+				return fmt.Errorf("script %q: segment %q has no successor and is not an ending",
+					g.Title, id)
+			}
+			if _, ok := g.segments[s.Next]; !ok {
+				return fmt.Errorf("script %q: segment %q references missing segment %q",
+					g.Title, id, s.Next)
+			}
+		}
+	}
+	// Reachability from start.
+	reached := g.reachableFrom(g.Start)
+	for _, id := range g.order {
+		if !reached[id] {
+			return fmt.Errorf("script %q: segment %q unreachable from start", g.Title, id)
+		}
+	}
+	// An ending must be reachable from every segment.
+	for _, id := range g.order {
+		if !g.endingReachableFrom(id) {
+			return fmt.Errorf("script %q: no ending reachable from %q", g.Title, id)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) successors(id SegmentID) []SegmentID {
+	s := g.segments[id]
+	if s == nil || s.Ending {
+		return nil
+	}
+	if s.Choice != nil {
+		return []SegmentID{s.Choice.Default, s.Choice.Alternative}
+	}
+	return []SegmentID{s.Next}
+}
+
+func (g *Graph) reachableFrom(id SegmentID) map[SegmentID]bool {
+	seen := map[SegmentID]bool{id: true}
+	stack := []SegmentID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range g.successors(cur) {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return seen
+}
+
+func (g *Graph) endingReachableFrom(id SegmentID) bool {
+	for r := range g.reachableFrom(id) {
+		if s := g.segments[r]; s != nil && s.Ending {
+			return true
+		}
+	}
+	return false
+}
+
+// Path is a walk through the graph: the segments visited and, for each
+// choice met, whether the default branch was taken.
+type Path struct {
+	Segments []SegmentID
+	// Decisions[i] is true if the i-th choice encountered took the
+	// default branch.
+	Decisions []bool
+}
+
+// Walk follows decisions from the start: each time a choice point is met
+// the next decision is consumed (true = default). The walk ends at an
+// ending segment or when decisions are exhausted at a choice point.
+// maxSegments guards against cycles when decisions run out.
+func (g *Graph) Walk(decisions []bool) (Path, error) {
+	var p Path
+	cur := g.Start
+	for steps := 0; ; steps++ {
+		if steps > 10000 {
+			return p, fmt.Errorf("script %q: walk exceeded 10000 segments (cycle without exit?)", g.Title)
+		}
+		s, ok := g.segments[cur]
+		if !ok {
+			return p, fmt.Errorf("script %q: walk reached missing segment %q", g.Title, cur)
+		}
+		p.Segments = append(p.Segments, cur)
+		if s.Ending {
+			return p, nil
+		}
+		if s.Choice == nil {
+			cur = s.Next
+			continue
+		}
+		if len(p.Decisions) >= len(decisions) {
+			return p, nil // out of decisions: stop at the choice point
+		}
+		takeDefault := decisions[len(p.Decisions)]
+		p.Decisions = append(p.Decisions, takeDefault)
+		if takeDefault {
+			cur = s.Choice.Default
+		} else {
+			cur = s.Choice.Alternative
+		}
+	}
+}
+
+// ChoicesMet returns the choice metadata encountered along a path, in
+// order, paired with the decision made.
+type MetChoice struct {
+	At          SegmentID
+	Choice      Choice
+	TookDefault bool
+}
+
+// ChoicesAlong resolves the choices met on a path.
+func (g *Graph) ChoicesAlong(p Path) []MetChoice {
+	var out []MetChoice
+	di := 0
+	for _, id := range p.Segments {
+		s := g.segments[id]
+		if s == nil || s.Choice == nil {
+			continue
+		}
+		if di >= len(p.Decisions) {
+			break
+		}
+		out = append(out, MetChoice{At: id, Choice: *s.Choice, TookDefault: p.Decisions[di]})
+		di++
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz dot syntax for documentation.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", g.Title)
+	ids := append([]SegmentID(nil), g.order...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := g.segments[id]
+		shape := "box"
+		if s.Choice != nil {
+			shape = "diamond"
+		}
+		if s.Ending {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s label=%q];\n", id, shape, s.Title)
+	}
+	for _, id := range ids {
+		s := g.segments[id]
+		if s.Choice != nil {
+			fmt.Fprintf(&b, "  %q -> %q [label=\"default\"];\n", id, s.Choice.Default)
+			fmt.Fprintf(&b, "  %q -> %q [style=dashed];\n", id, s.Choice.Alternative)
+		} else if s.Next != "" {
+			fmt.Fprintf(&b, "  %q -> %q;\n", id, s.Next)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package script
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestBandersnatchValidates(t *testing.T) {
+	g := Bandersnatch()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyScriptValidates(t *testing.T) {
+	if err := TinyScript().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandersnatchShape(t *testing.T) {
+	g := Bandersnatch()
+	if g.Start != "S0" {
+		t.Errorf("start = %q", g.Start)
+	}
+	cps := g.ChoicePoints()
+	if len(cps) < 8 {
+		t.Errorf("choice points = %d, want >= 8", len(cps))
+	}
+	// The first choice point must be the food question, the paper's Q1.
+	if cps[0].Choice.Trait != TraitFood {
+		t.Errorf("Q1 trait = %v", cps[0].Choice.Trait)
+	}
+	// There must be sensitive choices (violence, politics) per the paper.
+	traits := map[Trait]bool{}
+	sensitive := 0
+	for _, cp := range cps {
+		traits[cp.Choice.Trait] = true
+		if cp.Choice.Sensitive {
+			sensitive++
+		}
+	}
+	for _, want := range []Trait{TraitFood, TraitMusic, TraitViolence, TraitPolitics} {
+		if !traits[want] {
+			t.Errorf("missing trait %v in graph", want)
+		}
+	}
+	if sensitive == 0 {
+		t.Error("no sensitive choices in graph")
+	}
+	// Every choice must use the ten-second window.
+	for _, cp := range cps {
+		if cp.Choice.Window != 10*time.Second {
+			t.Errorf("choice at %s window = %v", cp.ID, cp.Choice.Window)
+		}
+	}
+}
+
+func TestWalkAllDefaults(t *testing.T) {
+	g := Bandersnatch()
+	decisions := make([]bool, BandersnatchMaxChoices)
+	for i := range decisions {
+		decisions[i] = true
+	}
+	p, err := g.Walk(decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.Segment(p.Segments[len(p.Segments)-1])
+	if !last.Ending {
+		t.Errorf("all-defaults walk ended at non-ending %q", last.ID)
+	}
+	if len(p.Decisions) == 0 {
+		t.Error("no decisions consumed")
+	}
+}
+
+func TestWalkAllAlternatives(t *testing.T) {
+	g := Bandersnatch()
+	decisions := make([]bool, BandersnatchMaxChoices)
+	p, err := g.Walk(decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.Segment(p.Segments[len(p.Segments)-1])
+	if !last.Ending {
+		t.Errorf("all-alternatives walk ended at non-ending %q", last.ID)
+	}
+}
+
+func TestWalkDecisionsRespected(t *testing.T) {
+	g := TinyScript()
+	p, err := g.Walk([]bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SegmentID{"Seg0", "S1", "Q2seg", "S2'"}
+	if len(p.Segments) != len(want) {
+		t.Fatalf("segments = %v", p.Segments)
+	}
+	for i := range want {
+		if p.Segments[i] != want[i] {
+			t.Errorf("segment[%d] = %q, want %q", i, p.Segments[i], want[i])
+		}
+	}
+}
+
+func TestWalkStopsWhenDecisionsExhausted(t *testing.T) {
+	g := TinyScript()
+	p, err := g.Walk(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 1 || p.Segments[0] != "Seg0" {
+		t.Errorf("segments = %v, want just Seg0", p.Segments)
+	}
+}
+
+func TestChoicesAlong(t *testing.T) {
+	g := TinyScript()
+	p, _ := g.Walk([]bool{false, true})
+	met := g.ChoicesAlong(p)
+	if len(met) != 2 {
+		t.Fatalf("met = %d choices", len(met))
+	}
+	if met[0].TookDefault || !met[1].TookDefault {
+		t.Errorf("decisions = %v, %v", met[0].TookDefault, met[1].TookDefault)
+	}
+	if met[0].Choice.Question != "Q1" {
+		t.Errorf("first question = %q", met[0].Choice.Question)
+	}
+}
+
+func TestWalkPropertyAlwaysReachesEndingOrChoice(t *testing.T) {
+	g := Bandersnatch()
+	f := func(bits uint16) bool {
+		decisions := make([]bool, BandersnatchMaxChoices)
+		for i := range decisions {
+			decisions[i] = bits&(1<<i) != 0
+		}
+		p, err := g.Walk(decisions)
+		if err != nil {
+			return false
+		}
+		last, ok := g.Segment(p.Segments[len(p.Segments)-1])
+		if !ok {
+			return false
+		}
+		// With a full decision vector the walk must reach an ending.
+		return last.Ending
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkDeterministic(t *testing.T) {
+	g := Bandersnatch()
+	rng := wire.NewRNG(99)
+	for trial := 0; trial < 20; trial++ {
+		decisions := make([]bool, BandersnatchMaxChoices)
+		for i := range decisions {
+			decisions[i] = rng.Bool(0.5)
+		}
+		p1, err1 := g.Walk(decisions)
+		p2, err2 := g.Walk(decisions)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(p1.Segments) != len(p2.Segments) {
+			t.Fatal("walk not deterministic")
+		}
+	}
+}
+
+func TestValidateCatchesMissingSuccessor(t *testing.T) {
+	g := NewGraph("broken")
+	g.Add(&Segment{ID: "a", Title: "a", Duration: time.Minute, Next: "ghost"})
+	if err := g.Validate(); err == nil {
+		t.Error("missing successor not caught")
+	}
+}
+
+func TestValidateCatchesIdenticalBranches(t *testing.T) {
+	g := NewGraph("broken")
+	g.Add(&Segment{ID: "a", Title: "a", Duration: time.Minute, Choice: &Choice{
+		Question: "?", Default: "b", Alternative: "b", Window: time.Second}})
+	g.Add(&Segment{ID: "b", Title: "b", Duration: time.Minute, Ending: true})
+	if err := g.Validate(); err == nil {
+		t.Error("identical branches not caught")
+	}
+}
+
+func TestValidateCatchesUnreachable(t *testing.T) {
+	g := NewGraph("broken")
+	g.Add(&Segment{ID: "a", Title: "a", Duration: time.Minute, Ending: true})
+	g.Add(&Segment{ID: "orphan", Title: "o", Duration: time.Minute, Ending: true})
+	if err := g.Validate(); err == nil {
+		t.Error("unreachable segment not caught")
+	}
+}
+
+func TestValidateCatchesEndingWithSuccessor(t *testing.T) {
+	g := NewGraph("broken")
+	g.Add(&Segment{ID: "a", Title: "a", Duration: time.Minute, Ending: true, Next: "a"})
+	if err := g.Validate(); err == nil {
+		t.Error("ending with successor not caught")
+	}
+}
+
+func TestValidateCatchesNoEndingReachable(t *testing.T) {
+	g := NewGraph("broken")
+	g.Add(&Segment{ID: "a", Title: "a", Duration: time.Minute, Next: "b"})
+	g.Add(&Segment{ID: "b", Title: "b", Duration: time.Minute, Next: "a"})
+	if err := g.Validate(); err == nil {
+		t.Error("endless cycle not caught")
+	}
+}
+
+func TestValidateCatchesZeroWindow(t *testing.T) {
+	g := NewGraph("broken")
+	g.Add(&Segment{ID: "a", Title: "a", Duration: time.Minute, Choice: &Choice{
+		Question: "?", Default: "b", Alternative: "c"}})
+	g.Add(&Segment{ID: "b", Title: "b", Duration: time.Minute, Ending: true})
+	g.Add(&Segment{ID: "c", Title: "c", Duration: time.Minute, Ending: true})
+	if err := g.Validate(); err == nil {
+		t.Error("zero decision window not caught")
+	}
+}
+
+func TestAddDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Add did not panic")
+		}
+	}()
+	g := NewGraph("dup")
+	g.Add(&Segment{ID: "a", Title: "a", Ending: true})
+	g.Add(&Segment{ID: "a", Title: "a again", Ending: true})
+}
+
+func TestDOTOutput(t *testing.T) {
+	dot := Bandersnatch().DOT()
+	for _, want := range []string{"digraph", "diamond", "doublecircle", "default"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestChoiceOptionsOrder(t *testing.T) {
+	c := Choice{Default: "d", Alternative: "a"}
+	opts := c.Options()
+	if opts[0] != "d" || opts[1] != "a" {
+		t.Errorf("Options = %v", opts)
+	}
+}

@@ -1,0 +1,336 @@
+// Package session orchestrates one complete simulated viewing: a viewer
+// with behavioural attributes watches the interactive title under an
+// operational condition, the player exchanges chunk requests, state
+// reports and media with the CDN across the emulated network, and both
+// directions of the TLS byte stream are materialized with per-write
+// timestamps. The output Trace carries labeled ground truth (which
+// client records are type-1/type-2 and which choices were made) so the
+// attack's output can be scored.
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/cdn"
+	"repro/internal/media"
+	"repro/internal/netem"
+	"repro/internal/player"
+	"repro/internal/profiles"
+	"repro/internal/script"
+	"repro/internal/statejson"
+	"repro/internal/tlsrec"
+	"repro/internal/viewer"
+	"repro/internal/wire"
+)
+
+// WriteLabel classifies one client-side TLS application write for ground
+// truth.
+type WriteLabel int
+
+// Write labels.
+const (
+	LabelHandshake WriteLabel = iota
+	LabelRequest
+	LabelType1
+	LabelType2
+	LabelTelemetry
+)
+
+// String names the label.
+func (l WriteLabel) String() string {
+	switch l {
+	case LabelHandshake:
+		return "handshake"
+	case LabelRequest:
+		return "request"
+	case LabelType1:
+		return "type-1"
+	case LabelType2:
+		return "type-2"
+	case LabelTelemetry:
+		return "telemetry"
+	default:
+		return fmt.Sprintf("label(%d)", int(l))
+	}
+}
+
+// LabeledWrite is one client application write and the TLS records it
+// produced.
+type LabeledWrite struct {
+	Label   WriteLabel
+	Time    time.Time
+	Plain   int // plaintext bytes handed to TLS
+	Records []tlsrec.Record
+}
+
+// DirStream is one direction's wire bytes plus the write schedule needed
+// to timestamp TCP segments.
+type DirStream struct {
+	// Bytes is the TLS record byte stream.
+	Bytes []byte
+	// Writes gives (stream offset, time) checkpoints: bytes at or after
+	// Offset were written at Time. Offsets are strictly increasing.
+	Writes []WriteMark
+}
+
+// WriteMark timestamps a range of stream bytes.
+type WriteMark struct {
+	Offset int64
+	Time   time.Time
+}
+
+// TimeAt resolves the write time covering stream offset off.
+func (d *DirStream) TimeAt(off int64) time.Time {
+	// Binary search for the last mark with Offset <= off.
+	lo, hi := 0, len(d.Writes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.Writes[mid].Offset <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		if len(d.Writes) > 0 {
+			return d.Writes[0].Time
+		}
+		return time.Time{}
+	}
+	return d.Writes[lo-1].Time
+}
+
+// mark appends a write checkpoint.
+func (d *DirStream) mark(off int64, t time.Time) {
+	d.Writes = append(d.Writes, WriteMark{Offset: off, Time: t})
+}
+
+// Trace is the full observable output of one session plus ground truth.
+type Trace struct {
+	Viewer    viewer.Viewer
+	Condition profiles.Condition
+	Profile   profiles.Profile
+	SessionID string
+
+	ClientToServer DirStream
+	ServerToClient DirStream
+
+	// ClientWrites is the labeled ground truth of every client
+	// application write, in time order.
+	ClientWrites []LabeledWrite
+	// Result is the player-level ground truth (path, choices, stalls).
+	Result player.Result
+}
+
+// GroundTruthDecisions extracts the decision vector (true = default).
+func (t *Trace) GroundTruthDecisions() []bool {
+	return append([]bool(nil), t.Result.Path.Decisions...)
+}
+
+// Config parameterizes a session run.
+type Config struct {
+	Graph     *script.Graph
+	Encoding  *media.Encoding
+	Viewer    viewer.Viewer
+	Condition profiles.Condition
+	SessionID string
+	Seed      uint64
+	// Controller overrides the default buffer-based ABR rule.
+	Controller abr.Controller
+	// TelemetryInterval spaces telemetry uploads (default 60s; negative
+	// disables).
+	TelemetryInterval time.Duration
+	// DisablePrefetch turns off default-branch prefetching (ablation).
+	DisablePrefetch bool
+	// Start is the virtual session start (default a fixed epoch so runs
+	// are reproducible).
+	Start time.Time
+	// Defense, when non-nil, transforms client application writes before
+	// encryption (countermeasure evaluation). It returns the possibly
+	// split plaintext sizes to write.
+	Defense func(label WriteLabel, plain int) []int
+}
+
+// Run simulates one session.
+func Run(cfg Config) (*Trace, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("session: config needs a graph")
+	}
+	if cfg.Encoding == nil {
+		return nil, fmt.Errorf("session: config needs an encoding")
+	}
+	if cfg.SessionID == "" {
+		cfg.SessionID = "session-1"
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Unix(1735689600, 0) // 2025-01-01T00:00:00Z epoch for traces
+	}
+	prof := profiles.Lookup(cfg.Condition)
+	rng := wire.NewRNG(cfg.Seed)
+
+	env := &simEnv{
+		trace: &Trace{
+			Viewer:    cfg.Viewer,
+			Condition: cfg.Condition,
+			Profile:   prof,
+			SessionID: cfg.SessionID,
+		},
+		server:   cdn.New(cfg.Graph, cfg.Encoding),
+		builder:  statejson.NewBuilder(prof, cfg.Graph.Title, cfg.SessionID, rng.Fork(1)),
+		uplink:   netem.NewPath(prof.Net, rng.Fork(2)),
+		downlink: netem.NewPath(prof.Net, rng.Fork(3)),
+		cEnc:     tlsrec.NewEncryptor(prof.Suite, prof.Splitter, tlsrec.VersionTLS12, rng.Fork(4)),
+		// The server direction carries megabytes of media; its bodies are
+		// opaque to every analysis (only lengths and timing are used), so
+		// they are zero-filled (nil rng) to keep simulation fast.
+		sEnc:    tlsrec.NewEncryptor(prof.Suite, prof.Splitter, tlsrec.VersionTLS12, nil),
+		viewer:  cfg.Viewer,
+		decider: rng.Fork(6),
+		defense: cfg.Defense,
+		cBuf:    wire.NewWriter(1 << 20),
+		sBuf:    wire.NewWriter(16 << 20),
+	}
+
+	// TLS handshake opens the connection.
+	env.handshake(cfg.Start, prof.ClientHelloLen)
+
+	controller := cfg.Controller
+	if controller == nil {
+		controller = &abr.BufferRule{Ladder: cfg.Encoding.Ladder}
+	}
+	telemetry := cfg.TelemetryInterval
+	if telemetry == 0 {
+		telemetry = 60 * time.Second
+	}
+	if telemetry < 0 {
+		telemetry = 0
+	}
+
+	res, err := player.Play(player.Config{
+		Graph:             cfg.Graph,
+		Encoding:          cfg.Encoding,
+		Control:           controller,
+		TelemetryInterval: telemetry,
+		Prefetch:          !cfg.DisablePrefetch,
+		Start:             cfg.Start.Add(200 * time.Millisecond), // after handshake
+	}, env)
+	if err != nil {
+		return nil, err
+	}
+	env.trace.Result = res
+	env.trace.ClientToServer.Bytes = env.cBuf.Bytes()
+	env.trace.ServerToClient.Bytes = env.sBuf.Bytes()
+	return env.trace, nil
+}
+
+// simEnv implements player.Env against the CDN/netem/TLS models.
+type simEnv struct {
+	trace    *Trace
+	server   *cdn.Server
+	builder  *statejson.Builder
+	uplink   *netem.Path
+	downlink *netem.Path
+	cEnc     *tlsrec.Encryptor
+	sEnc     *tlsrec.Encryptor
+	viewer   viewer.Viewer
+	decider  *wire.RNG
+	defense  func(WriteLabel, int) []int
+	est      abr.ThroughputEstimator
+
+	cBuf *wire.Writer
+	sBuf *wire.Writer
+}
+
+// handshake writes both directions' handshake transcripts.
+func (e *simEnv) handshake(t time.Time, helloLen int) {
+	e.trace.ClientToServer.mark(int64(e.cBuf.Len()), t)
+	recs := e.cEnc.HandshakeTranscript(e.cBuf, t, helloLen)
+	e.trace.ClientWrites = append(e.trace.ClientWrites, LabeledWrite{
+		Label: LabelHandshake, Time: t, Plain: helloLen, Records: recs,
+	})
+	// Server side: ServerHello+cert chain (~3700B), CCS, Finished.
+	st := t.Add(e.downlink.RTT() / 2)
+	e.trace.ServerToClient.mark(int64(e.sBuf.Len()), st)
+	e.sEnc.HandshakeTranscript(e.sBuf, st, 3700)
+}
+
+// writeClient encrypts one client application write, with the defense
+// transform applied if configured.
+func (e *simEnv) writeClient(t time.Time, label WriteLabel, plain int) {
+	sizes := []int{plain}
+	if e.defense != nil {
+		sizes = e.defense(label, plain)
+	}
+	var recs []tlsrec.Record
+	e.trace.ClientToServer.mark(int64(e.cBuf.Len()), t)
+	for _, n := range sizes {
+		recs = append(recs, e.cEnc.WriteApplicationData(e.cBuf, t, n)...)
+	}
+	e.trace.ClientWrites = append(e.trace.ClientWrites, LabeledWrite{
+		Label: label, Time: t, Plain: plain, Records: recs,
+	})
+}
+
+// FetchChunk implements player.Env: request upstream, response downstream.
+func (e *simEnv) FetchChunk(now time.Time, c media.Chunk) time.Time {
+	// Client request.
+	reqBody := e.builder.RequestBody()
+	reqArrive := e.uplink.Transfer(now, len(reqBody)+60) // + TCP/IP headers
+	e.writeClient(now, LabelRequest, len(reqBody))
+
+	// Server response: chunk bytes stream down the bottleneck link.
+	respSize := e.server.ChunkResponseSize(c)
+	respStart := reqArrive
+	e.trace.ServerToClient.mark(int64(e.sBuf.Len()), respStart)
+	e.sEnc.WriteApplicationData(e.sBuf, respStart, respSize)
+	done := e.downlink.Transfer(respStart, respSize)
+	e.est.Observe(respSize, done.Sub(now))
+	return done
+}
+
+// SendReport implements player.Env for type-1/type-2/telemetry writes.
+func (e *simEnv) SendReport(now time.Time, kind player.EventKind, cp, sel script.SegmentID, positionMs int64) {
+	switch kind {
+	case player.EventType1:
+		body, _, err := e.builder.Type1(cp, positionMs)
+		if err != nil {
+			panic(fmt.Sprintf("session: type-1 synthesis: %v", err))
+		}
+		if _, err := e.server.HandleReport(body); err != nil {
+			panic(fmt.Sprintf("session: server rejected type-1: %v", err))
+		}
+		e.writeClient(now, LabelType1, len(body))
+		e.uplink.Transfer(now, len(body)+60)
+	case player.EventType2:
+		body, _, err := e.builder.Type2(cp, sel, positionMs)
+		if err != nil {
+			panic(fmt.Sprintf("session: type-2 synthesis: %v", err))
+		}
+		if _, err := e.server.HandleReport(body); err != nil {
+			panic(fmt.Sprintf("session: server rejected type-2: %v", err))
+		}
+		e.writeClient(now, LabelType2, len(body))
+		e.uplink.Transfer(now, len(body)+60)
+	case player.EventTelemetry:
+		body := e.builder.TelemetryBody()
+		e.writeClient(now, LabelTelemetry, len(body))
+		e.uplink.Transfer(now, len(body)+60)
+	default:
+		panic(fmt.Sprintf("session: unexpected report kind %v", kind))
+	}
+}
+
+// Decide implements player.Env via the viewer behavioural model.
+func (e *simEnv) Decide(c script.Choice) (bool, float64) {
+	return viewer.Decide(e.viewer, c, e.decider)
+}
+
+// Throughput implements player.Env.
+func (e *simEnv) Throughput() float64 {
+	if t := e.est.Estimate(); t > 0 {
+		return t
+	}
+	return e.uplink.Params.BandwidthBps
+}

@@ -1,0 +1,85 @@
+package statejson
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/profiles"
+	"repro/internal/script"
+	"repro/internal/wire"
+)
+
+// TestPaddingInvariantProperty: under every grid condition and any RNG
+// stream, report bodies always land inside the profile's calibrated
+// jitter window, parse back to the same logical content, and type-1 stays
+// strictly below type-2 — the invariants the whole side-channel rests on.
+func TestPaddingInvariantProperty(t *testing.T) {
+	grid := profiles.Grid()
+	f := func(seed uint64, condIdx uint8, pos int64) bool {
+		p := profiles.Lookup(grid[int(condIdx)%len(grid)])
+		b := NewBuilder(p, "movie", "prop-sess", wire.NewRNG(seed))
+		if pos < 0 {
+			pos = -pos
+		}
+
+		b1, r1, err := b.Type1(script.SegmentID("S0"), pos)
+		if err != nil {
+			return false
+		}
+		if len(b1) < p.Type1BodyLen-p.Type1Jitter || len(b1) > p.Type1BodyLen+p.Type1Jitter {
+			return false
+		}
+		got1, err := Parse(b1)
+		if err != nil || got1.Kind != Type1 || got1.ChoicePoint != "S0" || got1.PositionMs != pos {
+			return false
+		}
+
+		b2, r2, err := b.Type2(script.SegmentID("S0"), script.SegmentID("S1b"), pos)
+		if err != nil {
+			return false
+		}
+		if len(b2) < p.Type2BodyLen-p.Type2Jitter || len(b2) > p.Type2BodyLen+p.Type2Jitter {
+			return false
+		}
+		got2, err := Parse(b2)
+		if err != nil || got2.Kind != Type2 || got2.Selection != "S1b" {
+			return false
+		}
+		_ = r1
+		_ = r2
+		return len(b1) < len(b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecordBandInvariantProperty: composing the builder with the
+// profile's cipher suite always produces record lengths inside the
+// published bands; this is the statejson↔profiles↔tlsrec contract.
+func TestRecordBandInvariantProperty(t *testing.T) {
+	grid := profiles.Grid()
+	f := func(seed uint64, condIdx uint8) bool {
+		p := profiles.Lookup(grid[int(condIdx)%len(grid)])
+		b := NewBuilder(p, "m", "s", wire.NewRNG(seed))
+		body, _, err := b.Type1("S2", 1)
+		if err != nil {
+			return false
+		}
+		lo, hi := p.Type1RecordRange()
+		rec := p.Suite.CiphertextLen(len(body))
+		if rec < lo || rec > hi {
+			return false
+		}
+		body2, _, err := b.Type2("S2", "S3b", 1)
+		if err != nil {
+			return false
+		}
+		lo2, hi2 := p.Type2RecordRange()
+		rec2 := p.Suite.CiphertextLen(len(body2))
+		return rec2 >= lo2 && rec2 <= hi2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

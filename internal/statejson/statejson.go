@@ -1,0 +1,192 @@
+// Package statejson synthesizes the interactive state-report messages the
+// viewer's browser sends to the streaming service: a type-1 report when a
+// choice question appears on screen and a type-2 report when the viewer
+// selects the non-default option. The reports are real JSON documents
+// (the simulator round-trips them through encoding/json) padded with an
+// opaque session-state blob so their plaintext size matches the condition
+// profile's calibrated body length — the quantity the side-channel leaks.
+package statejson
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/profiles"
+	"repro/internal/script"
+	"repro/internal/wire"
+)
+
+// Kind distinguishes the two report types the paper identifies.
+type Kind int
+
+// Report kinds.
+const (
+	// Type1 is sent when the viewer's playback reaches a choice question.
+	Type1 Kind = 1
+	// Type2 is additionally sent when the viewer picks the non-default
+	// branch, cancelling the prefetched default segment.
+	Type2 Kind = 2
+)
+
+// String names the kind as the paper does.
+func (k Kind) String() string {
+	switch k {
+	case Type1:
+		return "type-1"
+	case Type2:
+		return "type-2"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Report is the logical content of a state report.
+type Report struct {
+	Kind Kind `json:"-"`
+	// Event mirrors the interactive player's event name.
+	Event string `json:"event"`
+	// MovieID identifies the title.
+	MovieID string `json:"movieId"`
+	// SessionID identifies the viewing session.
+	SessionID string `json:"sessionId"`
+	// ChoicePoint is the script segment whose question was reached.
+	ChoicePoint string `json:"choicePointId"`
+	// Selection, for type-2 reports, is the chosen (non-default) segment.
+	Selection string `json:"selection,omitempty"`
+	// PositionMs is the playback position in milliseconds.
+	PositionMs int64 `json:"positionMs"`
+	// State is an opaque base36 session-state blob; its length pads the
+	// document to the profile-calibrated body size.
+	State string `json:"state"`
+}
+
+// Builder mints size-calibrated reports for one session under one
+// condition profile.
+type Builder struct {
+	profile profiles.Profile
+	movieID string
+	session string
+	rng     *wire.RNG
+}
+
+// NewBuilder returns a Builder. rng drives token generation and the small
+// per-report size jitter; it must be the session's dedicated stream.
+func NewBuilder(p profiles.Profile, movieID, sessionID string, rng *wire.RNG) *Builder {
+	return &Builder{profile: p, movieID: movieID, session: sessionID, rng: rng}
+}
+
+// Type1 builds the report sent when playback reaches the question at cp.
+// The returned bytes are the exact plaintext the browser would hand to
+// TLS (JSON body plus the browser's HTTP framing, represented by the
+// calibrated total length).
+func (b *Builder) Type1(cp script.SegmentID, positionMs int64) ([]byte, Report, error) {
+	target := b.profile.Type1BodyLen + b.jitter(b.profile.Type1Jitter)
+	r := Report{
+		Kind:        Type1,
+		Event:       "interactive.choicePointReached",
+		MovieID:     b.movieID,
+		SessionID:   b.session,
+		ChoicePoint: string(cp),
+		PositionMs:  positionMs,
+	}
+	body, err := b.padToTarget(&r, target)
+	return body, r, err
+}
+
+// Type2 builds the report sent when the viewer selects the non-default
+// branch sel at choice point cp.
+func (b *Builder) Type2(cp, sel script.SegmentID, positionMs int64) ([]byte, Report, error) {
+	target := b.profile.Type2BodyLen + b.jitter(b.profile.Type2Jitter)
+	r := Report{
+		Kind:        Type2,
+		Event:       "interactive.selectionCommitted",
+		MovieID:     b.movieID,
+		SessionID:   b.session,
+		ChoicePoint: string(cp),
+		Selection:   string(sel),
+		PositionMs:  positionMs,
+	}
+	body, err := b.padToTarget(&r, target)
+	return body, r, err
+}
+
+// jitter returns a uniform draw in [-j, +j].
+func (b *Builder) jitter(j int) int {
+	if j <= 0 {
+		return 0
+	}
+	return b.rng.IntRange(-j, j)
+}
+
+// padToTarget sizes the State blob so the marshalled document is exactly
+// target bytes long.
+func (b *Builder) padToTarget(r *Report, target int) ([]byte, error) {
+	r.State = ""
+	base, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("statejson: marshal: %w", err)
+	}
+	need := target - len(base)
+	if need < 0 {
+		return nil, fmt.Errorf("statejson: %s report base %d bytes exceeds target %d",
+			r.Kind, len(base), target)
+	}
+	r.State = b.token(need)
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("statejson: marshal padded: %w", err)
+	}
+	if len(body) != target {
+		return nil, fmt.Errorf("statejson: padded %s report is %d bytes, want %d",
+			r.Kind, len(body), target)
+	}
+	return body, nil
+}
+
+const tokenAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+// token returns n JSON-safe random characters.
+func (b *Builder) token(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = tokenAlphabet[b.rng.Intn(len(tokenAlphabet))]
+	}
+	return string(out)
+}
+
+// Parse decodes a report body and infers its kind from the event name,
+// used by the simulated server and by tests to verify ground truth.
+func Parse(body []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(body, &r); err != nil {
+		return Report{}, fmt.Errorf("statejson: parse: %w", err)
+	}
+	switch r.Event {
+	case "interactive.choicePointReached":
+		r.Kind = Type1
+	case "interactive.selectionCommitted":
+		r.Kind = Type2
+	default:
+		return Report{}, fmt.Errorf("statejson: unknown event %q", r.Event)
+	}
+	return r, nil
+}
+
+// RequestBody synthesizes an ordinary chunk-request message of the
+// profile's request size class ("others" in Figure 2).
+func (b *Builder) RequestBody() []byte {
+	n := b.profile.RequestLen + b.jitter(b.profile.RequestJitter)
+	if n < 16 {
+		n = 16
+	}
+	return []byte(fmt.Sprintf(`{"req":"%s"}`, b.token(n-11)))
+}
+
+// TelemetryBody synthesizes a periodic telemetry upload (large "others").
+func (b *Builder) TelemetryBody() []byte {
+	n := b.profile.TelemetryLen + b.jitter(b.profile.TelemetryJitter)
+	return []byte(fmt.Sprintf(`{"tel":"%s"}`, b.token(n-11)))
+}

@@ -1,0 +1,163 @@
+package statejson
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/profiles"
+	"repro/internal/wire"
+)
+
+func newTestBuilder(t *testing.T) *Builder {
+	t.Helper()
+	p := profiles.Lookup(profiles.Fig2Ubuntu)
+	return NewBuilder(p, "bandersnatch", "sess-001", wire.NewRNG(5))
+}
+
+func TestType1SizeCalibrated(t *testing.T) {
+	b := newTestBuilder(t)
+	p := profiles.Lookup(profiles.Fig2Ubuntu)
+	for i := 0; i < 50; i++ {
+		body, r, err := b.Type1("S0", 480000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := p.Type1BodyLen - p.Type1Jitter
+		hi := p.Type1BodyLen + p.Type1Jitter
+		if len(body) < lo || len(body) > hi {
+			t.Fatalf("type-1 body %d bytes, want [%d,%d]", len(body), lo, hi)
+		}
+		if r.Kind != Type1 {
+			t.Fatal("wrong kind")
+		}
+	}
+}
+
+func TestType2SizeCalibrated(t *testing.T) {
+	b := newTestBuilder(t)
+	p := profiles.Lookup(profiles.Fig2Ubuntu)
+	for i := 0; i < 50; i++ {
+		body, _, err := b.Type2("S0", "S1b", 480000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := p.Type2BodyLen - p.Type2Jitter
+		hi := p.Type2BodyLen + p.Type2Jitter
+		if len(body) < lo || len(body) > hi {
+			t.Fatalf("type-2 body %d bytes, want [%d,%d]", len(body), lo, hi)
+		}
+	}
+}
+
+func TestBodiesAreValidJSON(t *testing.T) {
+	b := newTestBuilder(t)
+	body1, _, err := b.Type1("S2", 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _, err := b.Type2("S2", "S3b", 61000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, body := range [][]byte{body1, body2} {
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Errorf("body not valid JSON: %v", err)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	b := newTestBuilder(t)
+	body, want, err := b.Type2("S10", "S11b", 123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != Type2 || got.ChoicePoint != "S10" || got.Selection != "S11b" ||
+		got.PositionMs != 123456 || got.SessionID != want.SessionID {
+		t.Errorf("parsed = %+v", got)
+	}
+}
+
+func TestParseType1(t *testing.T) {
+	b := newTestBuilder(t)
+	body, _, err := b.Type1("S4", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != Type1 || got.Selection != "" {
+		t.Errorf("parsed = %+v", got)
+	}
+}
+
+func TestParseRejectsUnknownEvent(t *testing.T) {
+	if _, err := Parse([]byte(`{"event":"mystery"}`)); err == nil {
+		t.Error("unknown event accepted")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestType1SmallerThanType2(t *testing.T) {
+	// The separability premise: under every grid condition, type-1 bodies
+	// are strictly smaller than type-2 bodies.
+	for _, c := range profiles.Grid() {
+		p := profiles.Lookup(c)
+		b := NewBuilder(p, "m", "s", wire.NewRNG(9))
+		b1, _, err := b.Type1("S0", 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		b2, _, err := b.Type2("S0", "S1b", 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if len(b1) >= len(b2) {
+			t.Errorf("%s: type-1 %d >= type-2 %d", c, len(b1), len(b2))
+		}
+	}
+}
+
+func TestRequestAndTelemetrySizes(t *testing.T) {
+	b := newTestBuilder(t)
+	p := profiles.Lookup(profiles.Fig2Ubuntu)
+	for i := 0; i < 30; i++ {
+		req := b.RequestBody()
+		if len(req) > p.Type1BodyLen-p.Type1Jitter {
+			t.Fatalf("request body %d bytes reaches type-1 band", len(req))
+		}
+		tel := b.TelemetryBody()
+		if len(tel) < p.Type2BodyLen+p.Type2Jitter {
+			t.Fatalf("telemetry body %d bytes below type-2 band", len(tel))
+		}
+	}
+}
+
+func TestDifferentSessionsDifferentTokens(t *testing.T) {
+	p := profiles.Lookup(profiles.Fig2Ubuntu)
+	b1 := NewBuilder(p, "m", "s1", wire.NewRNG(1))
+	b2 := NewBuilder(p, "m", "s2", wire.NewRNG(2))
+	body1, _, _ := b1.Type1("S0", 0)
+	body2, _, _ := b2.Type1("S0", 0)
+	if string(body1) == string(body2) {
+		t.Error("distinct sessions produced identical bodies")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Type1.String() != "type-1" || Type2.String() != "type-2" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}

@@ -1,0 +1,318 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: histograms over arbitrary integer bins (for the Figure 2
+// record-length distributions), confusion matrices with accuracy metrics,
+// percentiles, and plain-text table/bar rendering for terminal reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bin is one histogram bucket over an inclusive integer range. Lo or Hi
+// may be open (math.MinInt / math.MaxInt) for the paper's "<=x" / ">=y"
+// edge bins.
+type Bin struct {
+	Lo, Hi int
+}
+
+// Label renders the bin the way the paper's Figure 2 axis does.
+func (b Bin) Label() string {
+	switch {
+	case b.Lo == math.MinInt && b.Hi == math.MaxInt:
+		return "all"
+	case b.Lo == math.MinInt:
+		return fmt.Sprintf("<=%d", b.Hi)
+	case b.Hi == math.MaxInt:
+		return fmt.Sprintf(">=%d", b.Lo)
+	case b.Lo == b.Hi:
+		return fmt.Sprintf("%d", b.Lo)
+	default:
+		return fmt.Sprintf("%d-%d", b.Lo, b.Hi)
+	}
+}
+
+// Contains reports whether v falls in the bin.
+func (b Bin) Contains(v int) bool { return v >= b.Lo && v <= b.Hi }
+
+// Histogram counts values per bin for several named series (e.g. the
+// type-1 / type-2 / others classes of Figure 2).
+type Histogram struct {
+	Bins   []Bin
+	Series []string
+	counts map[string][]int
+	totals map[string]int
+}
+
+// NewHistogram creates a histogram over bins for the named series.
+func NewHistogram(bins []Bin, series ...string) *Histogram {
+	h := &Histogram{
+		Bins: bins, Series: series,
+		counts: make(map[string][]int, len(series)),
+		totals: make(map[string]int, len(series)),
+	}
+	for _, s := range series {
+		h.counts[s] = make([]int, len(bins))
+	}
+	return h
+}
+
+// Observe adds one value to a series. Values outside every bin are still
+// counted in the series total (they dilute percentages, matching how the
+// paper's percentages are normalized per class).
+func (h *Histogram) Observe(series string, v int) {
+	c, ok := h.counts[series]
+	if !ok {
+		return
+	}
+	h.totals[series]++
+	for i, b := range h.Bins {
+		if b.Contains(v) {
+			c[i]++
+			return
+		}
+	}
+}
+
+// Count returns the raw count for a series and bin index.
+func (h *Histogram) Count(series string, bin int) int {
+	return h.counts[series][bin]
+}
+
+// Total returns the number of observations in a series.
+func (h *Histogram) Total(series string) int { return h.totals[series] }
+
+// Percent returns the percentage of a series' observations in a bin.
+func (h *Histogram) Percent(series string, bin int) float64 {
+	t := h.totals[series]
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(h.counts[series][bin]) / float64(t)
+}
+
+// Render draws the histogram as a text table: bins as rows, one
+// percentage column per series.
+func (h *Histogram) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	header := append([]string{"SSL record length"}, h.Series...)
+	rows := [][]string{}
+	for i, bin := range h.Bins {
+		row := []string{bin.Label()}
+		for _, s := range h.Series {
+			row = append(row, fmt.Sprintf("%.1f%%", h.Percent(s, i)))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(RenderTable(header, rows))
+	return b.String()
+}
+
+// ConfusionMatrix tallies predicted-vs-actual labels.
+type ConfusionMatrix struct {
+	Labels []string
+	index  map[string]int
+	cells  [][]int
+}
+
+// NewConfusionMatrix creates a matrix over the label set.
+func NewConfusionMatrix(labels ...string) *ConfusionMatrix {
+	m := &ConfusionMatrix{Labels: labels, index: make(map[string]int)}
+	for i, l := range labels {
+		m.index[l] = i
+	}
+	m.cells = make([][]int, len(labels))
+	for i := range m.cells {
+		m.cells[i] = make([]int, len(labels))
+	}
+	return m
+}
+
+// Observe records one (actual, predicted) pair; unknown labels are
+// ignored.
+func (m *ConfusionMatrix) Observe(actual, predicted string) {
+	a, ok1 := m.index[actual]
+	p, ok2 := m.index[predicted]
+	if !ok1 || !ok2 {
+		return
+	}
+	m.cells[a][p]++
+}
+
+// Count returns the cell count for (actual, predicted).
+func (m *ConfusionMatrix) Count(actual, predicted string) int {
+	a, ok1 := m.index[actual]
+	p, ok2 := m.index[predicted]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return m.cells[a][p]
+}
+
+// Accuracy is the fraction of observations on the diagonal.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	var correct, total int
+	for i := range m.cells {
+		for j, c := range m.cells[i] {
+			total += c
+			if i == j {
+				correct += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Recall returns the per-class recall for a label.
+func (m *ConfusionMatrix) Recall(label string) float64 {
+	i, ok := m.index[label]
+	if !ok {
+		return 0
+	}
+	var row int
+	for _, c := range m.cells[i] {
+		row += c
+	}
+	if row == 0 {
+		return 0
+	}
+	return float64(m.cells[i][i]) / float64(row)
+}
+
+// Precision returns the per-class precision for a label.
+func (m *ConfusionMatrix) Precision(label string) float64 {
+	j, ok := m.index[label]
+	if !ok {
+		return 0
+	}
+	var col int
+	for i := range m.cells {
+		col += m.cells[i][j]
+	}
+	if col == 0 {
+		return 0
+	}
+	return float64(m.cells[j][j]) / float64(col)
+}
+
+// Render draws the matrix with per-class recall.
+func (m *ConfusionMatrix) Render() string {
+	header := append([]string{"actual\\predicted"}, m.Labels...)
+	header = append(header, "recall")
+	var rows [][]string
+	for i, l := range m.Labels {
+		row := []string{l}
+		for j := range m.Labels {
+			row = append(row, fmt.Sprintf("%d", m.cells[i][j]))
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", 100*m.Recall(l)))
+		rows = append(rows, row)
+	}
+	return RenderTable(header, rows)
+}
+
+// Percentile returns the p-th percentile (0-100) of values using linear
+// interpolation; it returns 0 for an empty slice.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Min returns the minimum (0 for empty input).
+func Min(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := values[0]
+	for _, v := range values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// RenderTable draws a padded ASCII table.
+func RenderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderBar draws a simple horizontal bar for percentage p.
+func RenderBar(p float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	n := int(p / 100 * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinLabels(t *testing.T) {
+	cases := []struct {
+		b    Bin
+		want string
+	}{
+		{Bin{math.MinInt, 2188}, "<=2188"},
+		{Bin{4334, math.MaxInt}, ">=4334"},
+		{Bin{2211, 2213}, "2211-2213"},
+		{Bin{7, 7}, "7"},
+		{Bin{math.MinInt, math.MaxInt}, "all"},
+	}
+	for _, c := range cases {
+		if got := c.b.Label(); got != c.want {
+			t.Errorf("Label = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBinContains(t *testing.T) {
+	b := Bin{10, 20}
+	for _, v := range []int{10, 15, 20} {
+		if !b.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	for _, v := range []int{9, 21} {
+		if b.Contains(v) {
+			t.Errorf("Contains(%d) = true", v)
+		}
+	}
+}
+
+func TestHistogramPercentages(t *testing.T) {
+	h := NewHistogram([]Bin{{0, 9}, {10, 19}, {20, math.MaxInt}}, "a", "b")
+	for _, v := range []int{1, 2, 3, 12, 25} {
+		h.Observe("a", v)
+	}
+	h.Observe("b", 15)
+	if got := h.Percent("a", 0); got != 60 {
+		t.Errorf("a/bin0 = %v%%", got)
+	}
+	if got := h.Percent("a", 1); got != 20 {
+		t.Errorf("a/bin1 = %v%%", got)
+	}
+	if got := h.Percent("b", 1); got != 100 {
+		t.Errorf("b/bin1 = %v%%", got)
+	}
+	if got := h.Total("a"); got != 5 {
+		t.Errorf("Total(a) = %d", got)
+	}
+}
+
+func TestHistogramUnknownSeriesIgnored(t *testing.T) {
+	h := NewHistogram([]Bin{{0, 10}}, "a")
+	h.Observe("ghost", 5) // must not panic
+	if h.Total("ghost") != 0 {
+		t.Error("ghost series recorded")
+	}
+}
+
+func TestHistogramOutOfBinValueDilutes(t *testing.T) {
+	h := NewHistogram([]Bin{{0, 9}}, "a")
+	h.Observe("a", 5)
+	h.Observe("a", 100) // outside every bin
+	if got := h.Percent("a", 0); got != 50 {
+		t.Errorf("percent = %v, want 50 (diluted)", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]Bin{{math.MinInt, 9}, {10, math.MaxInt}}, "type-1", "others")
+	h.Observe("type-1", 5)
+	h.Observe("others", 50)
+	out := h.Render("demo")
+	for _, want := range []string{"demo", "type-1", "others", "<=9", ">=10", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfusionMatrixMetrics(t *testing.T) {
+	m := NewConfusionMatrix("x", "y")
+	// 3 correct x, 1 x→y, 2 correct y.
+	m.Observe("x", "x")
+	m.Observe("x", "x")
+	m.Observe("x", "x")
+	m.Observe("x", "y")
+	m.Observe("y", "y")
+	m.Observe("y", "y")
+	if got := m.Accuracy(); math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := m.Recall("x"); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Recall(x) = %v", got)
+	}
+	if got := m.Precision("y"); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Precision(y) = %v", got)
+	}
+	if got := m.Count("x", "y"); got != 1 {
+		t.Errorf("Count(x,y) = %d", got)
+	}
+}
+
+func TestConfusionMatrixEmptyAndUnknown(t *testing.T) {
+	m := NewConfusionMatrix("a")
+	if m.Accuracy() != 0 || m.Recall("a") != 0 || m.Precision("a") != 0 {
+		t.Error("empty matrix metrics nonzero")
+	}
+	m.Observe("ghost", "a") // ignored
+	if m.Accuracy() != 0 {
+		t.Error("unknown label recorded")
+	}
+	if m.Recall("ghost") != 0 || m.Precision("ghost") != 0 || m.Count("ghost", "a") != 0 {
+		t.Error("unknown label metrics nonzero")
+	}
+}
+
+func TestConfusionMatrixRender(t *testing.T) {
+	m := NewConfusionMatrix("t1", "t2")
+	m.Observe("t1", "t1")
+	out := m.Render()
+	for _, want := range []string{"t1", "t2", "recall", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	vals := []float64{5, 1, 3}
+	Percentile(vals, 50)
+	if vals[0] != 5 || vals[1] != 1 || vals[2] != 3 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 100)
+		got := Percentile(vals, p)
+		return got >= Min(vals) && got <= Percentile(vals, 100)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMin(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Min([]float64{3, 1, 2}); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty-input Mean/Min nonzero")
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := RenderTable([]string{"col", "verylongheader"},
+		[][]string{{"a", "1"}, {"longcell", "2"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// All lines align to the same width for the first column.
+	if !strings.HasPrefix(lines[3], "longcell  ") {
+		t.Errorf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestRenderBar(t *testing.T) {
+	if got := RenderBar(50, 10); got != "#####....." {
+		t.Errorf("bar = %q", got)
+	}
+	if got := RenderBar(200, 4); got != "####" {
+		t.Errorf("overflow bar = %q", got)
+	}
+	if got := RenderBar(-5, 4); got != "...." {
+		t.Errorf("negative bar = %q", got)
+	}
+}

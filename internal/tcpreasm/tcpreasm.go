@@ -1,0 +1,269 @@
+// Package tcpreasm reassembles TCP byte streams from captured segments.
+//
+// The White Mirror attack operates on TLS records, which span TCP segment
+// boundaries; the analyzer therefore needs per-direction, in-order byte
+// streams with the arrival time of each contributing segment preserved so
+// record timestamps can be recovered. The reassembler handles out-of-order
+// arrival, duplicate segments, overlapping retransmissions (first-copy
+// wins, matching common capture semantics) and sequence-number wraparound.
+package tcpreasm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/layers"
+)
+
+// Chunk is a contiguous run of in-order stream bytes together with the
+// capture timestamp of the segment that first delivered its initial byte.
+type Chunk struct {
+	Time time.Time
+	Data []byte
+	// StreamOffset is the byte offset of Data[0] from the start of the
+	// application stream (the byte after SYN).
+	StreamOffset int64
+}
+
+// Stream is one direction of a TCP conversation.
+type Stream struct {
+	Key layers.FlowKey
+
+	synSeen  bool
+	isn      uint32 // initial sequence number (of SYN)
+	nextRel  int64  // next expected relative offset (bytes delivered)
+	chunks   []Chunk
+	pending  map[int64]pendingSeg // keyed by relative offset
+	finSeen  bool
+	finRel   int64
+	bytesIn  int64 // total payload bytes accepted (including dups trimmed away)
+	segCount int
+}
+
+type pendingSeg struct {
+	time time.Time
+	data []byte
+}
+
+// Chunks returns the in-order chunks delivered so far.
+func (s *Stream) Chunks() []Chunk { return s.chunks }
+
+// Bytes concatenates the delivered stream.
+func (s *Stream) Bytes() []byte {
+	var n int
+	for _, c := range s.chunks {
+		n += len(c.Data)
+	}
+	out := make([]byte, 0, n)
+	for _, c := range s.chunks {
+		out = append(out, c.Data...)
+	}
+	return out
+}
+
+// Len returns the number of contiguous bytes delivered.
+func (s *Stream) Len() int64 { return s.nextRel }
+
+// Complete reports whether a FIN was seen and every byte up to it has
+// been delivered.
+func (s *Stream) Complete() bool { return s.finSeen && s.nextRel >= s.finRel }
+
+// Gaps reports the number of byte ranges still missing before the highest
+// buffered segment, useful for diagnosing lossy captures.
+func (s *Stream) Gaps() int { return len(s.pending) }
+
+// Segments returns the count of payload-bearing segments fed to the stream.
+func (s *Stream) Segments() int { return s.segCount }
+
+// relOffset converts an absolute sequence number to a relative stream
+// offset, tolerating 32-bit wraparound by choosing the representative
+// nearest to the current delivery point.
+func (s *Stream) relOffset(seq uint32) int64 {
+	diff := int64(int32(seq - s.isn - 1)) // -1: SYN consumes one seq number
+	// Unwrap: pick diff + k*2^32 closest to nextRel.
+	const span = int64(1) << 32
+	base := diff
+	for base < s.nextRel-span/2 {
+		base += span
+	}
+	return base
+}
+
+// addSegment ingests one segment's payload.
+func (s *Stream) addSegment(ts time.Time, tcp layers.TCP, payload []byte) {
+	if tcp.Flags&layers.TCPSyn != 0 && !s.synSeen {
+		s.synSeen = true
+		s.isn = tcp.Seq
+		if s.pending == nil {
+			s.pending = make(map[int64]pendingSeg)
+		}
+		return
+	}
+	if !s.synSeen {
+		// Mid-stream capture: adopt the first segment's sequence number as
+		// the stream origin so analysis still works without the handshake.
+		s.synSeen = true
+		s.isn = tcp.Seq - 1
+		if s.pending == nil {
+			s.pending = make(map[int64]pendingSeg)
+		}
+	}
+	if tcp.Flags&layers.TCPFin != 0 {
+		rel := s.relOffset(tcp.Seq) + int64(len(payload))
+		if !s.finSeen || rel < s.finRel {
+			s.finSeen, s.finRel = true, rel
+		}
+	}
+	if len(payload) == 0 {
+		return
+	}
+	s.segCount++
+	s.bytesIn += int64(len(payload))
+
+	rel := s.relOffset(tcp.Seq)
+	end := rel + int64(len(payload))
+	if end <= s.nextRel {
+		return // pure retransmission of delivered data
+	}
+	if rel < s.nextRel {
+		// Partial overlap with delivered data: keep only the new tail.
+		payload = payload[s.nextRel-rel:]
+		rel = s.nextRel
+	}
+	if existing, ok := s.pending[rel]; ok && int64(len(existing.data)) >= int64(len(payload)) {
+		return // duplicate of a buffered segment
+	}
+	s.pending[rel] = pendingSeg{time: ts, data: append([]byte(nil), payload...)}
+	s.drain()
+}
+
+// drain moves every now-contiguous pending segment into the chunk list.
+func (s *Stream) drain() {
+	for {
+		seg, ok := s.pending[s.nextRel]
+		if !ok {
+			// A buffered segment may start before nextRel if a retransmit
+			// filled a gap with overlap; find any segment covering nextRel.
+			found := false
+			for off, p := range s.pending {
+				if off < s.nextRel && off+int64(len(p.data)) > s.nextRel {
+					trimmed := p.data[s.nextRel-off:]
+					delete(s.pending, off)
+					s.pending[s.nextRel] = pendingSeg{time: p.time, data: trimmed}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return
+			}
+			continue
+		}
+		delete(s.pending, s.nextRel)
+		s.chunks = append(s.chunks, Chunk{
+			Time: seg.time, Data: seg.data, StreamOffset: s.nextRel,
+		})
+		s.nextRel += int64(len(seg.data))
+		// Drop any buffered segments now wholly superseded.
+		for off, p := range s.pending {
+			if off+int64(len(p.data)) <= s.nextRel {
+				delete(s.pending, off)
+			}
+		}
+	}
+}
+
+// Assembler demultiplexes packets into per-direction streams.
+type Assembler struct {
+	streams map[layers.FlowKey]*Stream
+	order   []layers.FlowKey // creation order, for deterministic iteration
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{streams: make(map[layers.FlowKey]*Stream)}
+}
+
+// Feed routes one decoded packet to its directional stream, creating the
+// stream on first sight.
+func (a *Assembler) Feed(p *layers.Packet) {
+	key := p.Flow()
+	st, ok := a.streams[key]
+	if !ok {
+		st = &Stream{Key: key, pending: make(map[int64]pendingSeg)}
+		a.streams[key] = st
+		a.order = append(a.order, key)
+	}
+	st.addSegment(p.Timestamp, p.TCP, p.Payload)
+}
+
+// Stream returns the stream for a directional key, or nil.
+func (a *Assembler) Stream(key layers.FlowKey) *Stream {
+	return a.streams[key]
+}
+
+// Streams returns all streams in first-seen order.
+func (a *Assembler) Streams() []*Stream {
+	out := make([]*Stream, 0, len(a.order))
+	for _, k := range a.order {
+		out = append(out, a.streams[k])
+	}
+	return out
+}
+
+// Conversations pairs up directional streams that belong to the same TCP
+// conversation, client side first. The client is taken to be the endpoint
+// with the higher port number when one side uses a well-known port (<1024),
+// otherwise the direction seen first.
+type Conversation struct {
+	ClientToServer *Stream
+	ServerToClient *Stream
+}
+
+// Conversations returns every paired conversation, sorted by the client
+// endpoint for determinism. One-sided captures yield a conversation with a
+// nil reverse stream.
+func (a *Assembler) Conversations() []Conversation {
+	seen := make(map[layers.FlowKey]bool)
+	var convs []Conversation
+	for _, k := range a.order {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		fwd := a.streams[k]
+		var rev *Stream
+		if r, ok := a.streams[k.Reverse()]; ok {
+			rev = r
+			seen[k.Reverse()] = true
+		}
+		c := orient(fwd, rev)
+		convs = append(convs, c)
+	}
+	sort.Slice(convs, func(i, j int) bool {
+		return convKey(convs[i]) < convKey(convs[j])
+	})
+	return convs
+}
+
+func convKey(c Conversation) string {
+	if c.ClientToServer != nil {
+		return c.ClientToServer.Key.String()
+	}
+	return fmt.Sprintf("~%s", c.ServerToClient.Key)
+}
+
+// orient decides which stream is client→server.
+func orient(fwd, rev *Stream) Conversation {
+	clientFirst := true
+	if fwd.Key.DstPort < 1024 && fwd.Key.SrcPort >= 1024 {
+		clientFirst = true
+	} else if fwd.Key.SrcPort < 1024 && fwd.Key.DstPort >= 1024 {
+		clientFirst = false
+	}
+	if clientFirst {
+		return Conversation{ClientToServer: fwd, ServerToClient: rev}
+	}
+	return Conversation{ClientToServer: rev, ServerToClient: fwd}
+}

@@ -1,0 +1,286 @@
+package tcpreasm
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/wire"
+)
+
+var (
+	cli = netip.MustParseAddr("10.0.0.2")
+	srv = netip.MustParseAddr("10.0.0.1")
+	key = layers.FlowKey{SrcAddr: cli, DstAddr: srv, SrcPort: 51000, DstPort: 443}
+)
+
+// seg builds a decoded packet for the test flow.
+func seg(seq uint32, flags layers.TCPFlags, payload []byte, at int) *layers.Packet {
+	return &layers.Packet{
+		Timestamp: time.Unix(1700000000, int64(at)*1e6),
+		IPVersion: 4,
+		IP4:       layers.IPv4{Src: cli, Dst: srv, Protocol: layers.IPProtocolTCP},
+		TCP: layers.TCP{SrcPort: key.SrcPort, DstPort: key.DstPort,
+			Seq: seq, Flags: flags},
+		Payload: payload,
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPPsh|layers.TCPAck, []byte("hello "), 1))
+	a.Feed(seg(1007, layers.TCPPsh|layers.TCPAck, []byte("world"), 2))
+	st := a.Stream(key)
+	if st == nil {
+		t.Fatal("stream not created")
+	}
+	if got := string(st.Bytes()); got != "hello world" {
+		t.Errorf("stream = %q", got)
+	}
+	if st.Len() != 11 {
+		t.Errorf("Len = %d", st.Len())
+	}
+	if st.Gaps() != 0 {
+		t.Errorf("Gaps = %d", st.Gaps())
+	}
+}
+
+func TestOutOfOrderDelivery(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1007, layers.TCPAck, []byte("world"), 1)) // arrives early
+	st := a.Stream(key)
+	if st.Len() != 0 {
+		t.Fatalf("delivered %d bytes before gap filled", st.Len())
+	}
+	if st.Gaps() != 1 {
+		t.Errorf("Gaps = %d, want 1", st.Gaps())
+	}
+	a.Feed(seg(1001, layers.TCPAck, []byte("hello "), 2))
+	if got := string(st.Bytes()); got != "hello world" {
+		t.Errorf("stream = %q", got)
+	}
+}
+
+func TestDuplicateSegmentsIgnored(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPAck, []byte("abc"), 1))
+	a.Feed(seg(1001, layers.TCPAck, []byte("abc"), 2)) // exact retransmit
+	st := a.Stream(key)
+	if got := string(st.Bytes()); got != "abc" {
+		t.Errorf("stream = %q", got)
+	}
+}
+
+func TestOverlappingRetransmitTrimmed(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPAck, []byte("abcd"), 1))
+	// Retransmit covering old data plus two new bytes.
+	a.Feed(seg(1003, layers.TCPAck, []byte("cdEF"), 2))
+	st := a.Stream(key)
+	if got := string(st.Bytes()); got != "abcdEF" {
+		t.Errorf("stream = %q, want abcdEF", got)
+	}
+}
+
+func TestOverlapFillsGapThenTrims(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPAck, []byte("ab"), 1))
+	// Out-of-order segment at offset 4.
+	a.Feed(seg(1005, layers.TCPAck, []byte("ef"), 2))
+	// A retransmit spanning offsets 1..5 bridges the gap with overlap on
+	// both sides.
+	a.Feed(seg(1002, layers.TCPAck, []byte("bcde"), 3))
+	st := a.Stream(key)
+	if got := string(st.Bytes()); got != "abcdef" {
+		t.Errorf("stream = %q, want abcdef", got)
+	}
+	if st.Gaps() != 0 {
+		t.Errorf("Gaps = %d", st.Gaps())
+	}
+}
+
+func TestChunkTimestampsPreserved(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPAck, []byte("aa"), 5))
+	a.Feed(seg(1003, layers.TCPAck, []byte("bb"), 9))
+	st := a.Stream(key)
+	chunks := st.Chunks()
+	if len(chunks) != 2 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	if chunks[0].Time.Nanosecond() != 5e6 || chunks[1].Time.Nanosecond() != 9e6 {
+		t.Errorf("chunk times: %v, %v", chunks[0].Time, chunks[1].Time)
+	}
+	if chunks[0].StreamOffset != 0 || chunks[1].StreamOffset != 2 {
+		t.Errorf("offsets: %d, %d", chunks[0].StreamOffset, chunks[1].StreamOffset)
+	}
+}
+
+func TestFinCompletion(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPAck, []byte("xyz"), 1))
+	st := a.Stream(key)
+	if st.Complete() {
+		t.Error("complete before FIN")
+	}
+	a.Feed(seg(1004, layers.TCPFin|layers.TCPAck, nil, 2))
+	if !st.Complete() {
+		t.Error("not complete after FIN with all bytes delivered")
+	}
+}
+
+func TestFinBeforeGapNotComplete(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1004, layers.TCPAck, []byte("later"), 1)) // gap at 0..3
+	a.Feed(seg(1009, layers.TCPFin|layers.TCPAck, nil, 2))
+	st := a.Stream(key)
+	if st.Complete() {
+		t.Error("complete despite missing bytes")
+	}
+}
+
+func TestMidStreamCaptureAdoptsOrigin(t *testing.T) {
+	// No SYN: first data segment defines the origin.
+	a := NewAssembler()
+	a.Feed(seg(5000, layers.TCPAck, []byte("mid"), 0))
+	a.Feed(seg(5003, layers.TCPAck, []byte("str"), 1))
+	st := a.Stream(key)
+	if got := string(st.Bytes()); got != "midstr" {
+		t.Errorf("stream = %q", got)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	a := NewAssembler()
+	isn := uint32(0xfffffff0)
+	a.Feed(seg(isn, layers.TCPSyn, nil, 0))
+	payload1 := bytes.Repeat([]byte("a"), 20) // crosses the 2^32 boundary
+	a.Feed(seg(isn+1, layers.TCPAck, payload1, 1))
+	a.Feed(seg(isn+21, layers.TCPAck, []byte("tail"), 2)) // wrapped seq
+	st := a.Stream(key)
+	want := string(payload1) + "tail"
+	if got := string(st.Bytes()); got != want {
+		t.Errorf("wraparound stream = %q (len %d), want len %d", got, len(got), len(want))
+	}
+}
+
+func TestConversationPairing(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPAck, []byte("req"), 1))
+	// Reverse direction.
+	back := &layers.Packet{
+		Timestamp: time.Unix(1700000000, 0),
+		IPVersion: 4,
+		IP4:       layers.IPv4{Src: srv, Dst: cli},
+		TCP: layers.TCP{SrcPort: 443, DstPort: 51000, Seq: 9000,
+			Flags: layers.TCPSyn | layers.TCPAck},
+	}
+	a.Feed(back)
+	back2 := *back
+	back2.TCP.Seq = 9001
+	back2.TCP.Flags = layers.TCPAck
+	back2.Payload = []byte("resp")
+	a.Feed(&back2)
+
+	convs := a.Conversations()
+	if len(convs) != 1 {
+		t.Fatalf("conversations = %d, want 1", len(convs))
+	}
+	c := convs[0]
+	if c.ClientToServer == nil || c.ServerToClient == nil {
+		t.Fatal("conversation not fully paired")
+	}
+	if c.ClientToServer.Key.DstPort != 443 {
+		t.Errorf("client→server misoriented: %v", c.ClientToServer.Key)
+	}
+	if got := string(c.ClientToServer.Bytes()); got != "req" {
+		t.Errorf("c2s = %q", got)
+	}
+	if got := string(c.ServerToClient.Bytes()); got != "resp" {
+		t.Errorf("s2c = %q", got)
+	}
+}
+
+func TestConversationOrientationByPort(t *testing.T) {
+	// Server→client direction seen first must still orient client first.
+	a := NewAssembler()
+	back := &layers.Packet{
+		Timestamp: time.Unix(0, 0), IPVersion: 4,
+		IP4: layers.IPv4{Src: srv, Dst: cli},
+		TCP: layers.TCP{SrcPort: 443, DstPort: 51000, Seq: 1,
+			Flags: layers.TCPAck},
+		Payload: []byte("early"),
+	}
+	a.Feed(back)
+	convs := a.Conversations()
+	if len(convs) != 1 {
+		t.Fatalf("conversations = %d", len(convs))
+	}
+	if convs[0].ServerToClient == nil {
+		t.Fatal("server stream missing")
+	}
+	if convs[0].ServerToClient.Key.SrcPort != 443 {
+		t.Errorf("orientation wrong: %v", convs[0].ServerToClient.Key)
+	}
+	if convs[0].ClientToServer != nil {
+		t.Errorf("one-sided capture should leave client stream nil")
+	}
+}
+
+// TestRandomizedReorderProperty verifies the core reassembly invariant:
+// any segmentation of a byte stream, delivered in any order with random
+// duplication, reproduces exactly the original stream.
+func TestRandomizedReorderProperty(t *testing.T) {
+	f := func(seed uint64, streamLen16 uint16) bool {
+		rng := wire.NewRNG(seed)
+		streamLen := int(streamLen16%2000) + 1
+		stream := make([]byte, streamLen)
+		for i := range stream {
+			stream[i] = byte(rng.Uint64())
+		}
+		// Random segmentation.
+		type rawSeg struct {
+			off, n int
+		}
+		var segs []rawSeg
+		for off := 0; off < streamLen; {
+			n := rng.IntRange(1, 400)
+			if off+n > streamLen {
+				n = streamLen - off
+			}
+			segs = append(segs, rawSeg{off, n})
+			off += n
+		}
+		// Duplicate ~20% of segments, then shuffle.
+		for _, s := range segs {
+			if rng.Bool(0.2) {
+				segs = append(segs, s)
+			}
+		}
+		rng.Shuffle(len(segs), func(i, j int) { segs[i], segs[j] = segs[j], segs[i] })
+
+		a := NewAssembler()
+		isn := uint32(rng.Uint64())
+		a.Feed(seg(isn, layers.TCPSyn, nil, 0))
+		for i, s := range segs {
+			a.Feed(seg(isn+1+uint32(s.off), layers.TCPAck, stream[s.off:s.off+s.n], i+1))
+		}
+		st := a.Stream(key)
+		return bytes.Equal(st.Bytes(), stream) && st.Gaps() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

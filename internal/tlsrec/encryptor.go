@@ -1,0 +1,91 @@
+package tlsrec
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Encryptor is the write-side length model: it turns application writes
+// into sequences of framed records exactly as a TLS stack would, so the
+// simulator can synthesize the ciphertext byte stream an eavesdropper
+// observes. Record bodies are filled with PRNG noise (they are opaque to
+// the attack; realistic entropy keeps accidental structure out of tests).
+type Encryptor struct {
+	Suite    CipherSuite
+	Splitter Splitter
+	Version  Version
+	rng      *wire.RNG
+}
+
+// NewEncryptor returns an Encryptor for the given suite and splitter.
+// rng may be nil, in which case record bodies are zero-filled.
+func NewEncryptor(suite CipherSuite, sp Splitter, ver Version, rng *wire.RNG) *Encryptor {
+	if ver == 0 {
+		ver = VersionTLS12
+	}
+	return &Encryptor{Suite: suite, Splitter: sp, Version: ver, rng: rng}
+}
+
+// WriteApplicationData frames one application-layer write of n plaintext
+// bytes into w and returns the resulting record descriptors (with Time
+// set to ts). Only the length of the plaintext matters; bodies are noise.
+func (e *Encryptor) WriteApplicationData(w *wire.Writer, ts time.Time, n int) []Record {
+	return e.write(w, ts, ContentApplicationData, n)
+}
+
+// WriteHandshake frames a handshake message of n bytes.
+func (e *Encryptor) WriteHandshake(w *wire.Writer, ts time.Time, n int) []Record {
+	return e.write(w, ts, ContentHandshake, n)
+}
+
+func (e *Encryptor) write(w *wire.Writer, ts time.Time, typ ContentType, n int) []Record {
+	var out []Record
+	for _, pt := range e.Splitter.Split(n) {
+		ct := e.Suite.CiphertextLen(pt)
+		body := make([]byte, ct)
+		if e.rng != nil {
+			for i := range body {
+				body[i] = byte(e.rng.Uint64())
+			}
+		}
+		off := int64(w.Len())
+		AppendRecord(w, typ, e.Version, body)
+		out = append(out, Record{
+			Type: typ, Version: e.Version, Length: ct,
+			Time: ts, StreamOffset: off,
+		})
+	}
+	return out
+}
+
+// HandshakeTranscript appends a plausible client-side TLS handshake
+// (ClientHello, then ChangeCipherSpec + Finished) to w. Sizes follow the
+// observed ranges for 2019-era browsers: the attack must correctly skip
+// these records, so captures include them.
+func (e *Encryptor) HandshakeTranscript(w *wire.Writer, ts time.Time, helloLen int) []Record {
+	var out []Record
+	hello := make([]byte, helloLen)
+	if e.rng != nil {
+		for i := range hello {
+			hello[i] = byte(e.rng.Uint64())
+		}
+	}
+	off := int64(w.Len())
+	AppendRecord(w, ContentHandshake, VersionTLS10, hello)
+	out = append(out, Record{Type: ContentHandshake, Version: VersionTLS10,
+		Length: helloLen, Time: ts, StreamOffset: off})
+
+	off = int64(w.Len())
+	AppendRecord(w, ContentChangeCipherSpec, e.Version, []byte{1})
+	out = append(out, Record{Type: ContentChangeCipherSpec, Version: e.Version,
+		Length: 1, Time: ts, StreamOffset: off})
+
+	finished := e.Suite.CiphertextLen(16)
+	body := make([]byte, finished)
+	off = int64(w.Len())
+	AppendRecord(w, ContentHandshake, e.Version, body)
+	out = append(out, Record{Type: ContentHandshake, Version: e.Version,
+		Length: finished, Time: ts, StreamOffset: off})
+	return out
+}

@@ -1,0 +1,122 @@
+package tlsrec
+
+// CipherSuite describes how a cipher transforms plaintext length into
+// ciphertext fragment length. Only the length arithmetic matters to the
+// side-channel, so suites are modelled by their expansion parameters
+// rather than actual cryptography.
+type CipherSuite struct {
+	Name string
+	// ExplicitNonceLen bytes are prepended to each fragment (8 for
+	// AES-GCM in TLS 1.2, 0 for ChaCha20-Poly1305 and TLS 1.3 suites).
+	ExplicitNonceLen int
+	// TagLen is the AEAD tag or MAC appended to each fragment.
+	TagLen int
+	// BlockLen, when nonzero, pads plaintext+MAC to a multiple of the
+	// block size plus one padding-length byte (CBC suites).
+	BlockLen int
+	// InnerTypeByte is 1 for TLS 1.3, whose TLSInnerPlaintext appends a
+	// content-type byte (plus optional padding, see PadTo).
+	InnerTypeByte int
+	// PadTo, when nonzero, pads the TLS 1.3 inner plaintext up to a
+	// multiple of PadTo bytes before encryption (record padding defense).
+	PadTo int
+}
+
+// Standard suites used by the condition profiles.
+var (
+	// SuiteAESGCM128TLS12 models TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+	// the suite Netflix negotiated with desktop browsers in 2018/19.
+	SuiteAESGCM128TLS12 = CipherSuite{
+		Name: "AES_128_GCM/TLS1.2", ExplicitNonceLen: 8, TagLen: 16,
+	}
+	// SuiteChaChaTLS12 models TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305.
+	SuiteChaChaTLS12 = CipherSuite{
+		Name: "CHACHA20_POLY1305/TLS1.2", TagLen: 16,
+	}
+	// SuiteAESCBC256TLS12 models an older CBC+HMAC-SHA1 suite, giving the
+	// block-aligned record lengths seen from some legacy stacks.
+	SuiteAESCBC256TLS12 = CipherSuite{
+		Name: "AES_256_CBC_SHA/TLS1.2", TagLen: 20, BlockLen: 16,
+		ExplicitNonceLen: 16, // explicit IV
+	}
+	// SuiteAESGCM128TLS13 models TLS_AES_128_GCM_SHA256 under TLS 1.3.
+	SuiteAESGCM128TLS13 = CipherSuite{
+		Name: "AES_128_GCM/TLS1.3", TagLen: 16, InnerTypeByte: 1,
+	}
+)
+
+// CiphertextLen returns the ciphertext fragment length produced by
+// encrypting a plaintext of n bytes.
+func (s CipherSuite) CiphertextLen(n int) int {
+	inner := n + s.InnerTypeByte
+	if s.PadTo > 0 {
+		if rem := inner % s.PadTo; rem != 0 {
+			inner += s.PadTo - rem
+		}
+	}
+	if s.BlockLen > 0 {
+		// CBC: plaintext + MAC + at least one padding byte, rounded up to
+		// the block size, plus the explicit IV.
+		body := inner + s.TagLen + 1
+		if rem := body % s.BlockLen; rem != 0 {
+			body += s.BlockLen - rem
+		}
+		return s.ExplicitNonceLen + body
+	}
+	return s.ExplicitNonceLen + inner + s.TagLen
+}
+
+// PlaintextLen inverts CiphertextLen for stream/AEAD suites; for CBC
+// suites the inverse is ambiguous (padding), so the maximum plaintext
+// consistent with the ciphertext length is returned.
+func (s CipherSuite) PlaintextLen(ct int) int {
+	if s.BlockLen > 0 {
+		return ct - s.ExplicitNonceLen - s.TagLen - 1 - s.InnerTypeByte
+	}
+	n := ct - s.ExplicitNonceLen - s.TagLen - s.InnerTypeByte
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Splitter models how a TLS stack fragments one application write into
+// records. Real stacks differ: most write up to 16 KiB per record, some
+// cap records near the TCP MSS, and some split the first record
+// (1/n-1 splitting against BEAST). These differences move the record
+// lengths between conditions — the reason the paper trains per condition.
+type Splitter struct {
+	// MaxPlaintext caps the plaintext bytes per record (<= 16384).
+	MaxPlaintext int
+	// FirstRecordMax, when nonzero, caps only the first record of each
+	// write (1/n-1-style splitting uses 1).
+	FirstRecordMax int
+}
+
+// DefaultSplitter writes full 16 KiB records.
+var DefaultSplitter = Splitter{MaxPlaintext: 16384}
+
+// Split returns the plaintext record sizes for one application write of
+// n bytes. A zero-byte write still produces one empty record.
+func (sp Splitter) Split(n int) []int {
+	maxPT := sp.MaxPlaintext
+	if maxPT <= 0 || maxPT > 16384 {
+		maxPT = 16384
+	}
+	if n == 0 {
+		return []int{0}
+	}
+	var out []int
+	remaining := n
+	if sp.FirstRecordMax > 0 && sp.FirstRecordMax < maxPT {
+		first := min(sp.FirstRecordMax, remaining)
+		out = append(out, first)
+		remaining -= first
+	}
+	for remaining > 0 {
+		k := min(maxPT, remaining)
+		out = append(out, k)
+		remaining -= k
+	}
+	return out
+}

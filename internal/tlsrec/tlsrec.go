@@ -1,0 +1,217 @@
+// Package tlsrec models the TLS/SSL record layer as seen by a passive
+// eavesdropper: the 5-byte plaintext record header (content type, version,
+// length) followed by an opaque ciphertext body.
+//
+// The White Mirror side-channel is exactly the record length field, which
+// stays visible after encryption. This package provides (a) framing —
+// writing and parsing record streams — and (b) a length model: how many
+// ciphertext bytes a given plaintext produces under a cipher suite, and
+// how a TLS stack splits large writes into records. The simulator uses the
+// forward direction to synthesize traffic and the attack uses the parser.
+package tlsrec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ContentType is the TLS record content type byte.
+type ContentType uint8
+
+// Content types relevant to the pipeline.
+const (
+	ContentChangeCipherSpec ContentType = 20
+	ContentAlert            ContentType = 21
+	ContentHandshake        ContentType = 22
+	ContentApplicationData  ContentType = 23
+)
+
+// String names the content type.
+func (c ContentType) String() string {
+	switch c {
+	case ContentChangeCipherSpec:
+		return "change_cipher_spec"
+	case ContentAlert:
+		return "alert"
+	case ContentHandshake:
+		return "handshake"
+	case ContentApplicationData:
+		return "application_data"
+	default:
+		return fmt.Sprintf("content(%d)", uint8(c))
+	}
+}
+
+// Version is the TLS record-layer protocol version.
+type Version uint16
+
+// Record-layer versions.
+const (
+	VersionTLS10 Version = 0x0301
+	VersionTLS12 Version = 0x0303
+	// VersionTLS13 records still carry 0x0303 on the wire; the constant
+	// exists for suite descriptions only.
+	VersionTLS13 Version = 0x0304
+)
+
+// headerLen is the record header size: type(1) + version(2) + length(2).
+const headerLen = 5
+
+// MaxRecordPayload is the maximum TLSCiphertext fragment length
+// (2^14 + 2048, RFC 5246 §6.2.3).
+const MaxRecordPayload = 16384 + 2048
+
+// Errors from the parser.
+var (
+	ErrShortRecord = errors.New("tlsrec: record extends past available bytes")
+	ErrBadLength   = errors.New("tlsrec: record length exceeds protocol maximum")
+	ErrBadVersion  = errors.New("tlsrec: implausible record version")
+)
+
+// Record is one TLS record as observed on the wire.
+type Record struct {
+	Type    ContentType
+	Version Version
+	// Length is the ciphertext fragment length from the header — the
+	// side-channel value the attack classifies.
+	Length int
+	// Time is the capture timestamp of the TCP segment that carried the
+	// record's first byte.
+	Time time.Time
+	// StreamOffset is the record header's byte offset in the TCP stream.
+	StreamOffset int64
+	// Body holds the (opaque) fragment bytes when parsed from a full
+	// stream; nil when only lengths were recovered.
+	Body []byte
+}
+
+// WireLen is the record's total on-wire size including the header.
+func (r Record) WireLen() int { return headerLen + r.Length }
+
+// AppendRecord frames body as a single record. It panics if body exceeds
+// MaxRecordPayload, which indicates a splitter bug upstream.
+func AppendRecord(w *wire.Writer, typ ContentType, ver Version, body []byte) {
+	if len(body) > MaxRecordPayload {
+		panic(fmt.Sprintf("tlsrec: fragment of %d bytes exceeds maximum", len(body)))
+	}
+	w.U8(uint8(typ))
+	w.U16(uint16(ver))
+	w.U16(uint16(len(body)))
+	w.Write(body)
+}
+
+// timeAt resolves the capture time for a stream offset given chunk
+// boundaries, implemented by the caller as a closure; see ParseStream.
+type timeAt func(off int64) time.Time
+
+// ParseStream scans a reassembled TCP byte stream and returns every
+// complete TLS record. at maps stream offsets to capture times (pass nil
+// to leave timestamps zero). Parsing is strict about structure (lengths,
+// known content types for the first record) but tolerates a trailing
+// partial record, returning the records recovered so far plus the number
+// of trailing bytes it could not consume.
+func ParseStream(stream []byte, at timeAt) ([]Record, int, error) {
+	var recs []Record
+	off := 0
+	for off+headerLen <= len(stream) {
+		typ := ContentType(stream[off])
+		ver := Version(uint16(stream[off+1])<<8 | uint16(stream[off+2]))
+		length := int(stream[off+3])<<8 | int(stream[off+4])
+		if err := validateHeader(typ, ver, length, len(recs) == 0); err != nil {
+			return recs, len(stream) - off, err
+		}
+		if off+headerLen+length > len(stream) {
+			// Trailing partial record: normal for live or truncated captures.
+			break
+		}
+		rec := Record{
+			Type: typ, Version: ver, Length: length,
+			StreamOffset: int64(off),
+			Body:         stream[off+headerLen : off+headerLen+length],
+		}
+		if at != nil {
+			rec.Time = at(int64(off))
+		}
+		recs = append(recs, rec)
+		off += headerLen + length
+	}
+	return recs, len(stream) - off, nil
+}
+
+func validateHeader(typ ContentType, ver Version, length int, first bool) error {
+	if length > MaxRecordPayload {
+		return fmt.Errorf("%w: %d", ErrBadLength, length)
+	}
+	switch typ {
+	case ContentChangeCipherSpec, ContentAlert, ContentHandshake, ContentApplicationData:
+	default:
+		return fmt.Errorf("tlsrec: unknown content type %d at record boundary", typ)
+	}
+	if first {
+		// The first record of a TLS connection is a handshake record with
+		// a plausible version; anything else means we are not looking at
+		// TLS (or the capture started mid-record).
+		if ver>>8 != 0x03 {
+			return fmt.Errorf("%w: %#04x", ErrBadVersion, uint16(ver))
+		}
+	}
+	return nil
+}
+
+// StreamParser is an incremental record scanner for live feeds: bytes are
+// appended as segments arrive and completed records pop out.
+type StreamParser struct {
+	buf    []byte
+	offset int64 // stream offset of buf[0]
+	now    time.Time
+	recs   []Record
+	err    error
+}
+
+// NewStreamParser returns an empty incremental parser.
+func NewStreamParser() *StreamParser { return &StreamParser{} }
+
+// Feed appends stream bytes that arrived at time ts. Completed records are
+// retrievable via Records.
+func (p *StreamParser) Feed(ts time.Time, data []byte) {
+	if p.err != nil {
+		return
+	}
+	p.now = ts
+	p.buf = append(p.buf, data...)
+	for len(p.buf) >= headerLen {
+		typ := ContentType(p.buf[0])
+		ver := Version(uint16(p.buf[1])<<8 | uint16(p.buf[2]))
+		length := int(p.buf[3])<<8 | int(p.buf[4])
+		if err := validateHeader(typ, ver, length, p.offset == 0 && len(p.recs) == 0); err != nil {
+			p.err = err
+			return
+		}
+		if len(p.buf) < headerLen+length {
+			return
+		}
+		body := append([]byte(nil), p.buf[headerLen:headerLen+length]...)
+		p.recs = append(p.recs, Record{
+			Type: typ, Version: ver, Length: length,
+			Time: ts, StreamOffset: p.offset, Body: body,
+		})
+		p.buf = p.buf[headerLen+length:]
+		p.offset += int64(headerLen + length)
+	}
+}
+
+// Records drains and returns the completed records.
+func (p *StreamParser) Records() []Record {
+	out := p.recs
+	p.recs = nil
+	return out
+}
+
+// Err reports a fatal framing error, after which Feed is a no-op.
+func (p *StreamParser) Err() error { return p.err }
+
+// Pending returns the number of buffered bytes not yet forming a record.
+func (p *StreamParser) Pending() int { return len(p.buf) }

@@ -1,0 +1,218 @@
+// Package viewer models the study population: the behavioural attributes
+// the IITM-Bandersnatch dataset records for each volunteer (age group,
+// gender, political alignment, state of mind — the paper's Table I) and a
+// trait-conditioned choice model that turns those attributes into decision
+// probabilities at each choice point. The model is synthetic but gives the
+// dataset the property the paper needs: paths correlate with behavioural
+// attributes, so recovering the path leaks information about the viewer.
+package viewer
+
+import (
+	"fmt"
+
+	"repro/internal/script"
+	"repro/internal/wire"
+)
+
+// AgeGroup buckets follow the paper's Table I.
+type AgeGroup string
+
+// Age groups.
+const (
+	AgeUnder20 AgeGroup = "<20"
+	Age20to25  AgeGroup = "20-25"
+	Age25to30  AgeGroup = "25-30"
+	AgeOver30  AgeGroup = ">30"
+)
+
+// Gender values from Table I.
+type Gender string
+
+// Genders.
+const (
+	GenderMale        Gender = "male"
+	GenderFemale      Gender = "female"
+	GenderUndisclosed Gender = "undisclosed"
+)
+
+// PoliticalAlignment values from Table I.
+type PoliticalAlignment string
+
+// Political alignments.
+const (
+	PoliticsLiberal     PoliticalAlignment = "liberal"
+	PoliticsCentrist    PoliticalAlignment = "centrist"
+	PoliticsCommunist   PoliticalAlignment = "communist"
+	PoliticsUndisclosed PoliticalAlignment = "undisclosed"
+)
+
+// StateOfMind values from Table I.
+type StateOfMind string
+
+// States of mind.
+const (
+	MindHappy       StateOfMind = "happy"
+	MindStressed    StateOfMind = "stressed"
+	MindSad         StateOfMind = "sad"
+	MindUndisclosed StateOfMind = "undisclosed"
+)
+
+// Enumerations of each behavioural axis, for dataset summaries.
+var (
+	AllAgeGroups = []AgeGroup{AgeUnder20, Age20to25, Age25to30, AgeOver30}
+	AllGenders   = []Gender{GenderMale, GenderFemale, GenderUndisclosed}
+	AllPolitics  = []PoliticalAlignment{PoliticsLiberal, PoliticsCentrist,
+		PoliticsCommunist, PoliticsUndisclosed}
+	AllMinds = []StateOfMind{MindHappy, MindStressed, MindSad, MindUndisclosed}
+)
+
+// Viewer is one study participant.
+type Viewer struct {
+	ID       string
+	Age      AgeGroup
+	Gender   Gender
+	Politics PoliticalAlignment
+	Mind     StateOfMind
+	// Decisiveness in [0,1] scales how quickly the viewer answers choice
+	// questions within the ten-second window; indecisive viewers also let
+	// the timer expire (auto-default) more often.
+	Decisiveness float64
+}
+
+// SamplePopulation draws n viewers with realistic attribute marginals.
+func SamplePopulation(n int, rng *wire.RNG) []Viewer {
+	out := make([]Viewer, n)
+	for i := range out {
+		out[i] = Viewer{
+			ID:           fmt.Sprintf("viewer-%03d", i+1),
+			Age:          AllAgeGroups[rng.Choice([]float64{0.15, 0.35, 0.3, 0.2})],
+			Gender:       AllGenders[rng.Choice([]float64{0.48, 0.42, 0.10})],
+			Politics:     AllPolitics[rng.Choice([]float64{0.3, 0.25, 0.15, 0.3})],
+			Mind:         AllMinds[rng.Choice([]float64{0.35, 0.3, 0.15, 0.2})],
+			Decisiveness: clamp01(rng.Normal(0.6, 0.2)),
+		}
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// DefaultProbability returns the probability that v takes the default
+// branch at choice c. The mapping is the synthetic ground truth linking
+// behaviour to choices: e.g. stressed viewers skew toward the
+// anxiety-default (therapist) branch, politically aligned viewers pick
+// the matching pamphlet, and high violence-affinity correlates with the
+// aggressive alternative at violence-tagged choices.
+func DefaultProbability(v Viewer, c script.Choice) float64 {
+	p := 0.62 // base rate: defaults win more often (prefetch bias + timer expiry)
+	switch c.Trait {
+	case script.TraitFood, script.TraitMusic:
+		// Benign taste choices: nearly uniform with mild default bias.
+		p = 0.55
+	case script.TraitAnxiety:
+		switch v.Mind {
+		case MindStressed:
+			p += 0.18
+		case MindSad:
+			p += 0.08
+		case MindHappy:
+			p -= 0.10
+		}
+	case script.TraitViolence:
+		// The default branches at violence choices are the non-violent
+		// options in the case-study graph.
+		switch v.Mind {
+		case MindStressed:
+			p -= 0.15
+		case MindHappy:
+			p += 0.10
+		}
+		if v.Age == AgeUnder20 {
+			p -= 0.08
+		}
+	case script.TraitPolitics:
+		// The default at the politics choice is the collectivist pamphlet.
+		switch v.Politics {
+		case PoliticsCommunist:
+			p += 0.25
+		case PoliticsLiberal:
+			p -= 0.05
+		case PoliticsCentrist:
+			p -= 0.12
+		}
+	case script.TraitCuriosity:
+		if v.Age == AgeUnder20 || v.Age == Age20to25 {
+			p -= 0.10
+		}
+	}
+	// Indecisive viewers ride the timer into the default more often.
+	p += (1 - v.Decisiveness) * 0.1
+	return clamp01n(p, 0.05, 0.95)
+}
+
+func clamp01n(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// DecisionDelayFraction returns where in the choice window the viewer
+// commits, as a fraction in [0.1, 1.0] of the window; 1.0 means the timer
+// expired (auto-default).
+func DecisionDelayFraction(v Viewer, rng *wire.RNG) float64 {
+	if rng.Bool((1 - v.Decisiveness) * 0.3) {
+		return 1.0 // let the timer expire
+	}
+	f := rng.Normal(0.45+0.35*(1-v.Decisiveness), 0.15)
+	return clamp01n(f, 0.1, 0.99)
+}
+
+// Decide rolls v's decision at choice c: returns true for the default
+// branch, plus the fraction of the window consumed.
+func Decide(v Viewer, c script.Choice, rng *wire.RNG) (tookDefault bool, delayFrac float64) {
+	delayFrac = DecisionDelayFraction(v, rng)
+	if delayFrac >= 1.0 {
+		return true, 1.0 // timer expiry always yields the default
+	}
+	return rng.Bool(DefaultProbability(v, c)), delayFrac
+}
+
+// DecideWalk rolls a full decision vector for a walk through g.
+func DecideWalk(v Viewer, g *script.Graph, maxChoices int, rng *wire.RNG) (script.Path, error) {
+	decisions := make([]bool, 0, maxChoices)
+	// Walk interactively: at each choice point roll a decision.
+	cur := g.Start
+	for len(decisions) <= maxChoices {
+		s, ok := g.Segment(cur)
+		if !ok {
+			return script.Path{}, fmt.Errorf("viewer: walk reached missing segment %q", cur)
+		}
+		if s.Ending {
+			break
+		}
+		if s.Choice == nil {
+			cur = s.Next
+			continue
+		}
+		d, _ := Decide(v, *s.Choice, rng)
+		decisions = append(decisions, d)
+		if d {
+			cur = s.Choice.Default
+		} else {
+			cur = s.Choice.Alternative
+		}
+	}
+	return g.Walk(decisions)
+}

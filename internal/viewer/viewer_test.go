@@ -1,0 +1,180 @@
+package viewer
+
+import (
+	"testing"
+
+	"repro/internal/script"
+	"repro/internal/wire"
+)
+
+func TestSamplePopulationSize(t *testing.T) {
+	pop := SamplePopulation(100, wire.NewRNG(1))
+	if len(pop) != 100 {
+		t.Fatalf("population = %d", len(pop))
+	}
+	ids := map[string]bool{}
+	for _, v := range pop {
+		if ids[v.ID] {
+			t.Errorf("duplicate viewer ID %s", v.ID)
+		}
+		ids[v.ID] = true
+		if v.Decisiveness < 0 || v.Decisiveness > 1 {
+			t.Errorf("%s decisiveness %v out of [0,1]", v.ID, v.Decisiveness)
+		}
+	}
+}
+
+func TestSamplePopulationCoversAxes(t *testing.T) {
+	pop := SamplePopulation(200, wire.NewRNG(2))
+	ages := map[AgeGroup]int{}
+	genders := map[Gender]int{}
+	politics := map[PoliticalAlignment]int{}
+	minds := map[StateOfMind]int{}
+	for _, v := range pop {
+		ages[v.Age]++
+		genders[v.Gender]++
+		politics[v.Politics]++
+		minds[v.Mind]++
+	}
+	if len(ages) != len(AllAgeGroups) {
+		t.Errorf("age groups covered: %d", len(ages))
+	}
+	if len(genders) != len(AllGenders) {
+		t.Errorf("genders covered: %d", len(genders))
+	}
+	if len(politics) != len(AllPolitics) {
+		t.Errorf("political alignments covered: %d", len(politics))
+	}
+	if len(minds) != len(AllMinds) {
+		t.Errorf("states of mind covered: %d", len(minds))
+	}
+}
+
+func TestSamplePopulationDeterministic(t *testing.T) {
+	a := SamplePopulation(50, wire.NewRNG(7))
+	b := SamplePopulation(50, wire.NewRNG(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("viewer %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestDefaultProbabilityBounded(t *testing.T) {
+	g := script.Bandersnatch()
+	pop := SamplePopulation(100, wire.NewRNG(3))
+	for _, cp := range g.ChoicePoints() {
+		for _, v := range pop {
+			p := DefaultProbability(v, *cp.Choice)
+			if p < 0.05 || p > 0.95 {
+				t.Fatalf("P(default) = %v for %s at %s", p, v.ID, cp.ID)
+			}
+		}
+	}
+}
+
+func TestPoliticsInfluencesPoliticalChoice(t *testing.T) {
+	g := script.Bandersnatch()
+	var politicalChoice *script.Choice
+	for _, cp := range g.ChoicePoints() {
+		if cp.Choice.Trait == script.TraitPolitics {
+			politicalChoice = cp.Choice
+			break
+		}
+	}
+	if politicalChoice == nil {
+		t.Fatal("no politics-tagged choice in graph")
+	}
+	base := Viewer{Decisiveness: 0.6}
+	communist, centrist := base, base
+	communist.Politics = PoliticsCommunist
+	centrist.Politics = PoliticsCentrist
+	if DefaultProbability(communist, *politicalChoice) <= DefaultProbability(centrist, *politicalChoice) {
+		t.Error("political alignment does not shift the politics choice")
+	}
+}
+
+func TestMindInfluencesAnxietyChoice(t *testing.T) {
+	c := script.Choice{Trait: script.TraitAnxiety}
+	stressed := Viewer{Mind: MindStressed, Decisiveness: 0.6}
+	happy := Viewer{Mind: MindHappy, Decisiveness: 0.6}
+	if DefaultProbability(stressed, c) <= DefaultProbability(happy, c) {
+		t.Error("state of mind does not shift the anxiety choice")
+	}
+}
+
+func TestDecisionDelayBounds(t *testing.T) {
+	rng := wire.NewRNG(11)
+	v := Viewer{Decisiveness: 0.5}
+	sawExpiry := false
+	for i := 0; i < 1000; i++ {
+		f := DecisionDelayFraction(v, rng)
+		if f < 0.1 || f > 1.0 {
+			t.Fatalf("delay fraction %v out of bounds", f)
+		}
+		if f == 1.0 {
+			sawExpiry = true
+		}
+	}
+	if !sawExpiry {
+		t.Error("timer expiry never sampled for a middling viewer")
+	}
+}
+
+func TestTimerExpiryYieldsDefault(t *testing.T) {
+	// A maximally indecisive viewer expires often; every expiry must
+	// produce the default branch.
+	rng := wire.NewRNG(13)
+	v := Viewer{Decisiveness: 0}
+	c := script.Choice{Trait: script.TraitViolence}
+	for i := 0; i < 500; i++ {
+		tookDefault, frac := Decide(v, c, rng)
+		if frac >= 1.0 && !tookDefault {
+			t.Fatal("timer expiry took the alternative branch")
+		}
+	}
+}
+
+func TestDecideWalkReachesEnding(t *testing.T) {
+	g := script.Bandersnatch()
+	rng := wire.NewRNG(17)
+	pop := SamplePopulation(30, rng.Fork(1))
+	for _, v := range pop {
+		p, err := DecideWalk(v, g, script.BandersnatchMaxChoices, rng.Fork(uint64(len(v.ID))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last, _ := g.Segment(p.Segments[len(p.Segments)-1])
+		if !last.Ending {
+			t.Fatalf("%s walk stopped at %s", v.ID, last.ID)
+		}
+		if len(p.Decisions) == 0 {
+			t.Fatalf("%s made no decisions", v.ID)
+		}
+	}
+}
+
+func TestPathsVaryAcrossPopulation(t *testing.T) {
+	g := script.Bandersnatch()
+	rng := wire.NewRNG(19)
+	pop := SamplePopulation(40, rng.Fork(1))
+	paths := map[string]int{}
+	for i, v := range pop {
+		p, err := DecideWalk(v, g, script.BandersnatchMaxChoices, rng.Fork(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := ""
+		for _, d := range p.Decisions {
+			if d {
+				key += "D"
+			} else {
+				key += "A"
+			}
+		}
+		paths[key]++
+	}
+	if len(paths) < 5 {
+		t.Errorf("only %d distinct paths over 40 viewers; choice model too rigid", len(paths))
+	}
+}

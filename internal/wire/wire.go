@@ -1,0 +1,211 @@
+// Package wire provides low-level byte packing/unpacking helpers, the
+// Internet checksum, and a deterministic PRNG shared by every simulator
+// module so that whole-repo experiments are reproducible from a single seed.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned when a decode runs past the end of its input.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// Reader is a bounds-checked big-endian cursor over a byte slice.
+// All Read* methods record the first error and become no-ops afterwards,
+// so a decode routine can issue a sequence of reads and check Err once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader positioned at the start of buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err reports the first error encountered by any Read* call.
+func (r *Reader) Err() error { return r.err }
+
+// Offset returns the number of bytes consumed so far.
+func (r *Reader) Offset() int { return r.off }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int {
+	if r.off >= len(r.buf) {
+		return 0
+	}
+	return len(r.buf) - r.off
+}
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.Remaining() < n {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d, have %d",
+			ErrShortBuffer, n, r.off, r.Remaining())
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Bytes reads n bytes, returning a sub-slice of the underlying buffer
+// (no copy). The caller must not mutate it.
+func (r *Reader) Bytes(n int) []byte {
+	if n < 0 {
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: negative read length %d", n)
+		}
+		return nil
+	}
+	if !r.need(n) {
+		return nil
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// Skip advances the cursor n bytes.
+func (r *Reader) Skip(n int) {
+	if !r.need(n) {
+		return
+	}
+	r.off += n
+}
+
+// Rest returns every unconsumed byte and advances to the end.
+func (r *Reader) Rest() []byte {
+	v := r.buf[r.off:]
+	r.off = len(r.buf)
+	return v
+}
+
+// Writer is an append-only big-endian byte builder.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity hint.
+func NewWriter(capHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, capHint)}
+}
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Bytes returns the accumulated buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+}
+
+// Write appends raw bytes.
+func (w *Writer) Write(p []byte) { w.buf = append(w.buf, p...) }
+
+// Zero appends n zero bytes.
+func (w *Writer) Zero(n int) {
+	w.buf = append(w.buf, make([]byte, n)...)
+}
+
+// SetU16 overwrites a big-endian uint16 at an absolute offset, used to
+// back-patch length and checksum fields after a payload is appended.
+func (w *Writer) SetU16(off int, v uint16) {
+	binary.BigEndian.PutUint16(w.buf[off:], v)
+}
+
+// Checksum computes the 16-bit one's-complement Internet checksum
+// (RFC 1071) over data. An odd trailing byte is padded with zero.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// AddChecksum folds a partial sum with additional data, for pseudo-header
+// checksums computed in pieces. Pass the running sum from a previous call
+// (0 initially) and finish with FinishChecksum.
+func AddChecksum(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+// FinishChecksum folds carries and complements a running sum started with
+// AddChecksum.
+func FinishChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

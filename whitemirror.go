@@ -1,0 +1,223 @@
+// Package whitemirror is the public API of the White Mirror
+// reproduction: a complete, self-contained implementation of the
+// side-channel attack on interactive streaming described in "White
+// Mirror: Leaking Sensitive Information from Interactive Netflix Movies
+// using Encrypted Traffic Analysis" (Mitra et al., SIGCOMM 2019), plus
+// every substrate it needs — a branching-narrative player and CDN, a TLS
+// record-layer length model, network emulation, capture to genuine pcap
+// files, the attack pipeline, prior-work baselines, countermeasures and
+// the experiment harness.
+//
+// The typical flow is three calls:
+//
+//	tr, _ := whitemirror.Simulate(whitemirror.SessionOptions{Seed: 1})
+//	pcapBytes, _ := whitemirror.CapturePcap(tr, 1)
+//	atk, _ := whitemirror.TrainAttacker(whitemirror.TrainingOptions{Condition: tr.Condition})
+//	inf, _ := atk.InferPcap(pcapBytes)
+//
+// after which inf.Decisions holds the recovered viewer choices and
+// inf.Path the reconstructed walk through the film's script graph.
+package whitemirror
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/attack"
+	"repro/internal/capture"
+	"repro/internal/dataset"
+	"repro/internal/media"
+	"repro/internal/profiles"
+	"repro/internal/script"
+	"repro/internal/session"
+	"repro/internal/viewer"
+	"repro/internal/wire"
+)
+
+// Re-exported core types, so consumers rarely need internal import paths.
+type (
+	// Trace is one simulated session: both TLS byte streams plus labeled
+	// ground truth.
+	Trace = session.Trace
+	// Condition is one Table-I operational condition.
+	Condition = profiles.Condition
+	// Viewer is one study participant with behavioural attributes.
+	Viewer = viewer.Viewer
+	// Attacker is the trained eavesdropper.
+	Attacker = attack.Attacker
+	// Inference is the attack output: decisions and reconstructed path.
+	Inference = attack.Inference
+	// Graph is a branching-narrative script.
+	Graph = script.Graph
+	// Dataset is a generated IITM-Bandersnatch-style study.
+	Dataset = dataset.Dataset
+)
+
+// Named conditions from the paper's Figure 2.
+var (
+	// ConditionUbuntu is (Desktop, Firefox, Ethernet, Ubuntu).
+	ConditionUbuntu = profiles.Fig2Ubuntu
+	// ConditionWindows is (Desktop, Firefox, Ethernet, Windows).
+	ConditionWindows = profiles.Fig2Windows
+)
+
+// Bandersnatch returns the case-study script graph (schematic, not the
+// film's actual script).
+func Bandersnatch() *Graph { return script.Bandersnatch() }
+
+// Conditions enumerates the full Table-I operational grid.
+func Conditions() []Condition { return profiles.Grid() }
+
+// SessionOptions parameterizes Simulate.
+type SessionOptions struct {
+	// Seed drives everything deterministically; equal seeds reproduce
+	// identical traces.
+	Seed uint64
+	// Condition defaults to ConditionUbuntu.
+	Condition Condition
+	// Viewer defaults to a seeded sample from the population model.
+	Viewer *Viewer
+	// Graph defaults to Bandersnatch().
+	Graph *Graph
+	// DisablePrefetch turns off default-branch prefetching.
+	DisablePrefetch bool
+}
+
+// Simulate runs one end-to-end viewing session and returns its trace.
+func Simulate(opts SessionOptions) (*Trace, error) {
+	g := opts.Graph
+	if g == nil {
+		g = Bandersnatch()
+	}
+	var zero Condition
+	cond := opts.Condition
+	if cond == zero {
+		cond = ConditionUbuntu
+	}
+	v := opts.Viewer
+	if v == nil {
+		pop := viewer.SamplePopulation(1, wire.NewRNG(opts.Seed^0xfeed))
+		pop[0].ID = fmt.Sprintf("viewer-%d", opts.Seed)
+		v = &pop[0]
+	}
+	enc := media.Encode(g, media.DefaultLadder, opts.Seed^0xabcd)
+	return session.Run(session.Config{
+		Graph:           g,
+		Encoding:        enc,
+		Viewer:          *v,
+		Condition:       cond,
+		SessionID:       fmt.Sprintf("wm-%d", opts.Seed),
+		Seed:            opts.Seed,
+		DisablePrefetch: opts.DisablePrefetch,
+	})
+}
+
+// CapturePcap renders a trace as a libpcap capture in memory.
+func CapturePcap(tr *Trace, seed uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := capture.WritePcap(&buf, tr, capture.Options{Seed: seed}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WritePcap renders a trace as a libpcap capture to w.
+func WritePcap(w io.Writer, tr *Trace, seed uint64) error {
+	return capture.WritePcap(w, tr, capture.Options{Seed: seed})
+}
+
+// TrainingOptions parameterizes TrainAttacker.
+type TrainingOptions struct {
+	// Condition the attacker profiles (training is per condition, as in
+	// the paper). Defaults to ConditionUbuntu.
+	Condition Condition
+	// Sessions is the number of profiling sessions (default 3; more are
+	// drawn automatically if the sample lacks a report type).
+	Sessions int
+	// Seed drives the profiling sessions.
+	Seed uint64
+	// Graph defaults to Bandersnatch(); used for graph-constrained
+	// decoding.
+	Graph *Graph
+}
+
+// TrainAttacker profiles the service under a condition and returns an
+// attacker using the paper's interval-band classifier with
+// graph-constrained decoding.
+func TrainAttacker(opts TrainingOptions) (*Attacker, error) {
+	g := opts.Graph
+	if g == nil {
+		g = Bandersnatch()
+	}
+	var zero Condition
+	cond := opts.Condition
+	if cond == zero {
+		cond = ConditionUbuntu
+	}
+	n := opts.Sessions
+	if n <= 0 {
+		n = 3
+	}
+	var traces []*Trace
+	for t := 0; t < n+8; t++ {
+		tr, err := Simulate(SessionOptions{
+			Seed:      opts.Seed ^ (0x7ea1 + uint64(t)*2654435761),
+			Condition: cond,
+			Graph:     g,
+		})
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, tr)
+		if t >= n-1 && hasBothReportTypes(traces) {
+			break
+		}
+	}
+	return attack.NewAttacker(traces, g, script.BandersnatchMaxChoices)
+}
+
+func hasBothReportTypes(traces []*Trace) bool {
+	var t1, t2 bool
+	for _, e := range attack.TrainingSetFromTraces(traces) {
+		switch e.Class {
+		case attack.ClassType1:
+			t1 = true
+		case attack.ClassType2:
+			t2 = true
+		}
+	}
+	return t1 && t2
+}
+
+// GenerateDataset builds an n-viewer synthetic IITM-Bandersnatch-style
+// dataset spanning the Table-I attribute grid.
+func GenerateDataset(n int, seed uint64) (*Dataset, error) {
+	return dataset.Generate(dataset.Config{N: n, Seed: seed})
+}
+
+// DescribeChoices renders an inference against the graph's choice
+// metadata: which question each decision answered and what the decision
+// reveals, mirroring the paper's privacy discussion.
+func DescribeChoices(g *Graph, inf *Inference) []string {
+	p, err := g.Walk(inf.Decisions)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for i, mc := range g.ChoicesAlong(p) {
+		branch := mc.Choice.Default
+		kind := "default"
+		if !mc.TookDefault {
+			branch = mc.Choice.Alternative
+			kind = "non-default"
+		}
+		sens := ""
+		if mc.Choice.Sensitive {
+			sens = " [sensitive]"
+		}
+		out = append(out, fmt.Sprintf("Q%d %q -> %s (%s branch, reveals %s%s)",
+			i+1, mc.Choice.Question, branch, kind, mc.Choice.Trait, sens))
+	}
+	return out
+}
