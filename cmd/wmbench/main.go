@@ -4,73 +4,120 @@
 //
 // Usage:
 //
-//	wmbench                 # every experiment
-//	wmbench -exp figure2    # one experiment
+//	wmbench                       # every experiment
+//	wmbench -exp figure2          # one experiment
+//	wmbench -workers 8            # bound the worker pool (0 = GOMAXPROCS)
+//	wmbench -benchjson BENCH.json # machine-readable perf + domain metrics
 //
 // Experiments: table1, figure1, figure2, accuracy, baselines, defenses,
 // timing, classifiers, prefetch.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
+// runner executes one experiment once; report and metrics are derived
+// from the same result so the experiment never runs twice.
 type runner struct {
 	name string
-	run  func(seed uint64) (string, error)
+	run  func(seed uint64) (any, error)
+	// metrics extracts the experiment's domain metrics for -benchjson.
+	metrics func(result any) map[string]float64
 }
 
 func runners() []runner {
 	return []runner{
-		{"table1", func(seed uint64) (string, error) {
-			r, err := experiments.Table1(100, seed)
-			return report(r, err)
-		}},
-		{"figure1", func(seed uint64) (string, error) {
-			r, err := experiments.Figure1(seed)
-			return report(r, err)
-		}},
-		{"figure2", func(seed uint64) (string, error) {
-			r, err := experiments.Figure2(5, seed)
-			return report(r, err)
-		}},
-		{"accuracy", func(seed uint64) (string, error) {
-			r, err := experiments.Accuracy(10, 2, seed)
-			return report(r, err)
-		}},
-		{"baselines", func(seed uint64) (string, error) {
-			r, err := experiments.Baselines(20, seed)
-			return report(r, err)
-		}},
-		{"defenses", func(seed uint64) (string, error) {
-			r, err := experiments.Defenses(5, seed)
-			return report(r, err)
-		}},
-		{"timing", func(seed uint64) (string, error) {
-			r, err := experiments.Timing(6, seed)
-			return report(r, err)
-		}},
-		{"classifiers", func(seed uint64) (string, error) {
-			r, err := experiments.ClassifierAblation(seed)
-			return report(r, err)
-		}},
-		{"prefetch", func(seed uint64) (string, error) {
-			r, err := experiments.PrefetchAblation(4, seed)
-			return report(r, err)
-		}},
+		{"table1",
+			func(seed uint64) (any, error) { return experiments.Table1(100, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.Table1Result)
+				return map[string]float64{"viewers": float64(v.N)}
+			}},
+		{"figure1",
+			func(seed uint64) (any, error) { return experiments.Figure1(seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.Figure1Result)
+				return map[string]float64{"events": float64(len(v.Events))}
+			}},
+		{"figure2",
+			func(seed uint64) (any, error) { return experiments.Figure2(5, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.Figure2Result)
+				var purity float64
+				for _, p := range v.Panels {
+					purity += p.Type1Purity() + p.Type2Purity()
+				}
+				return map[string]float64{"bin_purity_pct": purity / float64(2*len(v.Panels))}
+			}},
+		{"accuracy",
+			func(seed uint64) (any, error) { return experiments.Accuracy(10, 2, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.AccuracyResult)
+				return map[string]float64{
+					"mean_accuracy_pct": 100 * v.Mean,
+					"worst_case_pct":    100 * v.WorstCase,
+				}
+			}},
+		{"baselines",
+			func(seed uint64) (any, error) { return experiments.Baselines(20, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.BaselineResult)
+				return map[string]float64{
+					"bitrate_intra_pct": 100 * v.IntraTitleAccuracy["bitrate"],
+					"bitrate_inter_pct": 100 * v.InterTitleAccuracy["bitrate"],
+				}
+			}},
+		{"defenses",
+			func(seed uint64) (any, error) { return experiments.Defenses(5, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.DefenseResult)
+				return map[string]float64{
+					"undefended_pct":  100 * v.PerDefense["none"],
+					"padded_pct":      100 * v.PerDefense["pad-to-4096"],
+					"prior_floor_pct": 100 * v.PriorGuess,
+				}
+			}},
+		{"timing",
+			func(seed uint64) (any, error) { return experiments.Timing(6, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.TimingResult)
+				return map[string]float64{
+					"detection_pct":    100 * v.EventDetectionRate,
+					"decision_acc_pct": 100 * v.DecisionAccuracy,
+				}
+			}},
+		{"classifiers",
+			func(seed uint64) (any, error) { return experiments.ClassifierAblation(seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.ClassifierAblationResult)
+				return map[string]float64{
+					"interval_band_pct": 100 * v.PerClassifier["interval-band"],
+					"knn5_pct":          100 * v.PerClassifier["knn-5"],
+				}
+			}},
+		{"prefetch",
+			func(seed uint64) (any, error) { return experiments.PrefetchAblation(4, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.PrefetchAblationResult)
+				return map[string]float64{
+					"with_prefetch_pct":    100 * v.WithPrefetch,
+					"without_prefetch_pct": 100 * v.WithoutPrefetch,
+				}
+			}},
 	}
 }
 
-// report adapts the heterogeneous result types: each exports a Report
-// field; reflection-free via a type switch.
-func report(r any, err error) (string, error) {
-	if err != nil {
-		return "", err
-	}
+// report extracts the rendered text report from any result type.
+func report(r any) (string, error) {
 	switch v := r.(type) {
 	case *experiments.Table1Result:
 		return v.Report, nil
@@ -95,28 +142,124 @@ func report(r any, err error) (string, error) {
 	}
 }
 
+// selected filters the runner list by the -exp flag, erroring on a name
+// that matches nothing so a typo cannot silently produce an empty run.
+func selected(exp string) ([]runner, error) {
+	all := runners()
+	if exp == "" {
+		return all, nil
+	}
+	for _, r := range all {
+		if r.name == exp {
+			return []runner{r}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q", exp)
+}
+
+// benchEntry is one experiment's perf + domain record in the JSON file.
+type benchEntry struct {
+	Name        string             `json:"name"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchFile is the BENCH_prN.json schema: environment, the per-experiment
+// measurements, and optional frozen baselines from earlier PRs so the
+// perf trajectory stays in one file.
+type benchFile struct {
+	GoVersion string                  `json:"go_version"`
+	GOOS      string                  `json:"goos"`
+	GOARCH    string                  `json:"goarch"`
+	CPUs      int                     `json:"cpus"`
+	Workers   int                     `json:"workers"`
+	Seed      uint64                  `json:"seed"`
+	Entries   []benchEntry            `json:"entries"`
+	Baselines map[string][]benchEntry `json:"baselines,omitempty"`
+}
+
+// runBenchJSON measures every selected experiment with testing.Benchmark
+// and writes the machine-readable file future PRs diff against. Domain
+// metrics come from the final benchmark iteration's result.
+func runBenchJSON(path string, runs []runner, seed uint64, workers int) error {
+	out := benchFile{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Workers:   parallel.Workers(workers),
+		Seed:      seed,
+	}
+	for _, r := range runs {
+		var last any
+		var runErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, err := r.run(seed)
+				if err != nil {
+					runErr = err
+					b.Fatal(err)
+				}
+				last = v
+			}
+		})
+		if runErr != nil {
+			return fmt.Errorf("%s: %w", r.name, runErr)
+		}
+		out.Entries = append(out.Entries, benchEntry{
+			Name:        r.name,
+			NsPerOp:     res.NsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Metrics:     r.metrics(last),
+		})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 func main() {
 	var (
-		exp  = flag.String("exp", "", "run a single experiment (empty = all)")
-		seed = flag.Uint64("seed", 3, "deterministic seed")
+		exp       = flag.String("exp", "", "run a single experiment (empty = all)")
+		seed      = flag.Uint64("seed", 3, "deterministic seed")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = WM_WORKERS or GOMAXPROCS)")
+		benchJSON = flag.String("benchjson", "", "write machine-readable benchmark results to this file instead of printing reports")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
-	any := false
-	for _, r := range runners() {
-		if *exp != "" && r.name != *exp {
-			continue
+	runs, err := selected(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wmbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, runs, *seed, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "wmbench: %v\n", err)
+			os.Exit(1)
 		}
-		any = true
-		out, err := r.run(*seed)
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return
+	}
+
+	for _, r := range runs {
+		res, err := r.run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wmbench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		out, err := report(res)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wmbench: %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s ===\n%s\n", r.name, out)
-	}
-	if !any {
-		fmt.Fprintf(os.Stderr, "wmbench: unknown experiment %q\n", *exp)
-		os.Exit(1)
 	}
 }

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	wmdataset -n 100 -seed 1 -out ./iitm-bandersnatch
+//	wmdataset -n 1000 -workers 8   # fan sessions across 8 workers
+//
+// Generation is deterministic: the same -n and -seed produce byte-identical
+// pcaps at any -workers value.
 package main
 
 import (
@@ -19,14 +23,15 @@ import (
 
 func main() {
 	var (
-		n    = flag.Int("n", 100, "number of viewers (the paper collected 100)")
-		seed = flag.Uint64("seed", 1, "deterministic seed")
-		out  = flag.String("out", "iitm-bandersnatch", "output directory ('' to skip persistence)")
-		csv  = flag.Bool("csv", true, "write attributes.csv alongside the dataset")
+		n       = flag.Int("n", 100, "number of viewers (the paper collected 100)")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		out     = flag.String("out", "iitm-bandersnatch", "output directory ('' to skip persistence)")
+		csv     = flag.Bool("csv", true, "write attributes.csv alongside the dataset")
+		workers = flag.Int("workers", 0, "worker pool size (0 = WM_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	ds, err := dataset.Generate(dataset.Config{N: *n, Seed: *seed})
+	ds, err := dataset.Generate(dataset.Config{N: *n, Seed: *seed, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

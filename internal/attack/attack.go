@@ -35,6 +35,29 @@ func TrainingSetFromTraces(traces []*session.Trace) []Example {
 	return out
 }
 
+// HasBothClasses reports whether the traces contain at least one type-1
+// and one type-2 training example — the attacker's stopping condition
+// while profiling (a viewer who took only defaults never sent a type-2).
+// It scans the labeled writes directly instead of materializing a
+// training set, as it runs once per profiling session.
+func HasBothClasses(traces []*session.Trace) bool {
+	var t1, t2 bool
+	for _, tr := range traces {
+		for _, w := range tr.ClientWrites {
+			switch w.Label {
+			case session.LabelType1:
+				t1 = t1 || len(w.Records) > 0
+			case session.LabelType2:
+				t2 = t2 || len(w.Records) > 0
+			}
+			if t1 && t2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Attacker bundles a trained classifier with the title's script graph.
 type Attacker struct {
 	Classifier Classifier

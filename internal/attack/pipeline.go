@@ -13,7 +13,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/layers"
 	"repro/internal/pcapio"
@@ -102,32 +101,20 @@ func observeConversation(conv tcpreasm.Conversation) (*Observation, error) {
 	return &Observation{ClientRecords: cRecs, ServerRecords: sRecs}, nil
 }
 
+// recordsFromStream extracts record descriptors straight from the
+// reassembled chunk list with a streaming header-only scan: no
+// concatenated stream copy, no body buffering. Each record's timestamp is
+// the arrival time of the chunk that carried its first header byte —
+// identical to the offset lookup the full parse performed.
 func recordsFromStream(st *tcpreasm.Stream) ([]tlsrec.Record, error) {
-	chunks := st.Chunks()
-	at := func(off int64) time.Time {
-		// Binary search the chunk covering off.
-		lo, hi := 0, len(chunks)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if chunks[mid].StreamOffset <= off {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
+	sc := tlsrec.NewRecordScanner()
+	for _, c := range st.Chunks() {
+		sc.Feed(c.Time, c.Data)
+		if err := sc.Err(); err != nil {
+			return nil, err
 		}
-		if lo == 0 {
-			if len(chunks) > 0 {
-				return chunks[0].Time
-			}
-			return time.Time{}
-		}
-		return chunks[lo-1].Time
 	}
-	recs, _, err := tlsrec.ParseStream(st.Bytes(), at)
-	if err != nil {
-		return nil, err
-	}
-	return recs, nil
+	return sc.Records(), nil
 }
 
 // ApplicationRecords filters an observation's client records down to

@@ -52,10 +52,12 @@ type Options struct {
 	Seed uint64
 }
 
-// frame is one synthesized packet awaiting interleave.
+// frame is one synthesized packet awaiting interleave. Frame bytes live
+// in a shared arena (start/end offsets) so a capture costs one buffer, not
+// one allocation per packet.
 type frame struct {
-	ts   time.Time
-	data []byte
+	ts         time.Time
+	start, end int
 	// seqKey breaks timestamp ties so a direction's segments stay ordered.
 	seqKey int
 }
@@ -82,16 +84,23 @@ func WritePcap(w io.Writer, tr *session.Trace, opts Options) error {
 	cEth := layers.Ethernet{Src: ep.ClientMAC, Dst: ep.ServerMAC}
 	sEth := layers.Ethernet{Src: ep.ServerMAC, Dst: ep.ClientMAC}
 
-	var frames []frame
+	// Size the arena and frame list from the streams: one frame per MSS of
+	// payload plus the handshake/FIN scaffolding, ~54 bytes of headers each.
+	streamBytes := len(tr.ClientToServer.Bytes) + len(tr.ServerToClient.Bytes)
+	frameEstimate := streamBytes/mss + len(tr.ClientToServer.Writes) +
+		len(tr.ServerToClient.Writes) + 8
+	arena := wire.GetWriter(streamBytes + 64*frameEstimate)
+	defer wire.PutWriter(arena)
+	frames := make([]frame, 0, frameEstimate)
 	var ipID uint16 = 1
 	addFrame := func(ts time.Time, key layers.FlowKey, eth layers.Ethernet,
 		tcp layers.TCP, payload []byte) error {
-		raw, err := layers.BuildTCPFrame(key, eth, tcp, payload, ipID)
-		if err != nil {
+		start := arena.Len()
+		if err := layers.AppendTCPFrame(arena, key, eth, tcp, payload, ipID); err != nil {
 			return err
 		}
 		ipID++
-		frames = append(frames, frame{ts: ts, data: raw, seqKey: len(frames)})
+		frames = append(frames, frame{ts: ts, start: start, end: arena.Len(), seqKey: len(frames)})
 		return nil
 	}
 
@@ -145,8 +154,9 @@ func WritePcap(w io.Writer, tr *session.Trace, opts Options) error {
 	})
 
 	pw := pcapio.NewWriter(w)
+	raw := arena.Bytes()
 	for _, f := range frames {
-		if err := pw.WritePacket(f.ts, f.data); err != nil {
+		if err := pw.WritePacket(f.ts, raw[f.start:f.end]); err != nil {
 			return err
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/media"
 	"repro/internal/netem"
+	"repro/internal/parallel"
 	"repro/internal/profiles"
 	"repro/internal/script"
 	"repro/internal/session"
@@ -51,9 +52,15 @@ type Config struct {
 	// Conditions defaults to the full Table I grid, assigned round-robin
 	// with shuffling so every axis value appears.
 	Conditions []profiles.Condition
+	// Workers bounds the session fan-out (0 = the process default:
+	// WM_WORKERS or GOMAXPROCS). Output is byte-identical at any count.
+	Workers int
 }
 
-// Generate builds a dataset of N labeled sessions.
+// Generate builds a dataset of N labeled sessions. Sessions are
+// independent given their pre-assigned viewer, condition and seed, so
+// they fan out across the worker pool; the result is byte-identical to a
+// sequential run at any worker count.
 func Generate(cfg Config) (*Dataset, error) {
 	if cfg.N <= 0 {
 		cfg.N = 100
@@ -62,7 +69,7 @@ func Generate(cfg Config) (*Dataset, error) {
 		cfg.Graph = script.Bandersnatch()
 	}
 	if cfg.Encoding == nil {
-		cfg.Encoding = media.Encode(cfg.Graph, media.DefaultLadder, cfg.Seed^0xabcd)
+		cfg.Encoding = media.EncodeCached(cfg.Graph, media.DefaultLadder, cfg.Seed^0xabcd)
 	}
 	conds := cfg.Conditions
 	if len(conds) == 0 {
@@ -78,23 +85,25 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 	rng.Fork(2).Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 
-	ds := &Dataset{Graph: cfg.Graph}
-	for i, v := range pop {
+	points, err := parallel.MapN(cfg.Workers, cfg.N, func(i int) (Point, error) {
 		cond := conds[order[i]]
 		tr, err := session.Run(session.Config{
 			Graph:     cfg.Graph,
 			Encoding:  cfg.Encoding,
-			Viewer:    v,
+			Viewer:    pop[i],
 			Condition: cond,
 			SessionID: fmt.Sprintf("iitm-%03d", i+1),
 			Seed:      cfg.Seed*1_000_003 + uint64(i),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("dataset: session %d: %w", i, err)
+			return Point{}, fmt.Errorf("dataset: session %d: %w", i, err)
 		}
-		ds.Points = append(ds.Points, Point{Index: i, Viewer: v, Condition: cond, Trace: tr})
+		return Point{Index: i, Viewer: pop[i], Condition: cond, Trace: tr}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return ds, nil
+	return &Dataset{Points: points, Graph: cfg.Graph}, nil
 }
 
 // Metadata is the JSON sidecar persisted per point.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/attack"
+	"repro/internal/parallel"
 	"repro/internal/profiles"
 	"repro/internal/script"
 	"repro/internal/session"
@@ -36,6 +37,10 @@ type SessionAccuracy struct {
 // different condition drawn from the Table I grid, trains the paper's
 // interval-band classifier per condition on trainPerCond held-out
 // sessions, and scores per-choice recovery.
+//
+// Each (train, test, score) unit is independent — its randomness comes
+// from per-index streams off the root seed — so the units fan out across
+// the worker pool and the result is identical at any worker count.
 func Accuracy(n, trainPerCond int, seed uint64) (*AccuracyResult, error) {
 	if n <= 0 {
 		n = 10
@@ -46,73 +51,60 @@ func Accuracy(n, trainPerCond int, seed uint64) (*AccuracyResult, error) {
 	g := script.Bandersnatch()
 	enc := sharedEncoding(g, seed)
 	grid := profiles.Grid()
-	rng := wire.NewRNG(seed)
-	pop := viewer.SamplePopulation(n, rng.Fork(1))
+	root := wire.NewRNG(seed)
+	pop := viewer.SamplePopulation(n, root.Stream(1))
 
-	res := &AccuracyResult{}
-	var accs []float64
-	for i := 0; i < n; i++ {
+	sessions, err := parallel.MapN(0, n, func(i int) (SessionAccuracy, error) {
 		cond := grid[(i*7)%len(grid)] // stride the grid for variety
 		// Train per condition on sessions disjoint from the test session,
 		// collecting more until both report types have been observed (a
 		// viewer who took only defaults never sent a type-2, and the
 		// attacker keeps profiling until both bands are known).
-		var training []*session.Trace
-		for t := 0; t < trainPerCond+8; t++ {
-			tr, err := runOne(g, enc, viewer.SamplePopulation(1, rng.Fork(uint64(1000+i*10+t)))[0],
-				cond, seed+uint64(9000+i*100+t), nil)
-			if err != nil {
-				return nil, err
-			}
-			training = append(training, tr)
-			if t >= trainPerCond-1 && trainingHasBothClasses(training) {
-				break
-			}
+		training, err := profileSessions(g, enc, cond, trainPerCond, trainPerCond+8,
+			func(t int) (viewer.Viewer, uint64) {
+				return viewer.SamplePopulation(1, root.Stream(uint64(1000+i*100+t)))[0],
+					seed + uint64(9000+i*100+t)
+			})
+		if err != nil {
+			return SessionAccuracy{}, err
 		}
 		atk, err := attack.NewAttacker(training, g, script.BandersnatchMaxChoices)
 		if err != nil {
-			return nil, fmt.Errorf("training under %s: %w", cond, err)
+			return SessionAccuracy{}, fmt.Errorf("training under %s: %w", cond, err)
 		}
 
 		tr, err := runOne(g, enc, pop[i], cond, seed+uint64(i)*31, nil)
 		if err != nil {
-			return nil, err
+			return SessionAccuracy{}, err
 		}
 		obs, err := observationOf(tr)
 		if err != nil {
-			return nil, err
+			return SessionAccuracy{}, err
 		}
 		inf, err := atk.Infer(obs)
 		if err != nil {
-			return nil, err
+			return SessionAccuracy{}, err
 		}
 		correct, total := attack.ScoreDecisions(inf.Decisions, tr.GroundTruthDecisions())
-		res.Sessions = append(res.Sessions, SessionAccuracy{
+		return SessionAccuracy{
 			Condition: cond, ViewerID: pop[i].ID, Correct: correct, Total: total,
-		})
-		if total > 0 {
-			accs = append(accs, float64(correct)/float64(total))
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AccuracyResult{Sessions: sessions}
+	var accs []float64
+	for _, s := range sessions {
+		if s.Total > 0 {
+			accs = append(accs, float64(s.Correct)/float64(s.Total))
 		}
 	}
 	res.Mean = stats.Mean(accs)
 	res.WorstCase = stats.Min(accs)
 	res.Report = renderAccuracy(res)
 	return res, nil
-}
-
-// trainingHasBothClasses reports whether the traces contain at least one
-// type-1 and one type-2 example.
-func trainingHasBothClasses(traces []*session.Trace) bool {
-	var has1, has2 bool
-	for _, e := range attack.TrainingSetFromTraces(traces) {
-		switch e.Class {
-		case attack.ClassType1:
-			has1 = true
-		case attack.ClassType2:
-			has2 = true
-		}
-	}
-	return has1 && has2
 }
 
 func renderAccuracy(res *AccuracyResult) string {
@@ -143,45 +135,50 @@ type ClassifierAblationResult struct {
 }
 
 // ClassifierAblation trains each classifier under one condition and
-// scores per-record classification on held-out sessions.
+// scores per-record classification on held-out sessions. The held-out
+// sessions are simulated once, in parallel, and shared by every
+// classifier (they score the same task), and classifiers are evaluated in
+// a fixed order, so the ablation is deterministic.
 func ClassifierAblation(seed uint64) (*ClassifierAblationResult, error) {
 	g := script.Bandersnatch()
 	enc := sharedEncoding(g, seed)
 	cond := profiles.Fig2Ubuntu
-	rng := wire.NewRNG(seed)
+	root := wire.NewRNG(seed)
 
-	var training []*session.Trace
-	for t := 0; t < 10; t++ {
-		tr, err := runOne(g, enc, viewer.SamplePopulation(1, rng.Fork(uint64(t+1)))[0],
-			cond, seed+uint64(t)*131, nil)
-		if err != nil {
-			return nil, err
-		}
-		training = append(training, tr)
-		if t >= 2 && trainingHasBothClasses(training) {
-			break
-		}
+	training, err := profileSessions(g, enc, cond, 3, 10,
+		func(t int) (viewer.Viewer, uint64) {
+			return viewer.SamplePopulation(1, root.Stream(uint64(t+1)))[0],
+				seed + uint64(t)*131
+		})
+	if err != nil {
+		return nil, err
 	}
 	examples := attack.TrainingSetFromTraces(training)
 
-	trainers := map[string]attack.Trainer{
-		"interval-band":    &attack.IntervalBandTrainer{},
-		"nearest-centroid": attack.NearestCentroidTrainer{},
-		"knn-5":            attack.KNNTrainer{K: 5},
+	heldOut, err := parallel.MapN(0, 4, func(t int) (*session.Trace, error) {
+		return runOne(g, enc, viewer.SamplePopulation(1, root.Stream(uint64(100+t)))[0],
+			cond, seed+uint64(5000+t*17), nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	trainers := []struct {
+		name    string
+		trainer attack.Trainer
+	}{
+		{"interval-band", &attack.IntervalBandTrainer{}},
+		{"nearest-centroid", attack.NearestCentroidTrainer{}},
+		{"knn-5", attack.KNNTrainer{K: 5}},
 	}
 	res := &ClassifierAblationResult{PerClassifier: map[string]float64{}}
-	for name, tr := range trainers {
-		clf, err := tr.Train(examples)
+	for _, tc := range trainers {
+		clf, err := tc.trainer.Train(examples)
 		if err != nil {
-			return nil, fmt.Errorf("training %s: %w", name, err)
+			return nil, fmt.Errorf("training %s: %w", tc.name, err)
 		}
 		cm := stats.NewConfusionMatrix("others", "type-1", "type-2")
-		for t := 0; t < 4; t++ {
-			trc, err := runOne(g, enc, viewer.SamplePopulation(1, rng.Fork(uint64(100+t)))[0],
-				cond, seed+uint64(5000+t*17), nil)
-			if err != nil {
-				return nil, err
-			}
+		for _, trc := range heldOut {
 			for _, w := range trc.ClientWrites {
 				if w.Label == session.LabelHandshake {
 					continue
@@ -199,13 +196,13 @@ func ClassifierAblation(seed uint64) (*ClassifierAblationResult, error) {
 				}
 			}
 		}
-		res.PerClassifier[name] = cm.Accuracy()
+		res.PerClassifier[tc.name] = cm.Accuracy()
 	}
 	var b strings.Builder
 	b.WriteString("Ablation: record classifier comparison (record-level accuracy)\n")
 	rows := [][]string{}
-	for _, name := range []string{"interval-band", "nearest-centroid", "knn-5"} {
-		rows = append(rows, []string{name, fmt.Sprintf("%.2f%%", 100*res.PerClassifier[name])})
+	for _, tc := range trainers {
+		rows = append(rows, []string{tc.name, fmt.Sprintf("%.2f%%", 100*res.PerClassifier[tc.name])})
 	}
 	b.WriteString(stats.RenderTable([]string{"classifier", "accuracy"}, rows))
 	res.Report = b.String()

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/media"
+	"repro/internal/parallel"
 	"repro/internal/script"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -74,104 +75,114 @@ func segmentSample(enc *media.Encoding, id script.SegmentID, quality int,
 	return s, nil
 }
 
-// Baselines runs both tasks over `trials` train/test draws.
+// Baselines runs both tasks over `trials` train/test draws. Trials are
+// independent — each draws its randomness from per-trial streams off the
+// root seed — so both tasks fan their trials out across the worker pool
+// and fold the correctness counts in trial order.
 func Baselines(trials int, seed uint64) (*BaselineResult, error) {
 	if trials <= 0 {
 		trials = 20
 	}
 	g := script.Bandersnatch()
 	enc := sharedEncoding(g, seed)
-	rng := wire.NewRNG(seed)
+	root := wire.NewRNG(seed)
 
 	res := &BaselineResult{
 		IntraTitleAccuracy: map[string]float64{},
 		InterTitleAccuracy: map[string]float64{},
 	}
 
+	// trialOutcome records which baselines identified the probe correctly.
+	type trialOutcome struct{ bitrate, burst bool }
+
 	// --- Intra-title task: classify which branch of a pair streamed.
-	intraCorrect := map[string]int{}
-	intraTotal := 0
-	for trial := 0; trial < trials; trial++ {
+	intra, err := parallel.MapN(0, trials, func(trial int) (trialOutcome, error) {
+		base := uint64(trial) * 211
 		pair := branchPairs[trial%len(branchPairs)]
-		refA, err := segmentSample(enc, pair[0], 2, "A", rng.Fork(uint64(trial*4+1)))
+		refA, err := segmentSample(enc, pair[0], 2, "A", root.Stream(base+1))
 		if err != nil {
-			return nil, err
+			return trialOutcome{}, err
 		}
-		refB, err := segmentSample(enc, pair[1], 2, "B", rng.Fork(uint64(trial*4+2)))
+		refB, err := segmentSample(enc, pair[1], 2, "B", root.Stream(base+2))
 		if err != nil {
-			return nil, err
+			return trialOutcome{}, err
 		}
 		truth := "A"
 		probeSeg := pair[0]
 		if trial%2 == 1 {
 			truth, probeSeg = "B", pair[1]
 		}
-		probe, err := segmentSample(enc, probeSeg, 2, "?", rng.Fork(uint64(trial*4+3)))
+		probe, err := segmentSample(enc, probeSeg, 2, "?", root.Stream(base+3))
 		if err != nil {
-			return nil, err
+			return trialOutcome{}, err
 		}
 		bc, err := baseline.NewBitrateClassifier([]baseline.Sample{refA, refB})
 		if err != nil {
-			return nil, err
-		}
-		if bc.Classify(probe) == truth {
-			intraCorrect["bitrate"]++
+			return trialOutcome{}, err
 		}
 		bu, err := baseline.NewBurstClassifier([]baseline.Sample{refA, refB}, 1)
 		if err != nil {
-			return nil, err
+			return trialOutcome{}, err
 		}
-		if bu.Classify(probe) == truth {
-			intraCorrect["burst-knn"]++
-		}
-		intraTotal++
+		return trialOutcome{
+			bitrate: bc.Classify(probe) == truth,
+			burst:   bu.Classify(probe) == truth,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for name, c := range intraCorrect {
-		res.IntraTitleAccuracy[name] = float64(c) / float64(intraTotal)
+	var intraCorrect trialCounts
+	for _, o := range intra {
+		intraCorrect.add(o.bitrate, o.burst)
 	}
+	res.IntraTitleAccuracy["bitrate"] = float64(intraCorrect.bitrate) / float64(trials)
+	res.IntraTitleAccuracy["burst-knn"] = float64(intraCorrect.burst) / float64(trials)
 
 	// --- Inter-title task: three synthetic titles with their own
 	// encodings (different seeds model genuinely different content).
 	titles := []string{"title-a", "title-b", "title-c"}
 	encs := map[string]*media.Encoding{}
 	for i, t := range titles {
-		encs[t] = media.Encode(g, ladderScaled(1.0+0.8*float64(i)), seed+uint64(i+1)*7919)
+		encs[t] = media.EncodeCached(g, ladderScaled(1.0+0.8*float64(i)), seed+uint64(i+1)*7919)
 	}
-	interCorrect := map[string]int{}
-	interTotal := 0
-	for trial := 0; trial < trials; trial++ {
+	inter, err := parallel.MapN(0, trials, func(trial int) (trialOutcome, error) {
+		base := uint64(trial)*103 + (1 << 32) // disjoint from the intra labels
 		var refs []baseline.Sample
-		for _, t := range titles {
-			s, err := segmentSample(encs[t], "S0", 2, t, rng.Fork(uint64(trial*8+11)))
+		for k, t := range titles {
+			s, err := segmentSample(encs[t], "S0", 2, t, root.Stream(base+10+uint64(k)))
 			if err != nil {
-				return nil, err
+				return trialOutcome{}, err
 			}
 			refs = append(refs, s)
 		}
 		truth := titles[trial%len(titles)]
-		probe, err := segmentSample(encs[truth], "S0", 2, "?", rng.Fork(uint64(trial*8+13)))
+		probe, err := segmentSample(encs[truth], "S0", 2, "?", root.Stream(base+20))
 		if err != nil {
-			return nil, err
+			return trialOutcome{}, err
 		}
 		bc, err := baseline.NewBitrateClassifier(refs)
 		if err != nil {
-			return nil, err
-		}
-		if bc.Classify(probe) == truth {
-			interCorrect["bitrate"]++
+			return trialOutcome{}, err
 		}
 		bu, err := baseline.NewBurstClassifier(refs, 1)
 		if err != nil {
-			return nil, err
+			return trialOutcome{}, err
 		}
-		if bu.Classify(probe) == truth {
-			interCorrect["burst-knn"]++
-		}
-		interTotal++
+		return trialOutcome{
+			bitrate: bc.Classify(probe) == truth,
+			burst:   bu.Classify(probe) == truth,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for name, c := range interCorrect {
-		res.InterTitleAccuracy[name] = float64(c) / float64(interTotal)
+	var interCorrect trialCounts
+	for _, o := range inter {
+		interCorrect.add(o.bitrate, o.burst)
 	}
+	res.InterTitleAccuracy["bitrate"] = float64(interCorrect.bitrate) / float64(trials)
+	res.InterTitleAccuracy["burst-knn"] = float64(interCorrect.burst) / float64(trials)
 
 	var b strings.Builder
 	b.WriteString("Ablation A1 (§II): inter-video baselines on intra-video tasks\n")
@@ -189,6 +200,18 @@ func Baselines(trials int, seed uint64) (*BaselineResult, error) {
 		"features collapse (the paper's motivation for an intra-video channel).\n")
 	res.Report = b.String()
 	return res, nil
+}
+
+// trialCounts tallies per-baseline correct trials.
+type trialCounts struct{ bitrate, burst int }
+
+func (c *trialCounts) add(bitrate, burst bool) {
+	if bitrate {
+		c.bitrate++
+	}
+	if burst {
+		c.burst++
+	}
 }
 
 // ladderScaled returns the default ladder with every bitrate multiplied

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/defense"
+	"repro/internal/parallel"
 	"repro/internal/profiles"
 	"repro/internal/script"
 	"repro/internal/session"
@@ -37,7 +38,10 @@ type defenseUnderTest struct {
 
 // Defenses runs the record-length attack against each countermeasure.
 // Training happens on undefended traffic (the realistic threat model:
-// the defense deploys after the attacker profiled the service).
+// the defense deploys after the attacker profiled the service). Every
+// (defense, session) cell is independent — the same viewers and session
+// seeds are reused across defenses, which makes the comparison paired —
+// so the full grid fans out across the worker pool.
 func Defenses(sessions int, seed uint64) (*DefenseResult, error) {
 	if sessions <= 0 {
 		sessions = 5
@@ -45,21 +49,17 @@ func Defenses(sessions int, seed uint64) (*DefenseResult, error) {
 	g := script.Bandersnatch()
 	enc := sharedEncoding(g, seed)
 	cond := profiles.Fig2Ubuntu
-	rng := wire.NewRNG(seed)
+	root := wire.NewRNG(seed)
 
 	// Train once on undefended traffic, profiling until both report
 	// types have been seen.
-	var training []*session.Trace
-	for t := 0; t < 10; t++ {
-		tr, err := runOne(g, enc, viewer.SamplePopulation(1, rng.Fork(uint64(t+1)))[0],
-			cond, seed+uint64(t)*211, nil)
-		if err != nil {
-			return nil, err
-		}
-		training = append(training, tr)
-		if t >= 1 && trainingHasBothClasses(training) {
-			break
-		}
+	training, err := profileSessions(g, enc, cond, 2, 10,
+		func(t int) (viewer.Viewer, uint64) {
+			return viewer.SamplePopulation(1, root.Stream(uint64(t+1)))[0],
+				seed + uint64(t)*211
+		})
+	if err != nil {
+		return nil, err
 	}
 	atk, err := attack.NewAttacker(training, g, script.BandersnatchMaxChoices)
 	if err != nil {
@@ -72,45 +72,58 @@ func Defenses(sessions int, seed uint64) (*DefenseResult, error) {
 		{"split-1200", defense.SplitReports(1200)},
 		{"compress-55%", defense.CompressReports(55, 40)},
 	}
+	type cell struct {
+		correct, total int
+		truth          []bool
+	}
+	cells, err := parallel.MapN(0, len(cases)*sessions, func(k int) (cell, error) {
+		dc, i := cases[k/sessions], k%sessions
+		v := viewer.SamplePopulation(1, root.Stream(uint64(100+i)))[0]
+		tr, err := runOne(g, enc, v, cond, seed+uint64(3000+i*37), func(c *session.Config) {
+			if dc.transform != nil {
+				c.Defense = dc.transform
+			}
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		out := cell{truth: tr.GroundTruthDecisions()}
+		obs, err := observationOf(tr)
+		if err != nil {
+			return cell{}, err
+		}
+		inf, err := atk.Infer(obs)
+		if err != nil {
+			// Constrained decode can fail when the defense removes
+			// every detectable event; count all choices wrong.
+			out.total = len(out.truth)
+			return out, nil
+		}
+		out.correct, out.total = attack.ScoreDecisions(inf.Decisions, out.truth)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &DefenseResult{PerDefense: map[string]float64{}}
 	var priorCorrect, priorTotal int
-	for _, dc := range cases {
+	for d, dc := range cases {
 		var correct, total int
 		for i := 0; i < sessions; i++ {
-			v := viewer.SamplePopulation(1, rng.Fork(uint64(100+i)))[0]
-			tr, err := runOne(g, enc, v, cond, seed+uint64(3000+i*37), func(c *session.Config) {
-				if dc.transform != nil {
-					c.Defense = dc.transform
-				}
-			})
-			if err != nil {
-				return nil, err
-			}
-			truth := tr.GroundTruthDecisions()
+			c := cells[d*sessions+i]
+			correct += c.correct
+			total += c.total
 			if dc.name == "none" {
 				// The blind baseline guesses all defaults on the same set
 				// of test sessions.
-				for _, d := range truth {
+				for _, dec := range c.truth {
 					priorTotal++
-					if d {
+					if dec {
 						priorCorrect++
 					}
 				}
 			}
-			obs, err := observationOf(tr)
-			if err != nil {
-				return nil, err
-			}
-			inf, err := atk.Infer(obs)
-			if err != nil {
-				// Constrained decode can fail when the defense removes
-				// every detectable event; count all choices wrong.
-				total += len(truth)
-				continue
-			}
-			c, t := attack.ScoreDecisions(inf.Decisions, truth)
-			correct += c
-			total += t
 		}
 		if total > 0 {
 			res.PerDefense[dc.name] = float64(correct) / float64(total)
@@ -156,6 +169,8 @@ type TimingResult struct {
 // times and decisions classified by the decision-time client record pair
 // (a non-default choice posts the type-2 report and fires the first
 // alternative chunk request back-to-back; no calibration needed).
+// Sessions fan out across the worker pool and per-session tallies fold in
+// session order.
 func Timing(sessions int, seed uint64) (*TimingResult, error) {
 	if sessions <= 0 {
 		sessions = 6
@@ -163,42 +178,54 @@ func Timing(sessions int, seed uint64) (*TimingResult, error) {
 	g := script.Bandersnatch()
 	enc := sharedEncoding(g, seed)
 	cond := profiles.Fig2Ubuntu
-	rng := wire.NewRNG(seed)
+	root := wire.NewRNG(seed)
 	pad := defense.PadReports(4096)
 
 	ta := &defense.TimingAttack{QuietBefore: 3 * time.Second, Feature: defense.FeaturePairs}
 	const matchTolerance = 6 * time.Second
 
-	var detected, trueEvents, correct, scored int
-	for i := 0; i < sessions; i++ {
-		tr, err := runOne(g, enc, viewer.SamplePopulation(1, rng.Fork(uint64(100+i)))[0],
+	type tally struct{ detected, trueEvents, correct, scored int }
+	tallies, err := parallel.MapN(0, sessions, func(i int) (tally, error) {
+		tr, err := runOne(g, enc, viewer.SamplePopulation(1, root.Stream(uint64(100+i)))[0],
 			cond, seed+uint64(7000+i*53), func(c *session.Config) { c.Defense = pad })
 		if err != nil {
-			return nil, err
+			return tally{}, err
 		}
 		obs, err := observationOf(tr)
 		if err != nil {
-			return nil, err
+			return tally{}, err
 		}
 		events := ta.DetectEvents(obs.ClientRecords, obs.ServerRecords)
 		decisions := ta.ClassifyEvents(events)
 		truth := tr.Result.Choices
 		times := make([]time.Time, len(truth))
-		for i, c := range truth {
-			times[i] = c.QuestionAt
+		for k, c := range truth {
+			times[k] = c.QuestionAt
 		}
-		trueEvents += len(truth)
-		for i, j := range defense.MatchEvents(events, times, matchTolerance) {
+		out := tally{trueEvents: len(truth)}
+		for k, j := range defense.MatchEvents(events, times, matchTolerance) {
 			if j < 0 {
 				continue
 			}
-			detected++
-			scored++
-			if decisions[j] == truth[i].TookDefault {
-				correct++
+			out.detected++
+			out.scored++
+			if decisions[j] == truth[k].TookDefault {
+				out.correct++
 			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	var detected, trueEvents, correct, scored int
+	for _, t := range tallies {
+		detected += t.detected
+		trueEvents += t.trueEvents
+		correct += t.correct
+		scored += t.scored
+	}
+
 	res := &TimingResult{}
 	if trueEvents > 0 {
 		res.EventDetectionRate = float64(detected) / float64(trueEvents)
@@ -232,7 +259,9 @@ type PrefetchAblationResult struct {
 // PrefetchAblation compares volume-based timing-attack accuracy with and
 // without default-branch prefetching (record lengths padded in both).
 // Without prefetch there is no discarded download, so the volume
-// asymmetry between default and non-default choices shrinks.
+// asymmetry between default and non-default choices shrinks. Within each
+// player mode the calibration batch and the scored sessions fan out
+// across the pool.
 func PrefetchAblation(sessions int, seed uint64) (*PrefetchAblationResult, error) {
 	if sessions <= 0 {
 		sessions = 5
@@ -241,7 +270,7 @@ func PrefetchAblation(sessions int, seed uint64) (*PrefetchAblationResult, error
 		g := script.Bandersnatch()
 		enc := sharedEncoding(g, seed)
 		cond := profiles.Fig2Ubuntu
-		rng := wire.NewRNG(seed ^ 0x5eed)
+		root := wire.NewRNG(seed ^ 0x5eed)
 		pad := defense.PadReports(4096)
 		// The ablation deliberately uses the volume feature: it is the
 		// one that depends on the prefetch-cancel creating a redundant
@@ -250,78 +279,111 @@ func PrefetchAblation(sessions int, seed uint64) (*PrefetchAblationResult, error
 		ta := &defense.TimingAttack{QuietBefore: 3 * time.Second, Feature: defense.FeatureVolume}
 		const matchTolerance = 6 * time.Second
 
-		// Calibrate per player mode on held-out sessions: at least six
-		// sessions so the class means are stable, more if a class is
-		// still unrepresented.
-		var defVols, altVols []int
-		for t := 0; t < 12 && (t < 6 || len(defVols) == 0 || len(altVols) == 0); t++ {
-			tr, err := runOne(g, enc, viewer.SamplePopulation(1, rng.Fork(uint64(t+900)))[0],
-				cond, seed+uint64(t)*881, func(c *session.Config) {
-					c.Defense = pad
-					c.DisablePrefetch = disablePrefetch
-				})
+		padded := func(c *session.Config) {
+			c.Defense = pad
+			c.DisablePrefetch = disablePrefetch
+		}
+		// calibrationVols extracts matched event volumes from one
+		// calibration session.
+		type vols struct{ def, alt []int }
+		calibrate := func(t int) (vols, error) {
+			tr, err := runOne(g, enc, viewer.SamplePopulation(1, root.Stream(uint64(t+900)))[0],
+				cond, seed+uint64(t)*881, padded)
 			if err != nil {
-				return 0, err
+				return vols{}, err
 			}
 			obs, err := observationOf(tr)
 			if err != nil {
-				return 0, err
+				return vols{}, err
 			}
 			events := ta.DetectEvents(obs.ClientRecords, obs.ServerRecords)
 			truth := tr.Result.Choices
 			times := make([]time.Time, len(truth))
-			for i, c := range truth {
-				times[i] = c.QuestionAt
+			for k, c := range truth {
+				times[k] = c.QuestionAt
 			}
-			for i, j := range defense.MatchEvents(events, times, matchTolerance) {
+			var out vols
+			for k, j := range defense.MatchEvents(events, times, matchTolerance) {
 				if j < 0 {
 					continue
 				}
-				if truth[i].TookDefault {
-					defVols = append(defVols, events[j].DownlinkBytes)
+				if truth[k].TookDefault {
+					out.def = append(out.def, events[j].DownlinkBytes)
 				} else {
-					altVols = append(altVols, events[j].DownlinkBytes)
+					out.alt = append(out.alt, events[j].DownlinkBytes)
 				}
 			}
+			return out, nil
+		}
+
+		// Calibrate per player mode on held-out sessions: a parallel batch
+		// of six so the class means are stable, extended sequentially while
+		// a class is still unrepresented.
+		var defVols, altVols []int
+		batch, err := parallel.MapN(0, 6, func(t int) (vols, error) { return calibrate(t) })
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range batch {
+			defVols = append(defVols, v.def...)
+			altVols = append(altVols, v.alt...)
+		}
+		for t := 6; t < 12 && (len(defVols) == 0 || len(altVols) == 0); t++ {
+			v, err := calibrate(t)
+			if err != nil {
+				return 0, err
+			}
+			defVols = append(defVols, v.def...)
+			altVols = append(altVols, v.alt...)
 		}
 		ta.CalibrateVolume(defVols, altVols)
 
-		var correct, scored int
-		for i := 0; i < sessions; i++ {
-			tr, err := runOne(g, enc, viewer.SamplePopulation(1, rng.Fork(uint64(i+1)))[0],
-				cond, seed+uint64(i)*67, func(c *session.Config) {
-					c.Defense = pad
-					c.DisablePrefetch = disablePrefetch
-				})
+		type score struct{ correct, scored int }
+		scores, err := parallel.MapN(0, sessions, func(i int) (score, error) {
+			tr, err := runOne(g, enc, viewer.SamplePopulation(1, root.Stream(uint64(i+1)))[0],
+				cond, seed+uint64(i)*67, padded)
 			if err != nil {
-				return 0, err
+				return score{}, err
 			}
 			obs, err := observationOf(tr)
 			if err != nil {
-				return 0, err
+				return score{}, err
 			}
 			events := ta.DetectEvents(obs.ClientRecords, obs.ServerRecords)
 			decisions := ta.ClassifyEvents(events)
 			truth := tr.Result.Choices
 			times := make([]time.Time, len(truth))
-			for i, c := range truth {
-				times[i] = c.QuestionAt
+			for k, c := range truth {
+				times[k] = c.QuestionAt
 			}
-			for i, j := range defense.MatchEvents(events, times, matchTolerance) {
+			var out score
+			for k, j := range defense.MatchEvents(events, times, matchTolerance) {
 				if j < 0 {
 					continue
 				}
-				scored++
-				if decisions[j] == truth[i].TookDefault {
-					correct++
+				out.scored++
+				if decisions[j] == truth[k].TookDefault {
+					out.correct++
 				}
 			}
+			return out, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		var correct, scored int
+		for _, s := range scores {
+			correct += s.correct
+			scored += s.scored
 		}
 		if scored == 0 {
 			return 0, nil
 		}
 		return float64(correct) / float64(scored), nil
 	}
+	// The two player modes run back to back: each already saturates the
+	// worker pool through its calibration and scoring fan-outs, and
+	// nesting them in another MapN would double the configured bound.
 	with, err := run(false)
 	if err != nil {
 		return nil, err
@@ -334,8 +396,8 @@ func PrefetchAblation(sessions int, seed uint64) (*PrefetchAblationResult, error
 	var b strings.Builder
 	b.WriteString("Ablation: the timing channel needs the prefetch-cancel\n")
 	rows := [][]string{
-		{"prefetch enabled (film behaviour)", fmt.Sprintf("%.0f%%", 100*with)},
-		{"prefetch disabled", fmt.Sprintf("%.0f%%", 100*without)},
+		{"prefetch enabled (film behaviour)", fmt.Sprintf("%.0f%%", 100*res.WithPrefetch)},
+		{"prefetch disabled", fmt.Sprintf("%.0f%%", 100*res.WithoutPrefetch)},
 	}
 	b.WriteString(stats.RenderTable([]string{"player mode", "timing-attack accuracy"}, rows))
 	res.Report = b.String()

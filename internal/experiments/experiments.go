@@ -15,6 +15,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/media"
+	"repro/internal/parallel"
 	"repro/internal/profiles"
 	"repro/internal/script"
 	"repro/internal/session"
@@ -24,17 +25,22 @@ import (
 	"repro/internal/wire"
 )
 
-// sharedEncoding caches the default title encoding across experiments.
+// sharedEncoding returns the cached default title encoding shared across
+// experiments and sessions.
 func sharedEncoding(g *script.Graph, seed uint64) *media.Encoding {
-	return media.Encode(g, media.DefaultLadder, seed)
+	return media.EncodeCached(g, media.DefaultLadder, seed)
 }
 
-// runOne simulates a single session.
+// runOne simulates a single session. Experiment traces never leave the
+// driver (no pcap serialization), so the server payload is not
+// materialized — the trace's offsets, timings and record ground truth are
+// exact either way.
 func runOne(g *script.Graph, enc *media.Encoding, v viewer.Viewer,
 	cond profiles.Condition, seed uint64, opts func(*session.Config)) (*session.Trace, error) {
 	cfg := session.Config{
 		Graph: g, Encoding: enc, Viewer: v, Condition: cond,
 		SessionID: fmt.Sprintf("exp-%d", seed), Seed: seed,
+		OmitServerPayload: true,
 	}
 	if opts != nil {
 		opts(&cfg)
@@ -42,19 +48,40 @@ func runOne(g *script.Graph, enc *media.Encoding, v viewer.Viewer,
 	return session.Run(cfg)
 }
 
-// observationOf parses a trace's streams into an attacker observation
-// (equivalent to the pcap path, which the attack tests exercise; the
-// experiment drivers skip pcap serialization for speed).
+// profileSessions simulates training sessions under one condition until
+// both report classes are present: at least minN sessions, at most maxN.
+// at supplies the viewer and session seed for index t; the loop is
+// sequential because its length is data-dependent, but every caller runs
+// it from inside a parallel task of its own.
+func profileSessions(g *script.Graph, enc *media.Encoding, cond profiles.Condition,
+	minN, maxN int, at func(t int) (viewer.Viewer, uint64)) ([]*session.Trace, error) {
+	var training []*session.Trace
+	for t := 0; t < maxN; t++ {
+		v, s := at(t)
+		tr, err := runOne(g, enc, v, cond, s, nil)
+		if err != nil {
+			return nil, err
+		}
+		training = append(training, tr)
+		if t >= minN-1 && attack.HasBothClasses(training) {
+			break
+		}
+	}
+	return training, nil
+}
+
+// observationOf turns a trace into an attacker observation (equivalent to
+// the pcap path, which the attack tests exercise; the experiment drivers
+// skip pcap serialization for speed). The client stream is parsed as an
+// eavesdropper would see it; the server direction reuses the trace's
+// record ground truth, which is byte-for-byte what parsing the (possibly
+// unmaterialized) server stream recovers.
 func observationOf(tr *session.Trace) (*attack.Observation, error) {
 	cRecs, _, err := tlsrec.ParseStream(tr.ClientToServer.Bytes, tr.ClientToServer.TimeAt)
 	if err != nil {
 		return nil, err
 	}
-	sRecs, _, err := tlsrec.ParseStream(tr.ServerToClient.Bytes, tr.ServerToClient.TimeAt)
-	if err != nil {
-		return nil, err
-	}
-	return &attack.Observation{ClientRecords: cRecs, ServerRecords: sRecs}, nil
+	return &attack.Observation{ClientRecords: cRecs, ServerRecords: tr.ServerRecords}, nil
 }
 
 // --- T1: Table I --------------------------------------------------------------
@@ -192,7 +219,9 @@ func figure2Bins(cond profiles.Condition) []stats.Bin {
 }
 
 // Figure2 runs sessions under the two paper conditions and bins the
-// client application record lengths by ground-truth class.
+// client application record lengths by ground-truth class. Sessions fan
+// out across the worker pool; histogram observations are folded in
+// session order so the panels are identical at any worker count.
 func Figure2(sessionsPerPanel int, seed uint64) (*Figure2Result, error) {
 	if sessionsPerPanel <= 0 {
 		sessionsPerPanel = 5
@@ -204,11 +233,13 @@ func Figure2(sessionsPerPanel int, seed uint64) (*Figure2Result, error) {
 		enc := sharedEncoding(g, seed)
 		h := stats.NewHistogram(figure2Bins(cond), "type-1 JSON", "type-2 JSON", "others")
 		pop := viewer.SamplePopulation(sessionsPerPanel, wire.NewRNG(seed^uint64(len(cond.String()))))
-		for i, v := range pop {
-			tr, err := runOne(g, enc, v, cond, seed+uint64(i)*977, nil)
-			if err != nil {
-				return nil, err
-			}
+		traces, err := parallel.Map(0, pop, func(i int, v viewer.Viewer) (*session.Trace, error) {
+			return runOne(g, enc, v, cond, seed+uint64(i)*977, nil)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range traces {
 			for _, w := range tr.ClientWrites {
 				series := "others"
 				switch w.Label {

@@ -100,6 +100,16 @@ func DecodePacket(ts time.Time, frame []byte) (*Packet, error) {
 // IPv4 identification field so consecutive frames look realistic.
 func BuildTCPFrame(key FlowKey, eth Ethernet, tcp TCP, payload []byte, ipID uint16) ([]byte, error) {
 	w := wire.NewWriter(ethernetHeaderLen + ipv4HeaderLen + tcpHeaderLen + len(payload))
+	if err := AppendTCPFrame(w, key, eth, tcp, payload, ipID); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// AppendTCPFrame serializes the frame into an existing Writer, so callers
+// synthesizing thousands of frames (pcap capture) can pack them into one
+// arena instead of allocating per frame.
+func AppendTCPFrame(w *wire.Writer, key FlowKey, eth Ethernet, tcp TCP, payload []byte, ipID uint16) error {
 	switch {
 	case key.SrcAddr.Is4():
 		eth.EtherType = EtherTypeIPv4
@@ -108,7 +118,7 @@ func BuildTCPFrame(key FlowKey, eth Ethernet, tcp TCP, payload []byte, ipID uint
 			Flags: 0x2, // don't fragment
 			Src:   key.SrcAddr, Dst: key.DstAddr}
 		if err := ip.AppendTo(w, tcpHeaderLen+len(payload)); err != nil {
-			return nil, err
+			return err
 		}
 	case key.SrcAddr.Is6():
 		eth.EtherType = EtherTypeIPv6
@@ -116,14 +126,11 @@ func BuildTCPFrame(key FlowKey, eth Ethernet, tcp TCP, payload []byte, ipID uint
 		ip := IPv6{HopLimit: 64, NextHeader: IPProtocolTCP,
 			Src: key.SrcAddr, Dst: key.DstAddr}
 		if err := ip.AppendTo(w, tcpHeaderLen+len(payload)); err != nil {
-			return nil, err
+			return err
 		}
 	default:
-		return nil, fmt.Errorf("layers: flow key has no valid source address")
+		return fmt.Errorf("layers: flow key has no valid source address")
 	}
 	tcp.SrcPort, tcp.DstPort = key.SrcPort, key.DstPort
-	if err := tcp.AppendTo(w, key.SrcAddr, key.DstAddr, payload); err != nil {
-		return nil, err
-	}
-	return w.Bytes(), nil
+	return tcp.AppendTo(w, key.SrcAddr, key.DstAddr, payload)
 }

@@ -12,6 +12,8 @@ package media
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/script"
@@ -111,6 +113,65 @@ func chunkSegment(seg *script.Segment, qi int, q Quality, complexity float64, rn
 		remaining -= d
 	}
 	return chunks
+}
+
+// encodeCache shares Encodings across sessions and experiments: encoding
+// the title is pure in (graph content, ladder, seed), and the result is
+// immutable after construction, so every layer that simulates the same
+// title can hold one copy instead of re-encoding per session. The cache is
+// safe for concurrent use; worker pools hit it from many goroutines.
+var encodeCache struct {
+	sync.Mutex
+	m map[string]*Encoding
+}
+
+// encodeCacheLimit bounds the cache; when full it is emptied wholesale
+// (encodings are cheap to rebuild and experiment suites cycle few keys).
+const encodeCacheLimit = 64
+
+// encodeKey fingerprints everything Encode's output depends on: the exact
+// segment inventory (IDs, titles, durations, in order), the ladder and the
+// seed. Graph pointer identity deliberately does not matter — repeated
+// script.Bandersnatch() calls build fresh but identical graphs.
+func encodeKey(g *script.Graph, ladder []Quality, seed uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\x00%d\x00", g.Title, seed)
+	for _, q := range ladder {
+		fmt.Fprintf(&b, "%s:%d\x00", q.Name, q.Bitrate)
+	}
+	for _, seg := range g.Segments() {
+		fmt.Fprintf(&b, "%s\x01%s\x01%d\x00", seg.ID, seg.Title, seg.Duration)
+	}
+	return b.String()
+}
+
+// EncodeCached returns a shared Encoding for (g, ladder, seed), encoding
+// at most once per distinct key. The returned Encoding is read-only and
+// safe to share across goroutines.
+func EncodeCached(g *script.Graph, ladder []Quality, seed uint64) *Encoding {
+	if len(ladder) == 0 {
+		ladder = DefaultLadder
+	}
+	key := encodeKey(g, ladder, seed)
+	encodeCache.Lock()
+	if e, ok := encodeCache.m[key]; ok {
+		encodeCache.Unlock()
+		return e
+	}
+	encodeCache.Unlock()
+
+	e := Encode(g, ladder, seed)
+
+	encodeCache.Lock()
+	defer encodeCache.Unlock()
+	if prior, ok := encodeCache.m[key]; ok {
+		return prior // a racing encoder won; keep one canonical copy
+	}
+	if encodeCache.m == nil || len(encodeCache.m) >= encodeCacheLimit {
+		encodeCache.m = make(map[string]*Encoding)
+	}
+	encodeCache.m[key] = e
+	return e
 }
 
 // Chunks returns the chunk list for a segment at a quality index.

@@ -1,0 +1,171 @@
+// Package parallel is the deterministic parallel execution engine for the
+// whole compute stack: a bounded worker pool with an ordered fan-out/fan-in
+// primitive used by dataset generation, attacker training and every
+// experiment driver.
+//
+// Determinism is the design constraint. Map dispatches items strictly by
+// index, writes results into an index-addressed slice, and reports the
+// error of the lowest failing index, so the observable output is
+// byte-identical to a sequential run at any worker count. Callers keep
+// per-task randomness independent by deriving one RNG stream per index
+// from the root seed (wire.RNG.Stream) instead of threading a shared
+// generator through the loop.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides the default
+// worker count for the whole process (flags take precedence over it).
+const EnvWorkers = "WM_WORKERS"
+
+// defaultWorkers holds the process-wide override (0 = GOMAXPROCS).
+var defaultWorkers atomic.Int64
+
+func init() {
+	if v := os.Getenv(EnvWorkers); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			defaultWorkers.Store(int64(n))
+		}
+	}
+}
+
+// SetDefaultWorkers fixes the worker count used when a caller passes 0.
+// n <= 0 restores the GOMAXPROCS default. It exists so command-line
+// -workers flags can set the knob once for every layer beneath them.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Workers resolves a requested worker count: an explicit n > 0 wins, then
+// the process default (WM_WORKERS or SetDefaultWorkers), then GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if d := int(defaultWorkers.Load()); d > 0 {
+		return d
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// taskPanic carries a worker panic to the caller's goroutine.
+type taskPanic struct {
+	index int
+	value any
+}
+
+// Map applies fn to every item with at most Workers(workers) goroutines
+// and returns the results in input order. fn must be deterministic per
+// index for the engine's reproducibility guarantee to hold; it must not
+// assume anything about the order in which indices run concurrently.
+//
+// On error, remaining items are skipped and the error of the lowest
+// failing index is returned — exactly the error a sequential loop would
+// have stopped on, because every index below the minimal failing one is
+// always computed. A panic inside fn is re-raised on the calling
+// goroutine, lowest index first.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return MapN(workers, len(items), func(i int) (R, error) {
+		return fn(i, items[i])
+	})
+}
+
+// MapN is Map over the index range [0, n) for loops that have no backing
+// slice.
+func MapN[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	results := make([]R, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	panics := make([]*taskPanic, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	run := func(i int) {
+		defer func() {
+			if p := recover(); p != nil {
+				panics[i] = &taskPanic{index: i, value: p}
+				failed.Store(true)
+			}
+		}()
+		r, err := fn(i)
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+			return
+		}
+		results[i] = r
+	}
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Check failed BEFORE claiming: once an index is claimed it
+				// always executes, so the minimal failing index is never
+				// skipped and error selection stays deterministic.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		// Deterministic failure selection: indices are claimed in order, so
+		// the minimal failing index always ran to completion; report it
+		// exactly as the sequential loop would — including re-raising the
+		// original panic value, so recover() sees the same thing at any
+		// worker count.
+		for i := 0; i < n; i++ {
+			if p := panics[i]; p != nil {
+				panic(p.value)
+			}
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+	}
+	return results, nil
+}
+
+// For runs fn for every index in [0, n) with bounded concurrency and the
+// same deterministic error semantics as MapN, for fan-outs that produce no
+// per-item result.
+func For(workers, n int, fn func(i int) error) error {
+	_, err := MapN(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

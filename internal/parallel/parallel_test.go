@@ -1,0 +1,176 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		got, err := Map(workers, items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapNEmpty(t *testing.T) {
+	got, err := MapN(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("MapN(0) = %v, %v", got, err)
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	for _, workers := range []int{1, 4, 8} {
+		_, err := MapN(workers, 64, func(i int) (int, error) {
+			if i == 3 {
+				return 0, wantErr
+			}
+			if i == 40 {
+				return 0, errors.New("boom-40")
+			}
+			return i, nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: err = %v, want boom-3", workers, err)
+		}
+	}
+}
+
+func TestMapErrorMatchesSequential(t *testing.T) {
+	// The parallel engine must stop on exactly the error a sequential loop
+	// would: the lowest failing index, with every earlier index computed.
+	fail := func(i int) (int, error) {
+		if i%7 == 5 {
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i, nil
+	}
+	_, seqErr := MapN(1, 50, fail)
+	_, parErr := MapN(8, 50, fail)
+	if seqErr == nil || parErr == nil || seqErr.Error() != parErr.Error() {
+		t.Fatalf("sequential err %v != parallel err %v", seqErr, parErr)
+	}
+}
+
+func TestMapPanicPropagatesOriginalValue(t *testing.T) {
+	// The original panic value of the lowest panicking index must reach
+	// the caller unchanged at any worker count (matching sequential).
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if fmt.Sprint(p) != "kaboom-2" {
+					t.Fatalf("workers=%d: panic = %v, want kaboom-2", workers, p)
+				}
+			}()
+			MapN(workers, 16, func(i int) (int, error) {
+				if i == 2 || i == 9 {
+					panic(fmt.Sprintf("kaboom-%d", i))
+				}
+				return i, nil
+			})
+		}()
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	const workers = 3
+	_, err := MapN(workers, 30, func(i int) (int, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestMapDeterministicWithStreams(t *testing.T) {
+	// The canonical usage pattern: per-task RNG streams derived from a
+	// root seed produce identical outputs at any worker count.
+	run := func(workers int) []uint64 {
+		root := wire.NewRNG(42)
+		out, err := MapN(workers, 64, func(i int) (uint64, error) {
+			rng := root.Stream(uint64(i))
+			v := rng.Uint64()
+			for k := 0; k < i%5; k++ {
+				v ^= rng.Uint64()
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 16} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+	SetDefaultWorkers(7)
+	if got := Workers(0); got != 7 {
+		t.Errorf("Workers(0) with default 7 = %d", got)
+	}
+	SetDefaultWorkers(0)
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForPropagatesError(t *testing.T) {
+	wantErr := errors.New("stop")
+	err := For(4, 10, func(i int) error {
+		if i == 6 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("For err = %v", err)
+	}
+}

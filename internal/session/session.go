@@ -120,6 +120,11 @@ type Trace struct {
 	// ClientWrites is the labeled ground truth of every client
 	// application write, in time order.
 	ClientWrites []LabeledWrite
+	// ServerRecords is the ground-truth record sequence of the server
+	// direction — identical to what parsing ServerToClient.Bytes recovers,
+	// but available even when the payload was not materialized
+	// (Config.OmitServerPayload).
+	ServerRecords []tlsrec.Record
 	// Result is the player-level ground truth (path, choices, stalls).
 	Result player.Result
 }
@@ -151,6 +156,12 @@ type Config struct {
 	// encryption (countermeasure evaluation). It returns the possibly
 	// split plaintext sizes to write.
 	Defense func(label WriteLabel, plain int) []int
+	// OmitServerPayload skips materializing the server direction's byte
+	// stream (tens of megabytes of opaque media bodies per session); the
+	// trace still carries exact offsets, timings and ServerRecords.
+	// Profiling and experiment workloads that never serialize the trace to
+	// pcap set this — it removes the dominant memory cost of a session.
+	OmitServerPayload bool
 }
 
 // Run simulates one session.
@@ -170,12 +181,29 @@ func Run(cfg Config) (*Trace, error) {
 	prof := profiles.Lookup(cfg.Condition)
 	rng := wire.NewRNG(cfg.Seed)
 
+	// Stream buffers. The client direction is small and always pooled.
+	// The server direction carries tens of megabytes of opaque media
+	// bodies: lean sessions skip materializing it entirely (a discard
+	// Writer keeps the offsets exact), full-fidelity sessions borrow a
+	// pooled arena and the trace keeps an exact-size copy.
+	cBuf := wire.GetWriter(1 << 20)
+	defer wire.PutWriter(cBuf)
+	var sBuf *wire.Writer
+	if cfg.OmitServerPayload {
+		sBuf = wire.NewDiscardWriter()
+	} else {
+		sBuf = wire.GetWriter(20 << 20)
+		defer wire.PutWriter(sBuf)
+	}
+
 	env := &simEnv{
 		trace: &Trace{
 			Viewer:    cfg.Viewer,
 			Condition: cfg.Condition,
 			Profile:   prof,
 			SessionID: cfg.SessionID,
+			// A typical walk meets ~50-150 labeled writes.
+			ClientWrites: make([]LabeledWrite, 0, 96),
 		},
 		server:   cdn.New(cfg.Graph, cfg.Encoding),
 		builder:  statejson.NewBuilder(prof, cfg.Graph.Title, cfg.SessionID, rng.Fork(1)),
@@ -189,8 +217,8 @@ func Run(cfg Config) (*Trace, error) {
 		viewer:  cfg.Viewer,
 		decider: rng.Fork(6),
 		defense: cfg.Defense,
-		cBuf:    wire.NewWriter(1 << 20),
-		sBuf:    wire.NewWriter(16 << 20),
+		cBuf:    cBuf,
+		sBuf:    sBuf,
 	}
 
 	// TLS handshake opens the connection.
@@ -220,8 +248,8 @@ func Run(cfg Config) (*Trace, error) {
 		return nil, err
 	}
 	env.trace.Result = res
-	env.trace.ClientToServer.Bytes = env.cBuf.Bytes()
-	env.trace.ServerToClient.Bytes = env.sBuf.Bytes()
+	env.trace.ClientToServer.Bytes = env.cBuf.CopyBytes()
+	env.trace.ServerToClient.Bytes = env.sBuf.CopyBytes()
 	return env.trace, nil
 }
 
@@ -253,20 +281,21 @@ func (e *simEnv) handshake(t time.Time, helloLen int) {
 	// Server side: ServerHello+cert chain (~3700B), CCS, Finished.
 	st := t.Add(e.downlink.RTT() / 2)
 	e.trace.ServerToClient.mark(int64(e.sBuf.Len()), st)
-	e.sEnc.HandshakeTranscript(e.sBuf, st, 3700)
+	srecs := e.sEnc.HandshakeTranscript(e.sBuf, st, 3700)
+	e.trace.ServerRecords = append(e.trace.ServerRecords, srecs...)
 }
 
 // writeClient encrypts one client application write, with the defense
 // transform applied if configured.
 func (e *simEnv) writeClient(t time.Time, label WriteLabel, plain int) {
-	sizes := []int{plain}
-	if e.defense != nil {
-		sizes = e.defense(label, plain)
-	}
-	var recs []tlsrec.Record
 	e.trace.ClientToServer.mark(int64(e.cBuf.Len()), t)
-	for _, n := range sizes {
-		recs = append(recs, e.cEnc.WriteApplicationData(e.cBuf, t, n)...)
+	var recs []tlsrec.Record
+	if e.defense == nil {
+		recs = e.cEnc.WriteApplicationData(e.cBuf, t, plain)
+	} else {
+		for _, n := range e.defense(label, plain) {
+			recs = append(recs, e.cEnc.WriteApplicationData(e.cBuf, t, n)...)
+		}
 	}
 	e.trace.ClientWrites = append(e.trace.ClientWrites, LabeledWrite{
 		Label: label, Time: t, Plain: plain, Records: recs,
@@ -284,7 +313,8 @@ func (e *simEnv) FetchChunk(now time.Time, c media.Chunk) time.Time {
 	respSize := e.server.ChunkResponseSize(c)
 	respStart := reqArrive
 	e.trace.ServerToClient.mark(int64(e.sBuf.Len()), respStart)
-	e.sEnc.WriteApplicationData(e.sBuf, respStart, respSize)
+	srecs := e.sEnc.WriteApplicationData(e.sBuf, respStart, respSize)
+	e.trace.ServerRecords = append(e.trace.ServerRecords, srecs...)
 	done := e.downlink.Transfer(respStart, respSize)
 	e.est.Observe(respSize, done.Sub(now))
 	return done

@@ -11,11 +11,16 @@ import (
 // simulator can synthesize the ciphertext byte stream an eavesdropper
 // observes. Record bodies are filled with PRNG noise (they are opaque to
 // the attack; realistic entropy keeps accidental structure out of tests).
+//
+// An Encryptor belongs to one session and is not safe for concurrent use;
+// it reuses internal scratch space so the per-record simulation hot loop
+// stays allocation-free apart from the record descriptors themselves.
 type Encryptor struct {
 	Suite    CipherSuite
 	Splitter Splitter
 	Version  Version
 	rng      *wire.RNG
+	splitBuf []int // reused across writes by write()
 }
 
 // NewEncryptor returns an Encryptor for the given suite and splitter.
@@ -39,18 +44,24 @@ func (e *Encryptor) WriteHandshake(w *wire.Writer, ts time.Time, n int) []Record
 	return e.write(w, ts, ContentHandshake, n)
 }
 
+// appendBody emits one record of n body bytes directly into w — zero or
+// PRNG fill in place, with no intermediate body buffer.
+func (e *Encryptor) appendBody(w *wire.Writer, typ ContentType, ver Version, n int) {
+	AppendRecordHeader(w, typ, ver, n)
+	if e.rng != nil {
+		w.Fill(n, e.rng)
+	} else {
+		w.Zero(n)
+	}
+}
+
 func (e *Encryptor) write(w *wire.Writer, ts time.Time, typ ContentType, n int) []Record {
-	var out []Record
-	for _, pt := range e.Splitter.Split(n) {
+	e.splitBuf = e.Splitter.AppendSplit(e.splitBuf[:0], n)
+	out := make([]Record, 0, len(e.splitBuf))
+	for _, pt := range e.splitBuf {
 		ct := e.Suite.CiphertextLen(pt)
-		body := make([]byte, ct)
-		if e.rng != nil {
-			for i := range body {
-				body[i] = byte(e.rng.Uint64())
-			}
-		}
 		off := int64(w.Len())
-		AppendRecord(w, typ, e.Version, body)
+		e.appendBody(w, typ, e.Version, ct)
 		out = append(out, Record{
 			Type: typ, Version: e.Version, Length: ct,
 			Time: ts, StreamOffset: off,
@@ -64,15 +75,9 @@ func (e *Encryptor) write(w *wire.Writer, ts time.Time, typ ContentType, n int) 
 // observed ranges for 2019-era browsers: the attack must correctly skip
 // these records, so captures include them.
 func (e *Encryptor) HandshakeTranscript(w *wire.Writer, ts time.Time, helloLen int) []Record {
-	var out []Record
-	hello := make([]byte, helloLen)
-	if e.rng != nil {
-		for i := range hello {
-			hello[i] = byte(e.rng.Uint64())
-		}
-	}
+	out := make([]Record, 0, 3)
 	off := int64(w.Len())
-	AppendRecord(w, ContentHandshake, VersionTLS10, hello)
+	e.appendBody(w, ContentHandshake, VersionTLS10, helloLen)
 	out = append(out, Record{Type: ContentHandshake, Version: VersionTLS10,
 		Length: helloLen, Time: ts, StreamOffset: off})
 
@@ -82,9 +87,9 @@ func (e *Encryptor) HandshakeTranscript(w *wire.Writer, ts time.Time, helloLen i
 		Length: 1, Time: ts, StreamOffset: off})
 
 	finished := e.Suite.CiphertextLen(16)
-	body := make([]byte, finished)
 	off = int64(w.Len())
-	AppendRecord(w, ContentHandshake, e.Version, body)
+	AppendRecordHeader(w, ContentHandshake, e.Version, finished)
+	w.Zero(finished)
 	out = append(out, Record{Type: ContentHandshake, Version: e.Version,
 		Length: finished, Time: ts, StreamOffset: off})
 	return out

@@ -1,0 +1,126 @@
+package tlsrec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// buildStream frames a few records and returns the wire bytes.
+func buildStream(t *testing.T) ([]byte, []Record) {
+	t.Helper()
+	w := wire.NewWriter(0)
+	enc := NewEncryptor(SuiteAESGCM128TLS12, DefaultSplitter, VersionTLS12, wire.NewRNG(5))
+	ts := time.Unix(100, 0)
+	var want []Record
+	want = append(want, enc.HandshakeTranscript(w, ts, 517)...)
+	for i, n := range []int{300, 2000, 40000, 0, 16384} {
+		at := ts.Add(time.Duration(i+1) * time.Second)
+		want = append(want, enc.WriteApplicationData(w, at, n)...)
+	}
+	return w.Bytes(), want
+}
+
+// TestRecordScannerMatchesParseStream feeds the same stream through the
+// full parser and the header-only scanner in awkward chunkings and
+// demands identical record sequences (minus bodies).
+func TestRecordScannerMatchesParseStream(t *testing.T) {
+	stream, _ := buildStream(t)
+	full, rest, err := ParseStream(stream, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest != 0 {
+		t.Fatalf("trailing bytes: %d", rest)
+	}
+	for _, chunk := range []int{1, 2, 3, 5, 7, 1000, len(stream)} {
+		sc := NewRecordScanner()
+		for off := 0; off < len(stream); off += chunk {
+			end := min(off+chunk, len(stream))
+			sc.Feed(time.Unix(int64(200+off), 0), stream[off:end])
+			if err := sc.Err(); err != nil {
+				t.Fatalf("chunk=%d: %v", chunk, err)
+			}
+		}
+		got := sc.Records()
+		if len(got) != len(full) {
+			t.Fatalf("chunk=%d: %d records, want %d", chunk, len(got), len(full))
+		}
+		for i := range full {
+			if got[i].Type != full[i].Type || got[i].Length != full[i].Length ||
+				got[i].Version != full[i].Version || got[i].StreamOffset != full[i].StreamOffset {
+				t.Fatalf("chunk=%d: record %d = %+v, want %+v", chunk, i, got[i], full[i])
+			}
+		}
+	}
+}
+
+// TestRecordScannerTimestampsFirstHeaderByte pins the timestamp
+// semantics: a record is stamped with the arrival time of the chunk that
+// carried its first header byte.
+func TestRecordScannerTimestampsFirstHeaderByte(t *testing.T) {
+	stream, _ := buildStream(t)
+	sc := NewRecordScanner()
+	// Two chunks, split mid-record somewhere in the middle.
+	split := len(stream) / 2
+	t0, t1 := time.Unix(10, 0), time.Unix(20, 0)
+	sc.Feed(t0, stream[:split])
+	sc.Feed(t1, stream[split:])
+	for _, r := range sc.Records() {
+		want := t0
+		if r.StreamOffset >= int64(split) {
+			want = t1
+		}
+		if !r.Time.Equal(want) {
+			t.Fatalf("record at offset %d has time %v, want %v", r.StreamOffset, r.Time, want)
+		}
+	}
+}
+
+// TestRecordScannerTruncatedBody matches ParseStream's behaviour: a
+// record whose body is cut off is not reported.
+func TestRecordScannerTruncatedBody(t *testing.T) {
+	stream, _ := buildStream(t)
+	cut := stream[:len(stream)-3]
+	full, _, err := ParseStream(cut, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewRecordScanner()
+	sc.Feed(time.Unix(1, 0), cut)
+	if got := sc.Records(); len(got) != len(full) {
+		t.Fatalf("scanner recovered %d records from truncated stream, parser %d", len(got), len(full))
+	}
+}
+
+// TestRecordScannerRejectsGarbage mirrors the parser's validation.
+func TestRecordScannerRejectsGarbage(t *testing.T) {
+	sc := NewRecordScanner()
+	sc.Feed(time.Unix(1, 0), []byte{0x99, 0x03, 0x03, 0x00, 0x01, 0x00})
+	if sc.Err() == nil {
+		t.Fatal("scanner accepted an unknown content type")
+	}
+}
+
+func TestAppendSplitMatchesSplit(t *testing.T) {
+	sps := []Splitter{
+		{},
+		{MaxPlaintext: 1400},
+		{MaxPlaintext: 16384, FirstRecordMax: 1},
+	}
+	for _, sp := range sps {
+		for _, n := range []int{0, 1, 1399, 1400, 1401, 16384, 16385, 50000} {
+			a := sp.Split(n)
+			b := sp.AppendSplit(nil, n)
+			if len(a) != len(b) {
+				t.Fatalf("split mismatch for %+v n=%d", sp, n)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("split mismatch for %+v n=%d at %d", sp, n, i)
+				}
+			}
+		}
+	}
+}

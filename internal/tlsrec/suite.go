@@ -98,25 +98,29 @@ var DefaultSplitter = Splitter{MaxPlaintext: 16384}
 
 // Split returns the plaintext record sizes for one application write of
 // n bytes. A zero-byte write still produces one empty record.
-func (sp Splitter) Split(n int) []int {
+func (sp Splitter) Split(n int) []int { return sp.AppendSplit(nil, n) }
+
+// AppendSplit appends the record sizes for a write of n bytes to dst and
+// returns the extended slice, so hot loops can reuse one scratch buffer
+// instead of allocating per write.
+func (sp Splitter) AppendSplit(dst []int, n int) []int {
 	maxPT := sp.MaxPlaintext
 	if maxPT <= 0 || maxPT > 16384 {
 		maxPT = 16384
 	}
 	if n == 0 {
-		return []int{0}
+		return append(dst, 0)
 	}
-	var out []int
 	remaining := n
 	if sp.FirstRecordMax > 0 && sp.FirstRecordMax < maxPT {
 		first := min(sp.FirstRecordMax, remaining)
-		out = append(out, first)
+		dst = append(dst, first)
 		remaining -= first
 	}
 	for remaining > 0 {
 		k := min(maxPT, remaining)
-		out = append(out, k)
+		dst = append(dst, k)
 		remaining -= k
 	}
-	return out
+	return dst
 }

@@ -94,13 +94,20 @@ func (r Record) WireLen() int { return headerLen + r.Length }
 // AppendRecord frames body as a single record. It panics if body exceeds
 // MaxRecordPayload, which indicates a splitter bug upstream.
 func AppendRecord(w *wire.Writer, typ ContentType, ver Version, body []byte) {
-	if len(body) > MaxRecordPayload {
-		panic(fmt.Sprintf("tlsrec: fragment of %d bytes exceeds maximum", len(body)))
+	AppendRecordHeader(w, typ, ver, len(body))
+	w.Write(body)
+}
+
+// AppendRecordHeader frames the 5-byte header of a record whose body the
+// caller will append next (e.g. in place via Writer.Zero/Fill). It panics
+// if n exceeds MaxRecordPayload, which indicates a splitter bug upstream.
+func AppendRecordHeader(w *wire.Writer, typ ContentType, ver Version, n int) {
+	if n > MaxRecordPayload {
+		panic(fmt.Sprintf("tlsrec: fragment of %d bytes exceeds maximum", n))
 	}
 	w.U8(uint8(typ))
 	w.U16(uint16(ver))
-	w.U16(uint16(len(body)))
-	w.Write(body)
+	w.U16(uint16(n))
 }
 
 // timeAt resolves the capture time for a stream offset given chunk
@@ -215,3 +222,83 @@ func (p *StreamParser) Err() error { return p.err }
 
 // Pending returns the number of buffered bytes not yet forming a record.
 func (p *StreamParser) Pending() int { return len(p.buf) }
+
+// RecordScanner is a header-only streaming record extractor: bytes are fed
+// in arrival order (e.g. straight from TCP reassembly chunks) and only the
+// 5-byte headers are ever buffered — body bytes are counted and skipped
+// without being copied or concatenated. This is the attack pipeline's hot
+// path: the side-channel needs lengths and times, never bodies, so a
+// multi-megabyte capture costs a record-descriptor slice and nothing else.
+type RecordScanner struct {
+	recs []Record
+	hdr  [headerLen]byte
+	// hdrLen counts header bytes accumulated so far for the record being
+	// started; hdrOff/hdrTime pin its stream offset and arrival time.
+	hdrLen  int
+	hdrOff  int64
+	hdrTime time.Time
+	skip    int   // body bytes of the current record still to discard
+	off     int64 // absolute stream offset of the next input byte
+	err     error
+}
+
+// NewRecordScanner returns an empty scanner positioned at stream offset 0.
+func NewRecordScanner() *RecordScanner { return &RecordScanner{} }
+
+// Feed consumes stream bytes that arrived at time ts. Completed record
+// headers are appended to the result list; bodies are skipped in place.
+func (s *RecordScanner) Feed(ts time.Time, data []byte) {
+	if s.err != nil {
+		return
+	}
+	for len(data) > 0 {
+		if s.skip > 0 {
+			n := s.skip
+			if n > len(data) {
+				n = len(data)
+			}
+			s.skip -= n
+			s.off += int64(n)
+			data = data[n:]
+			continue
+		}
+		if s.hdrLen == 0 {
+			s.hdrOff, s.hdrTime = s.off, ts
+		}
+		n := copy(s.hdr[s.hdrLen:], data)
+		s.hdrLen += n
+		s.off += int64(n)
+		data = data[n:]
+		if s.hdrLen < headerLen {
+			return
+		}
+		typ := ContentType(s.hdr[0])
+		ver := Version(uint16(s.hdr[1])<<8 | uint16(s.hdr[2]))
+		length := int(s.hdr[3])<<8 | int(s.hdr[4])
+		if err := validateHeader(typ, ver, length, len(s.recs) == 0); err != nil {
+			s.err = err
+			return
+		}
+		s.recs = append(s.recs, Record{
+			Type: typ, Version: ver, Length: length,
+			Time: s.hdrTime, StreamOffset: s.hdrOff,
+		})
+		s.hdrLen = 0
+		s.skip = length
+	}
+}
+
+// Records returns the complete records scanned so far. A trailing partial
+// record (header or body cut off mid-stream) is absent, matching
+// ParseStream's tolerance for truncated captures.
+func (s *RecordScanner) Records() []Record {
+	if s.skip > 0 && len(s.recs) > 0 {
+		// The last record's body never finished arriving; exclude it so a
+		// truncated capture parses exactly as it does through ParseStream.
+		return s.recs[:len(s.recs)-1]
+	}
+	return s.recs
+}
+
+// Err reports a fatal framing error, after which Feed is a no-op.
+func (s *RecordScanner) Err() error { return s.err }

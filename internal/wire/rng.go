@@ -21,8 +21,24 @@ func NewRNG(seed uint64) *RNG {
 
 // Fork derives an independent child generator from the current state and a
 // stream label, so sub-simulations do not perturb each other's sequences.
+// Fork advances the parent, making the child depend on how many forks were
+// taken before it; sequentially threaded code relies on that. Concurrent
+// code must use Stream instead.
 func (r *RNG) Fork(label uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (label*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb))
+}
+
+// Stream derives an independent child generator from the current state and
+// a stream label WITHOUT advancing the parent. Distinct labels yield
+// decorrelated streams, and the derivation is a pure function of (state,
+// label), so tasks fanned out across a worker pool draw identical
+// randomness regardless of scheduling or worker count. Concurrent Stream
+// calls on one parent are safe as long as nothing advances it.
+func (r *RNG) Stream(label uint64) *RNG {
+	z := r.state + (label+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return NewRNG(z ^ (z >> 31))
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

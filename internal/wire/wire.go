@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrShortBuffer is returned when a decode runs past the end of its input.
@@ -125,6 +126,18 @@ func (r *Reader) Rest() []byte {
 // Writer is an append-only big-endian byte builder.
 type Writer struct {
 	buf []byte
+	// dirty reports whether bytes beyond len(buf) may be nonzero. A fresh
+	// backing array from make is zero everywhere, and appends only ever
+	// write at len, so bytes past the high-water mark stay zero until the
+	// Writer is reset or recycled; Zero exploits this to skip memclr on
+	// pristine regions — the simulation writes megabytes of zero record
+	// bodies per session.
+	dirty bool
+	// discard turns the Writer into a pure length model: appends advance
+	// virtual without storing bytes. Used by lean simulations that need
+	// exact stream offsets but never read the payload back.
+	discard bool
+	virtual int
 }
 
 // NewWriter returns a Writer with the given initial capacity hint.
@@ -132,41 +145,200 @@ func NewWriter(capHint int) *Writer {
 	return &Writer{buf: make([]byte, 0, capHint)}
 }
 
-// Len returns the number of bytes written so far.
-func (w *Writer) Len() int { return len(w.buf) }
+// NewDiscardWriter returns a Writer that tracks offsets but stores
+// nothing: Len advances exactly as a real Writer's would, Bytes stays
+// nil. It models a byte stream whose contents nobody will ever read —
+// e.g. the multi-megabyte server direction of a profiling session, where
+// only record descriptors and offsets matter.
+func NewDiscardWriter() *Writer { return &Writer{discard: true} }
 
-// Bytes returns the accumulated buffer.
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int {
+	if w.discard {
+		return w.virtual
+	}
+	return len(w.buf)
+}
+
+// Bytes returns the accumulated buffer (nil for a discard Writer).
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // U8 appends one byte.
-func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+func (w *Writer) U8(v uint8) {
+	if w.discard {
+		w.virtual++
+		return
+	}
+	w.buf = append(w.buf, v)
+}
 
 // U16 appends a big-endian uint16.
 func (w *Writer) U16(v uint16) {
+	if w.discard {
+		w.virtual += 2
+		return
+	}
 	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
 }
 
 // U32 appends a big-endian uint32.
 func (w *Writer) U32(v uint32) {
+	if w.discard {
+		w.virtual += 4
+		return
+	}
 	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
 }
 
 // U64 appends a big-endian uint64.
 func (w *Writer) U64(v uint64) {
+	if w.discard {
+		w.virtual += 8
+		return
+	}
 	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
 }
 
 // Write appends raw bytes.
-func (w *Writer) Write(p []byte) { w.buf = append(w.buf, p...) }
+func (w *Writer) Write(p []byte) {
+	if w.discard {
+		w.virtual += len(p)
+		return
+	}
+	w.buf = append(w.buf, p...)
+}
 
-// Zero appends n zero bytes.
+// grow extends the buffer length by n, reallocating geometrically when
+// capacity runs out. The extended region may contain stale bytes when the
+// Writer is dirty; callers overwrite or clear it.
+func (w *Writer) grow(n int) (l int) {
+	l = len(w.buf)
+	if cap(w.buf)-l >= n {
+		w.buf = w.buf[:l+n]
+		return l
+	}
+	newCap := 2 * cap(w.buf)
+	if newCap < l+n {
+		newCap = l + n
+	}
+	nb := make([]byte, l+n, newCap)
+	copy(nb, w.buf)
+	w.buf = nb
+	// Only the copied prefix [0, l) carries old data; everything beyond
+	// came zeroed from make, so the writer is pristine again.
+	w.dirty = false
+	return l
+}
+
+// Zero appends n zero bytes in place, without the intermediate make+copy
+// of append — the hot path when synthesizing megabytes of opaque record
+// bodies per session. On a pristine (never recycled) backing array the
+// extension is free: the bytes are already zero.
 func (w *Writer) Zero(n int) {
-	w.buf = append(w.buf, make([]byte, n)...)
+	if n <= 0 {
+		return
+	}
+	if w.discard {
+		w.virtual += n
+		return
+	}
+	l := w.grow(n)
+	if w.dirty {
+		clear(w.buf[l : l+n])
+	}
+}
+
+// Fill appends n pseudo-random bytes drawn from rng directly into the
+// buffer, eight bytes per generator step.
+func (w *Writer) Fill(n int, rng *RNG) {
+	if n <= 0 {
+		return
+	}
+	if w.discard {
+		// Advance the generator as the materialized path would, so a lean
+		// run consumes the identical RNG stream.
+		for i := 0; i < (n+7)/8; i++ {
+			rng.Uint64()
+		}
+		w.virtual += n
+		return
+	}
+	l := w.grow(n)
+	b := w.buf[l : l+n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(b[i:], rng.Uint64())
+	}
+	if i < n {
+		v := rng.Uint64()
+		for ; i < n; i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// Reset truncates the buffer to zero length, keeping its capacity. The
+// truncated-away bytes remain in the backing array, so the Writer becomes
+// dirty (Zero must clear from here on).
+func (w *Writer) Reset() {
+	if len(w.buf) > 0 {
+		w.dirty = true
+	}
+	w.buf = w.buf[:0]
+}
+
+// CopyBytes returns an exact-size copy of the accumulated bytes, so a
+// pooled Writer can be recycled while the caller keeps the data.
+func (w *Writer) CopyBytes() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// maxPooledWriterCap bounds how large a buffer the pool retains; anything
+// bigger is dropped so one pathological session cannot pin memory forever.
+const maxPooledWriterCap = 64 << 20
+
+// writerPool recycles the multi-megabyte per-session stream buffers, the
+// single largest allocation in the simulation hot path.
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// GetWriter returns a pooled Writer with at least capHint capacity and
+// zero length. Pair with PutWriter once the contents have been copied out.
+// Recycled writers are dirty: their Zero pays a memclr, so pool writers
+// only where the contents are fully overwritten (e.g. frame arenas).
+func GetWriter(capHint int) *Writer {
+	w := writerPool.Get().(*Writer)
+	if cap(w.buf) < capHint {
+		w.buf = make([]byte, 0, capHint)
+		w.dirty = false
+	} else {
+		w.Reset()
+	}
+	return w
+}
+
+// PutWriter returns a Writer to the pool. The caller must not retain the
+// Writer or any slice of its buffer (use CopyBytes for surviving data).
+// Discard Writers are not pooled.
+func PutWriter(w *Writer) {
+	if w == nil || w.discard {
+		return
+	}
+	if cap(w.buf) > maxPooledWriterCap {
+		w.buf = nil
+	}
+	writerPool.Put(w)
 }
 
 // SetU16 overwrites a big-endian uint16 at an absolute offset, used to
 // back-patch length and checksum fields after a payload is appended.
+// It is a no-op on a discard Writer.
 func (w *Writer) SetU16(off int, v uint16) {
+	if w.discard {
+		return
+	}
 	binary.BigEndian.PutUint16(w.buf[off:], v)
 }
 

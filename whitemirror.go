@@ -28,6 +28,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/dataset"
 	"repro/internal/media"
+	"repro/internal/parallel"
 	"repro/internal/profiles"
 	"repro/internal/script"
 	"repro/internal/session"
@@ -80,8 +81,16 @@ type SessionOptions struct {
 	Viewer *Viewer
 	// Graph defaults to Bandersnatch().
 	Graph *Graph
+	// Encoding overrides the title encoding (defaults to the graph encoded
+	// at the default ladder under a seed-derived encoding seed). Pass a
+	// shared encoding when many sessions watch the same title so the film
+	// is encoded once, not per session.
+	Encoding *media.Encoding
 	// DisablePrefetch turns off default-branch prefetching.
 	DisablePrefetch bool
+	// omitServerPayload runs the session lean (no server byte stream in
+	// the trace); internal workloads that never capture to pcap use it.
+	omitServerPayload bool
 }
 
 // Simulate runs one end-to-end viewing session and returns its trace.
@@ -101,21 +110,28 @@ func Simulate(opts SessionOptions) (*Trace, error) {
 		pop[0].ID = fmt.Sprintf("viewer-%d", opts.Seed)
 		v = &pop[0]
 	}
-	enc := media.Encode(g, media.DefaultLadder, opts.Seed^0xabcd)
+	enc := opts.Encoding
+	if enc == nil {
+		enc = media.EncodeCached(g, media.DefaultLadder, opts.Seed^0xabcd)
+	}
 	return session.Run(session.Config{
-		Graph:           g,
-		Encoding:        enc,
-		Viewer:          *v,
-		Condition:       cond,
-		SessionID:       fmt.Sprintf("wm-%d", opts.Seed),
-		Seed:            opts.Seed,
-		DisablePrefetch: opts.DisablePrefetch,
+		Graph:             g,
+		Encoding:          enc,
+		Viewer:            *v,
+		Condition:         cond,
+		SessionID:         fmt.Sprintf("wm-%d", opts.Seed),
+		Seed:              opts.Seed,
+		DisablePrefetch:   opts.DisablePrefetch,
+		OmitServerPayload: opts.omitServerPayload,
 	})
 }
 
 // CapturePcap renders a trace as a libpcap capture in memory.
 func CapturePcap(tr *Trace, seed uint64) ([]byte, error) {
 	var buf bytes.Buffer
+	// Presize: stream bytes + per-packet pcap/frame headers (~70 each).
+	streamBytes := len(tr.ClientToServer.Bytes) + len(tr.ServerToClient.Bytes)
+	buf.Grow(streamBytes + 70*(streamBytes/1400+16))
 	if err := capture.WritePcap(&buf, tr, capture.Options{Seed: seed}); err != nil {
 		return nil, err
 	}
@@ -140,11 +156,18 @@ type TrainingOptions struct {
 	// Graph defaults to Bandersnatch(); used for graph-constrained
 	// decoding.
 	Graph *Graph
+	// Workers bounds the profiling fan-out (0 = the process default:
+	// WM_WORKERS or GOMAXPROCS). The trained attacker is identical at any
+	// worker count.
+	Workers int
 }
 
 // TrainAttacker profiles the service under a condition and returns an
 // attacker using the paper's interval-band classifier with
-// graph-constrained decoding.
+// graph-constrained decoding. The title is encoded once and shared across
+// all profiling sessions (the attacker profiles one film), and the first
+// batch of sessions runs across the worker pool; extra sessions are drawn
+// only until both report types have been observed.
 func TrainAttacker(opts TrainingOptions) (*Attacker, error) {
 	g := opts.Graph
 	if g == nil {
@@ -159,35 +182,34 @@ func TrainAttacker(opts TrainingOptions) (*Attacker, error) {
 	if n <= 0 {
 		n = 3
 	}
-	var traces []*Trace
-	for t := 0; t < n+8; t++ {
-		tr, err := Simulate(SessionOptions{
+	enc := media.EncodeCached(g, media.DefaultLadder, opts.Seed^0xabcd)
+	simulate := func(t int) (*Trace, error) {
+		return Simulate(SessionOptions{
 			Seed:      opts.Seed ^ (0x7ea1 + uint64(t)*2654435761),
 			Condition: cond,
 			Graph:     g,
+			Encoding:  enc,
+			// Profiling only consumes client-side record lengths; skip the
+			// server media payload.
+			omitServerPayload: true,
 		})
+	}
+	traces, err := parallel.MapN(opts.Workers, n, func(t int) (*Trace, error) {
+		return simulate(t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The profiling sample must contain both report types; keep drawing
+	// (bounded, sequential — the common case needs none) until it does.
+	for t := n; t < n+8 && !attack.HasBothClasses(traces); t++ {
+		tr, err := simulate(t)
 		if err != nil {
 			return nil, err
 		}
 		traces = append(traces, tr)
-		if t >= n-1 && hasBothReportTypes(traces) {
-			break
-		}
 	}
 	return attack.NewAttacker(traces, g, script.BandersnatchMaxChoices)
-}
-
-func hasBothReportTypes(traces []*Trace) bool {
-	var t1, t2 bool
-	for _, e := range attack.TrainingSetFromTraces(traces) {
-		switch e.Class {
-		case attack.ClassType1:
-			t1 = true
-		case attack.ClassType2:
-			t2 = true
-		}
-	}
-	return t1 && t2
 }
 
 // GenerateDataset builds an n-viewer synthetic IITM-Bandersnatch-style
