@@ -13,7 +13,9 @@ package whitemirror
 import (
 	"testing"
 
+	"repro/internal/attack"
 	"repro/internal/experiments"
+	"repro/internal/script"
 )
 
 // BenchmarkTable1_DatasetAttributes regenerates Table I: the attribute
@@ -168,6 +170,60 @@ func BenchmarkPipeline_AttackThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := atk.InferPcap(pcapBytes); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline_PathTableBuild measures constructing the per-graph
+// decoding table — the cost the memoization amortizes: it is paid once
+// per (graph, maxChoices) instead of once per inference, where the
+// pre-table decoder re-enumerated every root-to-ending path.
+func BenchmarkPipeline_PathTableBuild(b *testing.B) {
+	g := script.Bandersnatch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.NewPathTable(g, script.BandersnatchMaxChoices); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline_ConstrainedDecode measures one graph-constrained
+// decode against the shared memoized table — the bulk-inference unit
+// cost (classify + time-aware alignment over every candidate path, no
+// path re-enumeration).
+func BenchmarkPipeline_ConstrainedDecode(b *testing.B) {
+	tr, err := Simulate(SessionOptions{Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcapBytes, err := CapturePcap(tr, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	atk, err := TrainAttacker(TrainingOptions{Seed: 22})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs, err := attack.ExtractPcapBytes(pcapBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	classified := attack.ClassifyRecords(obs.ClientRecords, atk.Classifier)
+	table, err := attack.PathTableFor(atk.Graph, atk.MaxChoices)
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchor := obs.ClientRecords[0].Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hyps, err := table.Decode(classified, anchor, attack.DecodeParams{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(hyps) == 0 {
+			b.Fatal("no hypotheses")
 		}
 	}
 }

@@ -67,7 +67,11 @@ func main() {
 
 	fmt.Printf("attack on %s under (%s)\n\n", *pcapPath, cond)
 	fmt.Printf("state reports classified: %d records\n", len(inf.Classified))
-	fmt.Printf("choices inferred: %d\n", len(inf.Decisions))
+	fmt.Printf("choices inferred: %d", len(inf.Decisions))
+	if inf.UsedConstrainedDecode {
+		fmt.Printf(" (graph-constrained decode)")
+	}
+	fmt.Println()
 	for i, d := range inf.Decisions {
 		branch := "default"
 		if !d {
@@ -81,6 +85,14 @@ func main() {
 			fmt.Printf(" %s", s)
 		}
 		fmt.Println()
+	}
+	if len(inf.Hypotheses) > 0 {
+		fmt.Printf("\ndecode hypotheses (score = per-event alignment, D=default A=alternative):\n")
+		for r, h := range inf.Hypotheses {
+			fmt.Printf("  #%d  score %+.4f  explains %d/%d in-band reports  %s\n",
+				r+1, h.Score, h.Matched, countReports(inf.Classified), decisionString(h.Decisions))
+		}
+		fmt.Printf("decode margin: %.4f over the runner-up hypothesis\n", inf.DecodeMargin)
 	}
 
 	// Score against the wmsession sidecar when present.
@@ -130,6 +142,31 @@ func bothClasses(traces []*session.Trace) bool {
 		}
 	}
 	return t1 && t2
+}
+
+// decisionString renders a decision vector compactly (D = default branch,
+// A = alternative), matching the dataset CSV notation.
+func decisionString(decisions []bool) string {
+	out := make([]byte, len(decisions))
+	for i, d := range decisions {
+		if d {
+			out[i] = 'D'
+		} else {
+			out[i] = 'A'
+		}
+	}
+	return string(out)
+}
+
+// countReports counts the hard in-band type-1/type-2 classifications.
+func countReports(recs []attack.ClassifiedRecord) int {
+	n := 0
+	for _, r := range recs {
+		if r.Class != attack.ClassOther {
+			n++
+		}
+	}
+	return n
 }
 
 func fatal(err error) {

@@ -9,8 +9,8 @@
 //	wmbench -workers 8            # bound the worker pool (0 = GOMAXPROCS)
 //	wmbench -benchjson BENCH.json # machine-readable perf + domain metrics
 //
-// Experiments: table1, figure1, figure2, accuracy, baselines, defenses,
-// timing, classifiers, prefetch.
+// Experiments: table1, figure1, figure2, accuracy, decode, baselines,
+// defenses, timing, classifiers, prefetch.
 package main
 
 import (
@@ -21,6 +21,8 @@ import (
 	"runtime"
 	"testing"
 
+	whitemirror "repro"
+	"repro/internal/attack"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 )
@@ -65,6 +67,20 @@ func runners() []runner {
 				return map[string]float64{
 					"mean_accuracy_pct": 100 * v.Mean,
 					"worst_case_pct":    100 * v.WorstCase,
+					"mean_margin":       v.MeanMargin,
+				}
+			}},
+		{"decode",
+			// Pinned to the ROADMAP bug's fixture (wmdataset -n 6 -seed 5,
+			// whose session 003 is the 9-choice misdecode) regardless of
+			// -seed, so the regression surface never drifts.
+			func(seed uint64) (any, error) { return experiments.DecodeRobustness(6, 5) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.DecodeRobustnessResult)
+				return map[string]float64{
+					"drift_accuracy_pct": 100 * v.MeanAccuracy,
+					"full_path_pct":      100 * v.FullPathRate,
+					"mean_margin":        v.MeanMargin,
 				}
 			}},
 		{"baselines",
@@ -127,6 +143,8 @@ func report(r any) (string, error) {
 		return v.Report, nil
 	case *experiments.AccuracyResult:
 		return v.Report, nil
+	case *experiments.DecodeRobustnessResult:
+		return v.Report, nil
 	case *experiments.BaselineResult:
 		return v.Report, nil
 	case *experiments.DefenseResult:
@@ -180,6 +198,70 @@ type benchFile struct {
 	Baselines map[string][]benchEntry `json:"baselines,omitempty"`
 }
 
+// decoderBenchEntries measures the decoding engine's two unit costs —
+// building the per-graph path table (paid once per graph thanks to
+// memoization) and one bulk-inference constrained decode against the
+// shared table — so the perf file carries the numbers the attack
+// throughput depends on.
+func decoderBenchEntries() ([]benchEntry, error) {
+	tr, err := whitemirror.Simulate(whitemirror.SessionOptions{Seed: 21})
+	if err != nil {
+		return nil, err
+	}
+	pcapBytes, err := whitemirror.CapturePcap(tr, 21)
+	if err != nil {
+		return nil, err
+	}
+	atk, err := whitemirror.TrainAttacker(whitemirror.TrainingOptions{Seed: 22})
+	if err != nil {
+		return nil, err
+	}
+	obs, err := attack.ExtractPcapBytes(pcapBytes)
+	if err != nil {
+		return nil, err
+	}
+	classified := attack.ClassifyRecords(obs.ClientRecords, atk.Classifier)
+	anchor := obs.ClientRecords[0].Time
+
+	build := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := attack.NewPathTable(atk.Graph, atk.MaxChoices); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	table, err := attack.PathTableFor(atk.Graph, atk.MaxChoices)
+	if err != nil {
+		return nil, err
+	}
+	var margin float64
+	decode := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hyps, err := table.Decode(classified, anchor, attack.DecodeParams{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(hyps) > 1 {
+				margin = hyps[0].Score - hyps[1].Score
+			}
+		}
+	})
+	return []benchEntry{
+		{
+			Name:    "decoder_path_table_build",
+			NsPerOp: build.NsPerOp(), BytesPerOp: build.AllocedBytesPerOp(), AllocsPerOp: build.AllocsPerOp(),
+			Metrics: map[string]float64{"paths": float64(len(table.Paths))},
+		},
+		{
+			Name:    "decoder_constrained_decode",
+			NsPerOp: decode.NsPerOp(), BytesPerOp: decode.AllocedBytesPerOp(), AllocsPerOp: decode.AllocsPerOp(),
+			Metrics: map[string]float64{"margin": margin},
+		},
+	}, nil
+}
+
 // runBenchJSON measures every selected experiment with testing.Benchmark
 // and writes the machine-readable file future PRs diff against. Domain
 // metrics come from the final benchmark iteration's result.
@@ -216,6 +298,19 @@ func runBenchJSON(path string, runs []runner, seed uint64, workers int) error {
 			AllocsPerOp: res.AllocsPerOp(),
 			Metrics:     r.metrics(last),
 		})
+	}
+	// The decoder unit benchmarks ride along with the decode experiment,
+	// so a narrow -exp selection keeps the file (and the runtime) to what
+	// was asked for.
+	for _, r := range runs {
+		if r.name == "decode" {
+			dec, err := decoderBenchEntries()
+			if err != nil {
+				return fmt.Errorf("decoder bench: %w", err)
+			}
+			out.Entries = append(out.Entries, dec...)
+			break
+		}
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/script"
 	"repro/internal/session"
@@ -65,6 +66,9 @@ type Attacker struct {
 	Graph *script.Graph
 	// MaxChoices bounds path enumeration depth for constrained decoding.
 	MaxChoices int
+	// Decode tunes the constrained decoder's alignment score; the zero
+	// value selects DefaultDecodeParams.
+	Decode DecodeParams
 }
 
 // NewAttacker trains a classifier from labeled traces using the paper's
@@ -91,6 +95,15 @@ type Inference struct {
 	// UsedConstrainedDecode reports whether the graph search replaced the
 	// plain decode.
 	UsedConstrainedDecode bool
+	// Hypotheses is the constrained decoder's ranked top-k candidate list
+	// (present whenever a graph was supplied, even when the plain decode
+	// was kept). Scores are per-event normalized and comparable across
+	// sessions.
+	Hypotheses []PathHypothesis
+	// DecodeMargin is the score gap between the best and second-best
+	// hypotheses — a calibrated confidence in the decode (0 when fewer
+	// than two candidate paths exist).
+	DecodeMargin float64
 }
 
 // Infer runs the attack on an extracted observation.
@@ -112,8 +125,29 @@ func (a *Attacker) Infer(obs *Observation) (*Inference, error) {
 	if maxChoices <= 0 {
 		maxChoices = 16
 	}
+	// Score every candidate path against the observation using the
+	// memoized per-graph table; the ranked list and margin are reported
+	// even when the plain decode wins.
+	table, err := PathTableFor(a.Graph, maxChoices)
+	if err != nil {
+		return inf, err
+	}
+	var anchor time.Time
+	if len(obs.ClientRecords) > 0 {
+		anchor = obs.ClientRecords[0].Time
+	}
+	hyps, err := table.Decode(classified, anchor, a.Decode)
+	if err != nil {
+		return inf, err
+	}
+	inf.Hypotheses = hyps
+	if len(hyps) > 1 {
+		if m := hyps[0].Score - hyps[1].Score; m > 0 {
+			inf.DecodeMargin = m
+		}
+	}
 	// Prefer the plain decode when it already corresponds to a valid
-	// complete path; otherwise let the graph search repair it.
+	// complete path; otherwise the best hypothesis repairs it.
 	if pathValid(a.Graph, inf.Decisions) {
 		p, err := a.Graph.Walk(inf.Decisions)
 		if err == nil {
@@ -121,30 +155,68 @@ func (a *Attacker) Infer(obs *Observation) (*Inference, error) {
 			return inf, nil
 		}
 	}
-	hyp, err := ConstrainedDecode(a.Graph, classified, maxChoices)
-	if err != nil {
-		return inf, err
-	}
-	inf.Decisions = hyp.Decisions
+	best := hyps[0]
+	inf.Decisions = best.Decisions
 	inf.UsedConstrainedDecode = true
-	p, err := a.Graph.Walk(hyp.Decisions)
+	p, err := a.Graph.Walk(best.Decisions)
 	if err != nil {
 		return inf, err
 	}
 	inf.Path = p
-	// Rebuild Choices to match the repaired decisions, preserving
-	// timestamps where the plain decode agrees in length.
-	if len(hyp.Decisions) != len(choices) {
-		inf.Choices = nil
-		for i, d := range hyp.Decisions {
-			inf.Choices = append(inf.Choices, InferredChoice{Index: i, TookDefault: d})
-		}
-	} else {
-		for i := range inf.Choices {
-			inf.Choices[i].TookDefault = hyp.Decisions[i]
+	inf.Choices = rebuildChoices(table, best, classified)
+	return inf, nil
+}
+
+// rebuildChoices reconstructs the choice sequence for a constrained
+// decode from the winning alignment: each choice's timestamps come from
+// the observed records its expected events matched, and choices whose
+// events went unobserved — including any the decoder flipped against the
+// plain decode — carry zero timestamps rather than stale ones.
+func rebuildChoices(table *PathTable, best PathHypothesis, recs []ClassifiedRecord) []InferredChoice {
+	out := make([]InferredChoice, len(best.Decisions))
+	for i, d := range best.Decisions {
+		out[i] = InferredChoice{Index: i, TookDefault: d}
+	}
+	// Locate the winning path's expected events to pair with the match
+	// table (Decode copied the decision vector, so compare by value).
+	var events []ExpectedEvent
+	for i := range table.Paths {
+		if boolsEqual(table.Paths[i].Decisions, best.Decisions) {
+			events = table.Paths[i].Events
+			break
 		}
 	}
-	return inf, nil
+	if len(events) != len(best.match) {
+		return out
+	}
+	for i, e := range events {
+		ri := best.match[i]
+		if ri < 0 || ri >= len(recs) || e.Choice >= len(out) {
+			continue
+		}
+		t := recs[ri].Record.Time
+		switch e.Class {
+		case ClassType1:
+			out[e.Choice].QuestionAt = t
+		case ClassType2:
+			if !out[e.Choice].TookDefault {
+				out[e.Choice].DecidedAt = t
+			}
+		}
+	}
+	return out
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // pathValid reports whether decisions walk g to an ending while consuming

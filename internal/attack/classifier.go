@@ -46,6 +46,20 @@ type Trainer interface {
 	Train(examples []Example) (Classifier, error)
 }
 
+// SoftClassifier is an optional refinement a classifier can implement: a
+// weak secondary hypothesis for records that fall just outside every
+// learned band. Real report lengths drift between profiling and attack
+// (session tokens, position digits, browser builds shift bodies by a few
+// bytes), so a record a handful of bytes off a band is far more likely a
+// drifted report than ordinary traffic. The constrained decoder uses
+// these as speculative, timestamped evidence — following the
+// traffic-analysis literature's point that length and timing carry the
+// signal together. Implementations return (ClassOther, 0) when no band
+// is near.
+type SoftClassifier interface {
+	SoftClassify(length int) (Class, float64)
+}
+
 // --- Interval-band classifier (the paper's rule) ---------------------------
 
 // IntervalBand is the paper's classifier: type-1 and type-2 records each
@@ -75,6 +89,41 @@ func (c *IntervalBand) Classify(length int) (Class, float64) {
 		conf = 0.5
 	}
 	return ClassOther, conf
+}
+
+// softRadius bounds how far outside a band a record may fall and still
+// count as a drifted-report candidate. It mirrors the trainer's default
+// widening margin: drift beyond another margin-width is indistinguishable
+// from foreign traffic.
+const softRadius = 32
+
+// SoftClassify implements SoftClassifier: records within softRadius of a
+// band are weak candidates for that band's class, with confidence
+// decaying in the distance. In-band records never reach here (Classify
+// already claimed them).
+func (c *IntervalBand) SoftClassify(length int) (Class, float64) {
+	d1 := bandDistance(length, c.T1Lo, c.T1Hi)
+	d2 := bandDistance(length, c.T2Lo, c.T2Hi)
+	cls, d := ClassType1, d1
+	if d2 < d {
+		cls, d = ClassType2, d2
+	}
+	if d > softRadius {
+		return ClassOther, 0
+	}
+	return cls, 0.5 * math.Exp(-float64(d)/24)
+}
+
+// bandDistance is the distance from v to the closed interval [lo, hi].
+func bandDistance(v, lo, hi int) int {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
 }
 
 func minDistance(v int, bounds ...int) int {

@@ -3,6 +3,9 @@ package attack
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/script"
@@ -14,17 +17,31 @@ type ClassifiedRecord struct {
 	Record     tlsrec.Record
 	Class      Class
 	Confidence float64
+	// SoftClass and SoftConfidence carry a weak secondary hypothesis for
+	// records classified ClassOther whose length falls just outside a
+	// learned band — the signature of a report whose band drifted between
+	// profiling and attack (longer sessions, other browser builds). The
+	// decoder treats them as speculative evidence: cheap to ignore,
+	// rewarded when a path explains them at the right time. Zero-valued
+	// when no band is near or the classifier has no soft refinement.
+	SoftClass      Class
+	SoftConfidence float64
 }
 
 // ClassifyRecords runs the classifier over the client application records.
 func ClassifyRecords(recs []tlsrec.Record, c Classifier) []ClassifiedRecord {
+	soft, _ := c.(SoftClassifier)
 	out := make([]ClassifiedRecord, 0, len(recs))
 	for _, r := range recs {
 		if r.Type != tlsrec.ContentApplicationData {
 			continue
 		}
 		cls, conf := c.Classify(r.Length)
-		out = append(out, ClassifiedRecord{Record: r, Class: cls, Confidence: conf})
+		cr := ClassifiedRecord{Record: r, Class: cls, Confidence: conf}
+		if cls == ClassOther && soft != nil {
+			cr.SoftClass, cr.SoftConfidence = soft.SoftClassify(r.Length)
+		}
+		out = append(out, cr)
 	}
 	return out
 }
@@ -84,122 +101,508 @@ func Decisions(choices []InferredChoice) []bool {
 // corrects isolated classifier slips (e.g. a telemetry record that fell
 // into a band) because wrong report sequences rarely correspond to any
 // valid path.
+//
+// Two properties make the score honest for long sessions:
+//
+//   - It is time-aware. Every expected event carries the playback-time
+//     offset at which its report must appear (segment durations plus the
+//     nominal half of each earlier decision window), and every observation
+//     carries its capture timestamp. A candidate only earns a match when
+//     the classes agree AND the times align within a slack that grows with
+//     elapsed playback — so a short path can no longer "explain" a report
+//     captured minutes after it would have ended.
+//   - It is length-normalized. The raw alignment score is divided by the
+//     alignment size, so a long true walk that explains most observations
+//     beats a short escape path that merely pays fewer penalties in total.
+//
+// Unexplained high-confidence observations additionally pay a
+// per-event, confidence-scaled penalty: evidence a path cannot account
+// for counts against it, which is what broke the pre-fix decoder (it
+// charged a flat indel cost, making "see nothing, claim the shortest
+// path" the cheapest hypothesis).
 
 // PathHypothesis is one scored candidate.
 type PathHypothesis struct {
+	// Decisions is the candidate decision vector (true = default).
 	Decisions []bool
-	Score     float64
+	// Score is the calibrated per-event alignment score: raw alignment
+	// divided by (expected events + hard observations), so hypotheses are
+	// comparable across paths and across sessions of different lengths.
+	Score float64
+	// Matched counts the hard (in-band) observations the path explains.
+	Matched int
+	// Events is the number of state reports the path is expected to emit.
+	Events int
+
+	// match maps expected-event index -> classified-record index for the
+	// alignment that produced Score (-1 for unmatched); populated only for
+	// hypotheses returned by Decode, and used to rebuild choice timestamps.
+	match []int
 }
 
-// ConstrainedDecode enumerates the graph's decision vectors (binary
-// choices make this 2^depth, bounded by maxChoices) and returns the best
-// hypothesis. Records classified ClassOther contribute nothing; the
-// score matches observed type-1/type-2 events against each candidate
-// path's expected sequence.
-func ConstrainedDecode(g *script.Graph, recs []ClassifiedRecord, maxChoices int) (PathHypothesis, error) {
-	observed := observedEvents(recs)
-	best := PathHypothesis{Score: math.Inf(-1)}
-	n := 0
-	enumeratePaths(g, maxChoices, func(decisions []bool) {
-		n++
-		score := scorePath(decisions, observed)
-		if score > best.Score {
-			best = PathHypothesis{
-				Decisions: append([]bool(nil), decisions...),
-				Score:     score,
+// ExpectedEvent is one state report a path is expected to emit.
+type ExpectedEvent struct {
+	Class Class
+	// Choice is the index of the choice that emits this report.
+	Choice int
+	// Offset is the nominal playback-time offset (seconds since session
+	// start) at which the report is sent: cumulative segment durations
+	// plus half of every earlier decision window (the viewer's expected
+	// deliberation).
+	Offset float64
+	// Slack is the alignment tolerance (seconds) at this event: a base
+	// allowance plus the deliberation uncertainty accumulated so far plus
+	// a fraction of elapsed playback for stall/download drift.
+	Slack float64
+}
+
+// TablePath is one precomputed root-to-ending walk.
+type TablePath struct {
+	Decisions []bool
+	Segments  []script.SegmentID
+	Events    []ExpectedEvent
+}
+
+// PathTable is the per-graph decoding table: every complete decision
+// vector with its expected report sequence and cumulative playback-time
+// offsets. Built once per (graph, maxChoices) and shared across bulk
+// inferences — the pre-table decoder re-enumerated 2^depth paths on every
+// call.
+type PathTable struct {
+	MaxChoices int
+	Paths      []TablePath
+}
+
+// Timing-model constants for expected-event offsets. The session clock
+// runs ahead of pure playback time by download pacing and rebuffering,
+// and each choice adds an unknown deliberation in [0, window]; slack
+// absorbs both. Deliberations are independent per choice, so their
+// accumulated uncertainty grows in quadrature, not linearly — a linear
+// model makes late-film slack so wide that a mistimed event one choice
+// early can absorb an observation that belongs to the next one.
+const (
+	baseSlackSec = 10.0
+	driftFrac    = 0.05
+)
+
+// NewPathTable builds the decoding table for g.
+func NewPathTable(g *script.Graph, maxChoices int) (*PathTable, error) {
+	t := &PathTable{MaxChoices: maxChoices}
+	g.WalkPaths(maxChoices, func(p script.Path) {
+		tp := TablePath{Decisions: p.Decisions, Segments: p.Segments}
+		var cum, delib, spreadSq float64 // playback s, nominal deliberation s, deliberation variance s²
+		di := 0
+		for _, id := range p.Segments {
+			s, ok := g.Segment(id)
+			if !ok {
+				continue
+			}
+			cum += s.Duration.Seconds()
+			if s.Choice == nil || di >= len(p.Decisions) {
+				continue
+			}
+			w := s.Choice.Window.Seconds()
+			slack := baseSlackSec + math.Sqrt(spreadSq) + driftFrac*cum
+			tp.Events = append(tp.Events, ExpectedEvent{
+				Class: ClassType1, Choice: di, Offset: cum + delib, Slack: slack,
+			})
+			if !p.Decisions[di] {
+				// The type-2 report lands somewhere inside the decision
+				// window; expect it mid-window with widened slack.
+				tp.Events = append(tp.Events, ExpectedEvent{
+					Class: ClassType2, Choice: di, Offset: cum + delib + w/2, Slack: slack + w/2,
+				})
+			}
+			delib += w / 2
+			spreadSq += (w / 2) * (w / 2)
+			di++
+		}
+		t.Paths = append(t.Paths, tp)
+	})
+	if len(t.Paths) == 0 {
+		return nil, fmt.Errorf("attack: graph has no complete paths within %d choices", maxChoices)
+	}
+	return t, nil
+}
+
+// pathTableCache memoizes tables process-wide, the same pattern
+// media.EncodeCached uses for title encodings: content-keyed (graph
+// pointer identity deliberately does not matter — repeated
+// script.Bandersnatch() and dataset.Generate calls build fresh but
+// identical graphs, and a pointer key would leak one table per build)
+// and bounded, emptied wholesale when full (tables are cheap to rebuild
+// and workloads cycle very few keys).
+var pathTableCache struct {
+	sync.Mutex
+	m map[string]*PathTable
+}
+
+const pathTableCacheLimit = 16
+
+// pathTableKey fingerprints everything the table depends on: the start
+// segment, every segment's duration and successors, each choice's
+// branches and decision window, and the enumeration depth.
+func pathTableKey(g *script.Graph, maxChoices int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\x00%s\x00%d\x00", g.Title, g.Start, maxChoices)
+	for _, s := range g.Segments() {
+		fmt.Fprintf(&b, "%s\x01%d\x01%s\x01%v\x01", s.ID, s.Duration, s.Next, s.Ending)
+		if c := s.Choice; c != nil {
+			fmt.Fprintf(&b, "%s\x02%s\x02%d", c.Default, c.Alternative, c.Window)
+		}
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// PathTableFor returns the shared decoding table for (g, maxChoices),
+// building it at most once per distinct graph content. The returned
+// table is read-only and safe to share across goroutines.
+func PathTableFor(g *script.Graph, maxChoices int) (*PathTable, error) {
+	key := pathTableKey(g, maxChoices)
+	pathTableCache.Lock()
+	if t, ok := pathTableCache.m[key]; ok {
+		pathTableCache.Unlock()
+		return t, nil
+	}
+	pathTableCache.Unlock()
+
+	t, err := NewPathTable(g, maxChoices)
+	if err != nil {
+		return nil, err
+	}
+
+	pathTableCache.Lock()
+	defer pathTableCache.Unlock()
+	if prior, ok := pathTableCache.m[key]; ok {
+		return prior, nil // a racing builder won; keep one canonical copy
+	}
+	if pathTableCache.m == nil || len(pathTableCache.m) >= pathTableCacheLimit {
+		pathTableCache.m = make(map[string]*PathTable)
+	}
+	pathTableCache.m[key] = t
+	return t, nil
+}
+
+// DecodeParams tune the alignment score. The zero value selects the
+// defaults, so callers can set individual knobs without spelling out the
+// rest.
+type DecodeParams struct {
+	// TopK bounds the ranked hypothesis list Decode returns (default 3).
+	TopK int
+	// ExpectedGapPenalty is charged per expected report that no
+	// observation accounts for — kept mild, because band drift and
+	// classifier slips legitimately hide true events (default 0.4).
+	ExpectedGapPenalty float64
+	// ObservedGapPenalty is charged per unexplained hard observation,
+	// scaled by its confidence: a path that cannot account for an in-band
+	// report it supposedly produced is probably wrong (default 1.5).
+	ObservedGapPenalty float64
+	// MismatchPenalty is charged when an expected report aligns against
+	// an observation of the other class (default 1.5).
+	MismatchPenalty float64
+	// SoftSkipPenalty is charged per unexplained soft observation —
+	// nearly free, soft evidence is speculative (default 0.02).
+	SoftSkipPenalty float64
+}
+
+// DefaultDecodeParams returns the tuned defaults.
+func DefaultDecodeParams() DecodeParams {
+	return DecodeParams{
+		TopK:               3,
+		ExpectedGapPenalty: 0.4,
+		ObservedGapPenalty: 1.5,
+		MismatchPenalty:    1.5,
+		SoftSkipPenalty:    0.02,
+	}
+}
+
+func (p DecodeParams) withDefaults() DecodeParams {
+	d := DefaultDecodeParams()
+	if p.TopK <= 0 {
+		p.TopK = d.TopK
+	}
+	if p.ExpectedGapPenalty <= 0 {
+		p.ExpectedGapPenalty = d.ExpectedGapPenalty
+	}
+	if p.ObservedGapPenalty <= 0 {
+		p.ObservedGapPenalty = d.ObservedGapPenalty
+	}
+	if p.MismatchPenalty <= 0 {
+		p.MismatchPenalty = d.MismatchPenalty
+	}
+	if p.SoftSkipPenalty <= 0 {
+		p.SoftSkipPenalty = d.SoftSkipPenalty
+	}
+	return p
+}
+
+// observedEvent is a type-1 or type-2 observation with confidence and a
+// capture-time offset from the session anchor.
+type observedEvent struct {
+	class  Class
+	conf   float64
+	hard   bool
+	recIdx int     // index into the classified record slice
+	offset float64 // seconds since anchor
+	timed  bool    // false when the record carried no timestamp
+}
+
+// observedEvents extracts hard (in-band) and soft (near-band) report
+// observations. anchor approximates session start; when zero, the first
+// classified record's time is used (the first chunk request fires ~200ms
+// after the handshake, well inside every slack).
+func observedEvents(recs []ClassifiedRecord, anchor time.Time) []observedEvent {
+	if anchor.IsZero() {
+		for _, r := range recs {
+			if !r.Record.Time.IsZero() {
+				anchor = r.Record.Time
+				break
 			}
 		}
-	})
-	if n == 0 {
-		return best, fmt.Errorf("attack: graph has no complete paths within %d choices", maxChoices)
 	}
-	return best, nil
-}
-
-// observedEvent is a type-1 or type-2 observation with confidence.
-type observedEvent struct {
-	class Class
-	conf  float64
-}
-
-func observedEvents(recs []ClassifiedRecord) []observedEvent {
 	var out []observedEvent
-	for _, r := range recs {
-		if r.Class == ClassType1 || r.Class == ClassType2 {
-			out = append(out, observedEvent{class: r.Class, conf: r.Confidence})
+	for i, r := range recs {
+		ev := observedEvent{recIdx: i}
+		switch {
+		case r.Class == ClassType1 || r.Class == ClassType2:
+			ev.class, ev.conf, ev.hard = r.Class, r.Confidence, true
+		case r.SoftConfidence > 0:
+			ev.class, ev.conf = r.SoftClass, r.SoftConfidence
+		default:
+			continue
 		}
+		if !r.Record.Time.IsZero() && !anchor.IsZero() {
+			ev.offset = r.Record.Time.Sub(anchor).Seconds()
+			ev.timed = true
+		}
+		out = append(out, ev)
 	}
 	return out
 }
 
-// expectedEvents renders the report sequence a decision vector produces:
-// type-1 at each choice, followed by type-2 when the alternative is taken.
-func expectedEvents(decisions []bool) []Class {
-	var out []Class
-	for _, d := range decisions {
-		out = append(out, ClassType1)
-		if !d {
-			out = append(out, ClassType2)
+// Decode scores every table path against the classified records and
+// returns the top-k hypotheses, best first. anchor is the capture time of
+// session start (the first client record); pass the zero time to fall
+// back to the first classified record. The returned scores are
+// normalized per event, so the margin between ranks is a calibrated
+// decode confidence.
+func (t *PathTable) Decode(recs []ClassifiedRecord, anchor time.Time, prm DecodeParams) ([]PathHypothesis, error) {
+	if len(t.Paths) == 0 {
+		return nil, fmt.Errorf("attack: empty path table")
+	}
+	prm = prm.withDefaults()
+	obs := observedEvents(recs, anchor)
+	nHard := 0
+	for _, o := range obs {
+		if o.hard {
+			nHard++
 		}
 	}
-	return out
+	// Scratch NW rows sized for the longest expected sequence.
+	maxM := 0
+	for i := range t.Paths {
+		if m := len(t.Paths[i].Events); m > maxM {
+			maxM = m
+		}
+	}
+	scratch := newAligner(maxM, len(obs))
+
+	hyps := make([]PathHypothesis, len(t.Paths))
+	order := make([]int, len(t.Paths))
+	for i := range t.Paths {
+		p := &t.Paths[i]
+		raw := scratch.score(p.Events, obs, prm)
+		denom := float64(len(p.Events) + nHard)
+		if denom < 1 {
+			denom = 1
+		}
+		hyps[i] = PathHypothesis{
+			Decisions: p.Decisions,
+			Score:     raw / denom,
+			Events:    len(p.Events),
+		}
+		order[i] = i
+	}
+	// Rank best-first on the score nudged by a tiny Occam prior (1e-7 per
+	// expected event): when evidence does not discriminate — e.g. fully
+	// padded traffic, where every path ties up to float rounding — the
+	// fewest-events path wins, and exact ties keep enumeration order
+	// (defaults-first, earliest ending first). That reproduces the blind
+	// all-defaults prior instead of letting 1-ulp noise pick a walk. The
+	// nudge is orders of magnitude below any real decode margin and is
+	// excluded from the reported Score.
+	rank := func(i int) float64 { return hyps[i].Score - 1e-7*float64(hyps[i].Events) }
+	sort.SliceStable(order, func(a, b int) bool {
+		return rank(order[a]) > rank(order[b])
+	})
+	k := prm.TopK
+	if k > len(order) {
+		k = len(order)
+	}
+	out := make([]PathHypothesis, 0, k)
+	for _, idx := range order[:k] {
+		h := hyps[idx]
+		// Hand out a copy: the table's vectors are shared across every
+		// inference in the process and must never alias caller state.
+		h.Decisions = append([]bool(nil), h.Decisions...)
+		h.match, h.Matched = scratch.traceback(t.Paths[idx].Events, obs, prm)
+		out = append(out, h)
+	}
+	return out, nil
 }
 
-// scorePath aligns the expected sequence against the observations with a
-// simple edit-style score: matches earn the observation's confidence,
-// mismatches and indels pay a penalty. Alignment is needed because a slip
-// can insert or delete an event.
-func scorePath(decisions []bool, observed []observedEvent) float64 {
-	expected := expectedEvents(decisions)
-	const gapPenalty = -1.2
-	const mismatchPenalty = -1.5
-	// Needleman–Wunsch over (expected × observed).
-	m, n := len(expected), len(observed)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+// ConstrainedDecode scores the graph's complete decision vectors against
+// the classified records and returns the best hypothesis. It is the
+// single-shot form of PathTable.Decode and shares the memoized table.
+func ConstrainedDecode(g *script.Graph, recs []ClassifiedRecord, maxChoices int) (PathHypothesis, error) {
+	t, err := PathTableFor(g, maxChoices)
+	if err != nil {
+		return PathHypothesis{Score: math.Inf(-1)}, err
+	}
+	hyps, err := t.Decode(recs, time.Time{}, DecodeParams{TopK: 1})
+	if err != nil {
+		return PathHypothesis{Score: math.Inf(-1)}, err
+	}
+	return hyps[0], nil
+}
+
+// --- Needleman–Wunsch alignment ----------------------------------------------
+
+// aligner holds reusable scoring state: two rolling rows for the cheap
+// scoring pass, plus full score and move matrices for the ranked
+// hypotheses' tracebacks — all reused across paths within one Decode.
+type aligner struct {
+	prev, cur []float64
+	grid      []float64 // (m+1)*(n+1) score matrix, reused per traceback
+	moves     []byte    // (m+1)*(n+1) move matrix, reused per traceback
+}
+
+const (
+	moveDiag = byte(iota + 1)
+	moveUp   // gap in observed (expected event unobserved)
+	moveLeft // gap in expected (observation unexplained)
+)
+
+func newAligner(maxM, n int) *aligner {
+	full := (maxM + 1) * (n + 1)
+	return &aligner{
+		prev:  make([]float64, n+1),
+		cur:   make([]float64, n+1),
+		grid:  make([]float64, full),
+		moves: make([]byte, full),
+	}
+}
+
+// cell scores aligning expected event e against observation o.
+func alignScore(e ExpectedEvent, o observedEvent, prm DecodeParams) float64 {
+	if e.Class != o.class {
+		// Soft observations mismatch mildly: they were never confidently
+		// claimed to be reports at all.
+		return -prm.MismatchPenalty * o.conf
+	}
+	return o.conf * timeFactor(e, o)
+}
+
+// timeFactor scales a class match by temporal plausibility with a
+// Gaussian decay in the deviation measured in slacks: a report near its
+// expected time keeps its full confidence, one a whole slack out keeps
+// ~61%, and one several slacks out earns effectively nothing — at which
+// point the aligner's gap options take over.
+func timeFactor(e ExpectedEvent, o observedEvent) float64 {
+	if !o.timed {
+		return 1
+	}
+	dev := math.Abs(o.offset-e.Offset) / e.Slack
+	return math.Exp(-0.5 * dev * dev)
+}
+
+// skipObserved is the cost of leaving observation o unexplained.
+func skipObserved(o observedEvent, prm DecodeParams) float64 {
+	if o.hard {
+		return -prm.ObservedGapPenalty * o.conf
+	}
+	return -prm.SoftSkipPenalty
+}
+
+// score runs the rolling-row NW pass and returns the raw alignment score.
+func (a *aligner) score(expected []ExpectedEvent, obs []observedEvent, prm DecodeParams) float64 {
+	m, n := len(expected), len(obs)
+	prev, cur := a.prev[:n+1], a.cur[:n+1]
+	prev[0] = 0
 	for j := 1; j <= n; j++ {
-		prev[j] = prev[j-1] + gapPenalty
+		prev[j] = prev[j-1] + skipObserved(obs[j-1], prm)
 	}
 	for i := 1; i <= m; i++ {
-		cur[0] = prev[0] + gapPenalty
+		cur[0] = prev[0] - prm.ExpectedGapPenalty
 		for j := 1; j <= n; j++ {
-			match := mismatchPenalty
-			if expected[i-1] == observed[j-1].class {
-				match = observed[j-1].conf
+			best := prev[j-1] + alignScore(expected[i-1], obs[j-1], prm)
+			if up := prev[j] - prm.ExpectedGapPenalty; up > best {
+				best = up
 			}
-			cur[j] = math.Max(prev[j-1]+match,
-				math.Max(prev[j]+gapPenalty, cur[j-1]+gapPenalty))
+			if left := cur[j-1] + skipObserved(obs[j-1], prm); left > best {
+				best = left
+			}
+			cur[j] = best
 		}
 		prev, cur = cur, prev
 	}
 	return prev[n]
 }
 
-// enumeratePaths walks every root-to-ending decision vector of g up to
-// maxChoices deep, invoking fn with each complete vector.
-func enumeratePaths(g *script.Graph, maxChoices int, fn func([]bool)) {
-	var rec func(id script.SegmentID, decisions []bool)
-	rec = func(id script.SegmentID, decisions []bool) {
-		for {
-			s, ok := g.Segment(id)
-			if !ok {
-				return
+// traceback re-runs the alignment with a full move matrix and returns the
+// expected-event -> record-index match table plus the hard-match count.
+func (a *aligner) traceback(expected []ExpectedEvent, obs []observedEvent, prm DecodeParams) ([]int, int) {
+	m, n := len(expected), len(obs)
+	need := (m + 1) * (n + 1)
+	if cap(a.moves) < need {
+		a.moves = make([]byte, need)
+		a.grid = make([]float64, need)
+	}
+	moves, row := a.moves[:need], a.grid[:need]
+	at := func(i, j int) int { return i*(n+1) + j }
+
+	for j := 1; j <= n; j++ {
+		row[at(0, j)] = row[at(0, j-1)] + skipObserved(obs[j-1], prm)
+		moves[at(0, j)] = moveLeft
+	}
+	for i := 1; i <= m; i++ {
+		row[at(i, 0)] = row[at(i-1, 0)] - prm.ExpectedGapPenalty
+		moves[at(i, 0)] = moveUp
+		for j := 1; j <= n; j++ {
+			best := row[at(i-1, j-1)] + alignScore(expected[i-1], obs[j-1], prm)
+			move := moveDiag
+			if up := row[at(i-1, j)] - prm.ExpectedGapPenalty; up > best {
+				best, move = up, moveUp
 			}
-			if s.Ending {
-				fn(decisions)
-				return
+			if left := row[at(i, j-1)] + skipObserved(obs[j-1], prm); left > best {
+				best, move = left, moveLeft
 			}
-			if s.Choice == nil {
-				id = s.Next
-				continue
-			}
-			if len(decisions) >= maxChoices {
-				return // too deep; prune
-			}
-			rec(s.Choice.Default, append(decisions, true))
-			rec(s.Choice.Alternative, append(decisions, false))
-			return
+			row[at(i, j)] = best
+			moves[at(i, j)] = move
 		}
 	}
-	rec(g.Start, nil)
+
+	match := make([]int, m)
+	for i := range match {
+		match[i] = -1
+	}
+	matched := 0
+	for i, j := m, n; i > 0 || j > 0; {
+		switch moves[at(i, j)] {
+		case moveDiag:
+			if expected[i-1].Class == obs[j-1].class {
+				match[i-1] = obs[j-1].recIdx
+				if obs[j-1].hard {
+					matched++
+				}
+			}
+			i, j = i-1, j-1
+		case moveUp:
+			i--
+		default:
+			j--
+		}
+	}
+	return match, matched
 }

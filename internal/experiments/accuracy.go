@@ -22,7 +22,11 @@ type AccuracyResult struct {
 	Sessions  []SessionAccuracy
 	Mean      float64
 	WorstCase float64
-	Report    string
+	// MeanMargin is the mean decode margin (score gap between the
+	// decoder's best and second-best path hypotheses) across sessions — a
+	// calibrated confidence the headline number alone does not expose.
+	MeanMargin float64
+	Report     string
 }
 
 // SessionAccuracy scores one session.
@@ -31,6 +35,8 @@ type SessionAccuracy struct {
 	ViewerID  string
 	Correct   int
 	Total     int
+	// Margin is the session's decode margin.
+	Margin float64
 }
 
 // Accuracy runs n test sessions (the paper used 10), each under a
@@ -64,7 +70,7 @@ func Accuracy(n, trainPerCond int, seed uint64) (*AccuracyResult, error) {
 			func(t int) (viewer.Viewer, uint64) {
 				return viewer.SamplePopulation(1, root.Stream(uint64(1000+i*100+t)))[0],
 					seed + uint64(9000+i*100+t)
-			})
+			}, nil)
 		if err != nil {
 			return SessionAccuracy{}, err
 		}
@@ -88,6 +94,7 @@ func Accuracy(n, trainPerCond int, seed uint64) (*AccuracyResult, error) {
 		correct, total := attack.ScoreDecisions(inf.Decisions, tr.GroundTruthDecisions())
 		return SessionAccuracy{
 			Condition: cond, ViewerID: pop[i].ID, Correct: correct, Total: total,
+			Margin: inf.DecodeMargin,
 		}, nil
 	})
 	if err != nil {
@@ -95,14 +102,16 @@ func Accuracy(n, trainPerCond int, seed uint64) (*AccuracyResult, error) {
 	}
 
 	res := &AccuracyResult{Sessions: sessions}
-	var accs []float64
+	var accs, margins []float64
 	for _, s := range sessions {
 		if s.Total > 0 {
 			accs = append(accs, float64(s.Correct)/float64(s.Total))
 		}
+		margins = append(margins, s.Margin)
 	}
 	res.Mean = stats.Mean(accs)
 	res.WorstCase = stats.Min(accs)
+	res.MeanMargin = stats.Mean(margins)
 	res.Report = renderAccuracy(res)
 	return res, nil
 }
@@ -116,12 +125,14 @@ func renderAccuracy(res *AccuracyResult) string {
 			fmt.Sprintf("%d", i+1), s.ViewerID, s.Condition.String(),
 			fmt.Sprintf("%d/%d", s.Correct, s.Total),
 			fmt.Sprintf("%.0f%%", 100*float64(s.Correct)/float64(max(s.Total, 1))),
+			fmt.Sprintf("%.3f", s.Margin),
 		})
 	}
 	b.WriteString(stats.RenderTable(
-		[]string{"session", "viewer", "condition", "choices", "accuracy"}, rows))
+		[]string{"session", "viewer", "condition", "choices", "accuracy", "margin"}, rows))
 	fmt.Fprintf(&b, "\nmean accuracy:  %.1f%%\n", 100*res.Mean)
 	fmt.Fprintf(&b, "worst case:     %.1f%%   (paper: 96%% worst case)\n", 100*res.WorstCase)
+	fmt.Fprintf(&b, "decode margin:  %.3f mean score gap to the runner-up hypothesis\n", res.MeanMargin)
 	return b.String()
 }
 
@@ -149,7 +160,7 @@ func ClassifierAblation(seed uint64) (*ClassifierAblationResult, error) {
 		func(t int) (viewer.Viewer, uint64) {
 			return viewer.SamplePopulation(1, root.Stream(uint64(t+1)))[0],
 				seed + uint64(t)*131
-		})
+		}, nil)
 	if err != nil {
 		return nil, err
 	}

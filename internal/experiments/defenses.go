@@ -25,6 +25,11 @@ import (
 type DefenseResult struct {
 	// PerDefense maps defense name to choice-recovery accuracy.
 	PerDefense map[string]float64
+	// PerDefenseMargin maps defense name to the mean decode margin — a
+	// working defense drives the margin to ~0 (every candidate path looks
+	// alike) even before accuracy reaches the floor, so it doubles as an
+	// early-warning metric for partial countermeasures.
+	PerDefenseMargin map[string]float64
 	// PriorGuess is the blind all-defaults baseline accuracy.
 	PriorGuess float64
 	Report     string
@@ -57,7 +62,7 @@ func Defenses(sessions int, seed uint64) (*DefenseResult, error) {
 		func(t int) (viewer.Viewer, uint64) {
 			return viewer.SamplePopulation(1, root.Stream(uint64(t+1)))[0],
 				seed + uint64(t)*211
-		})
+		}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +79,7 @@ func Defenses(sessions int, seed uint64) (*DefenseResult, error) {
 	}
 	type cell struct {
 		correct, total int
+		margin         float64
 		truth          []bool
 	}
 	cells, err := parallel.MapN(0, len(cases)*sessions, func(k int) (cell, error) {
@@ -100,20 +106,26 @@ func Defenses(sessions int, seed uint64) (*DefenseResult, error) {
 			return out, nil
 		}
 		out.correct, out.total = attack.ScoreDecisions(inf.Decisions, out.truth)
+		out.margin = inf.DecodeMargin
 		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	res := &DefenseResult{PerDefense: map[string]float64{}}
+	res := &DefenseResult{
+		PerDefense:       map[string]float64{},
+		PerDefenseMargin: map[string]float64{},
+	}
 	var priorCorrect, priorTotal int
 	for d, dc := range cases {
 		var correct, total int
+		var margin float64
 		for i := 0; i < sessions; i++ {
 			c := cells[d*sessions+i]
 			correct += c.correct
 			total += c.total
+			margin += c.margin
 			if dc.name == "none" {
 				// The blind baseline guesses all defaults on the same set
 				// of test sessions.
@@ -128,6 +140,7 @@ func Defenses(sessions int, seed uint64) (*DefenseResult, error) {
 		if total > 0 {
 			res.PerDefense[dc.name] = float64(correct) / float64(total)
 		}
+		res.PerDefenseMargin[dc.name] = margin / float64(sessions)
 	}
 	if priorTotal > 0 {
 		res.PriorGuess = float64(priorCorrect) / float64(priorTotal)
@@ -138,11 +151,12 @@ func Defenses(sessions int, seed uint64) (*DefenseResult, error) {
 	rows := [][]string{}
 	for _, dc := range cases {
 		rows = append(rows, []string{dc.name,
-			fmt.Sprintf("%.0f%%", 100*res.PerDefense[dc.name])})
+			fmt.Sprintf("%.0f%%", 100*res.PerDefense[dc.name]),
+			fmt.Sprintf("%.3f", res.PerDefenseMargin[dc.name])})
 	}
 	rows = append(rows, []string{"(blind all-defaults guess)",
-		fmt.Sprintf("%.0f%%", 100*res.PriorGuess)})
-	b.WriteString(stats.RenderTable([]string{"defense", "choice recovery accuracy"}, rows))
+		fmt.Sprintf("%.0f%%", 100*res.PriorGuess), ""})
+	b.WriteString(stats.RenderTable([]string{"defense", "choice recovery accuracy", "decode margin"}, rows))
 	b.WriteString("\nEach transform removes the record-length signal; the attack falls to\n" +
 		"the blind-guess floor (the graph's default-branch prior), not to zero.\n")
 	res.Report = b.String()

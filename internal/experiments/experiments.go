@@ -50,15 +50,22 @@ func runOne(g *script.Graph, enc *media.Encoding, v viewer.Viewer,
 
 // profileSessions simulates training sessions under one condition until
 // both report classes are present: at least minN sessions, at most maxN.
-// at supplies the viewer and session seed for index t; the loop is
-// sequential because its length is data-dependent, but every caller runs
-// it from inside a parallel task of its own.
+// at supplies the viewer and session seed for index t, and opts (may be
+// nil) adjusts the t-th session's config; the loop is sequential because
+// its length is data-dependent, but every caller runs it from inside a
+// parallel task of its own.
 func profileSessions(g *script.Graph, enc *media.Encoding, cond profiles.Condition,
-	minN, maxN int, at func(t int) (viewer.Viewer, uint64)) ([]*session.Trace, error) {
+	minN, maxN int, at func(t int) (viewer.Viewer, uint64),
+	opts func(t int, cfg *session.Config)) ([]*session.Trace, error) {
 	var training []*session.Trace
 	for t := 0; t < maxN; t++ {
 		v, s := at(t)
-		tr, err := runOne(g, enc, v, cond, s, nil)
+		var perSession func(*session.Config)
+		if opts != nil {
+			tt := t
+			perSession = func(cfg *session.Config) { opts(tt, cfg) }
+		}
+		tr, err := runOne(g, enc, v, cond, s, perSession)
 		if err != nil {
 			return nil, err
 		}

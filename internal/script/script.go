@@ -274,6 +274,54 @@ func (g *Graph) Walk(decisions []bool) (Path, error) {
 	}
 }
 
+// WalkPaths enumerates every complete root-to-ending walk of the graph
+// whose decision vector has at most maxChoices entries, invoking fn once
+// per walk. Branches are explored default-first, so the all-default walk
+// to the earliest ending is always delivered first. The Path handed to fn
+// holds fresh copies of both slices: callbacks may retain them (the
+// attack's path table does exactly that).
+func (g *Graph) WalkPaths(maxChoices int, fn func(Path)) {
+	var segs []SegmentID
+	var decs []bool
+	var rec func(id SegmentID)
+	rec = func(id SegmentID) {
+		base := len(segs)
+		defer func() { segs = segs[:base] }()
+		for {
+			s, ok := g.segments[id]
+			if !ok {
+				return
+			}
+			segs = append(segs, id)
+			if s.Ending {
+				fn(Path{
+					Segments:  append([]SegmentID(nil), segs...),
+					Decisions: append([]bool(nil), decs...),
+				})
+				return
+			}
+			if s.Choice == nil {
+				id = s.Next
+				continue
+			}
+			if len(decs) >= maxChoices {
+				return // too deep; prune
+			}
+			for _, takeDefault := range [2]bool{true, false} {
+				decs = append(decs, takeDefault)
+				if takeDefault {
+					rec(s.Choice.Default)
+				} else {
+					rec(s.Choice.Alternative)
+				}
+				decs = decs[:len(decs)-1]
+			}
+			return
+		}
+	}
+	rec(g.Start)
+}
+
 // ChoicesMet returns the choice metadata encountered along a path, in
 // order, paired with the decision made.
 type MetChoice struct {
