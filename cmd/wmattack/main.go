@@ -6,11 +6,18 @@
 // Usage:
 //
 //	wmattack -pcap session.pcap -os linux -browser firefox
+//	wmattack -pcap session.pcap -live          # stream the capture, print events
 //
 // Training happens in-process: the attacker profiles simulated sessions
 // under the named condition first (the paper's per-condition training),
-// then attacks the capture. If a ground-truth sidecar from wmsession
-// exists next to the pcap, the inference is scored against it.
+// then attacks the capture. In -live mode the capture is fed to the
+// streaming monitor in chunks and detection/choice events print as they
+// fire, which is how the attack behaves against a link tap. If a
+// ground-truth sidecar from wmsession exists next to the pcap, the
+// inference is scored against it.
+//
+// Exit status: 0 on a fully successful attack, 1 when inference fails,
+// 2 when a ground-truth sidecar is present and any choice was missed.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/media"
@@ -39,6 +47,8 @@ func main() {
 		traffic  = flag.String("traffic", "morning", "condition traffic time")
 		trainN   = flag.Int("train", 3, "profiling sessions for training")
 		seed     = flag.Uint64("seed", 1000, "training seed")
+		live     = flag.Bool("live", false, "feed the capture in chunks through the streaming monitor and print events as they fire")
+		chunkKiB = flag.Int("chunk", 64, "live-mode feed chunk size in KiB")
 	)
 	flag.Parse()
 
@@ -60,7 +70,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	inf, err := atk.InferPcap(data)
+	var inf *attack.Inference
+	if *live {
+		inf, err = attackLive(atk, data, *chunkKiB<<10)
+	} else {
+		inf, err = atk.InferPcap(data)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -95,7 +110,8 @@ func main() {
 		fmt.Printf("decode margin: %.4f over the runner-up hypothesis\n", inf.DecodeMargin)
 	}
 
-	// Score against the wmsession sidecar when present.
+	// Score against the wmsession sidecar when present; an incomplete
+	// recovery is a failed attack and exits non-zero.
 	sidecar := *pcapPath + ".truth.json"
 	if buf, err := os.ReadFile(sidecar); err == nil {
 		var truth struct {
@@ -105,8 +121,59 @@ func main() {
 			correct, total := attack.ScoreDecisions(inf.Decisions, truth.Decisions)
 			fmt.Printf("\nground truth (%s): %d/%d choices recovered\n",
 				sidecar, correct, total)
+			if correct < total {
+				fmt.Fprintln(os.Stderr, "wmattack: inference incomplete against ground truth")
+				os.Exit(2)
+			}
 		}
 	}
+}
+
+// attackLive streams the capture through a monitor in chunkBytes pieces,
+// printing each event relative to the capture clock as it fires.
+func attackLive(atk *attack.Attacker, data []byte, chunkBytes int) (*attack.Inference, error) {
+	if chunkBytes <= 0 {
+		chunkBytes = 64 << 10
+	}
+	var epoch time.Time
+	at := func(t time.Time) string {
+		if epoch.IsZero() {
+			epoch = t
+		}
+		return fmt.Sprintf("t+%7.2fs", t.Sub(epoch).Seconds())
+	}
+	m := attack.NewMonitor(atk, attack.MonitorOptions{OnEvent: func(ev attack.Event) {
+		switch e := ev.(type) {
+		case attack.FlowDetected:
+			fmt.Printf("[%s] FLOW DETECTED   %v  (%s record, %d bytes)\n",
+				at(e.At), e.Flow, e.Class, e.Length)
+		case attack.ChoiceInferred:
+			branch := "default"
+			if !e.TookDefault {
+				branch = "NON-DEFAULT"
+			}
+			fmt.Printf("[%s] CHOICE INFERRED Q%d: %-11s  margin %.4f  running %s\n",
+				at(e.At), e.Choice+1, branch, e.DecodeMargin, decisionString(e.Decisions))
+		case attack.SessionFinalized:
+			fmt.Printf("[session end] FINALIZED %v: %d choices decoded\n",
+				e.Flow, len(e.Inference.Decisions))
+		}
+	}})
+	for off := 0; off < len(data); off += chunkBytes {
+		end := off + chunkBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := m.Feed(data[off:end]); err != nil {
+			return nil, err
+		}
+	}
+	inf, err := m.Close()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println()
+	return inf, nil
 }
 
 // train profiles the service under cond, drawing extra sessions until

@@ -10,7 +10,7 @@
 //	wmbench -benchjson BENCH.json # machine-readable perf + domain metrics
 //
 // Experiments: table1, figure1, figure2, accuracy, decode, baselines,
-// defenses, timing, classifiers, prefetch.
+// defenses, timing, classifiers, prefetch, interleaved.
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	whitemirror "repro"
@@ -129,6 +130,17 @@ func runners() []runner {
 					"without_prefetch_pct": 100 * v.WithoutPrefetch,
 				}
 			}},
+		{"interleaved",
+			func(seed uint64) (any, error) { return experiments.Interleaved(5, nil, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.InterleavedResult)
+				m := map[string]float64{}
+				for _, p := range v.Points {
+					m[fmt.Sprintf("detection_pct_noise%d", p.NoiseFlows)] = 100 * p.DetectionRate
+					m[fmt.Sprintf("accuracy_pct_noise%d", p.NoiseFlows)] = 100 * p.MeanAccuracy
+				}
+				return m
+			}},
 	}
 }
 
@@ -154,6 +166,8 @@ func report(r any) (string, error) {
 	case *experiments.ClassifierAblationResult:
 		return v.Report, nil
 	case *experiments.PrefetchAblationResult:
+		return v.Report, nil
+	case *experiments.InterleavedResult:
 		return v.Report, nil
 	default:
 		return "", fmt.Errorf("unknown result type %T", r)
@@ -262,10 +276,77 @@ func decoderBenchEntries() ([]benchEntry, error) {
 	}, nil
 }
 
+// pipelineBenchEntry measures the end-to-end attack read path — pcap
+// parse through constrained decode via the streaming-monitor-backed
+// InferPcap — on one pre-rendered capture. Its alloc count is the figure
+// the zero-copy read path (arena pcap reads + reassembly payload
+// ownership) is accountable for.
+func pipelineBenchEntry() (benchEntry, error) {
+	tr, err := whitemirror.Simulate(whitemirror.SessionOptions{Seed: 21})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	pcapBytes, err := whitemirror.CapturePcap(tr, 21)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	atk, err := whitemirror.TrainAttacker(whitemirror.TrainingOptions{Seed: 22})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(pcapBytes)))
+		for i := 0; i < b.N; i++ {
+			if _, err := atk.InferPcap(pcapBytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mbps := float64(len(pcapBytes)) * float64(res.N) /
+		res.T.Seconds() / (1 << 20)
+	return benchEntry{
+		Name:    "pipeline_attack_throughput",
+		NsPerOp: res.NsPerOp(), BytesPerOp: res.AllocedBytesPerOp(), AllocsPerOp: res.AllocsPerOp(),
+		Metrics: map[string]float64{
+			"capture_bytes": float64(len(pcapBytes)),
+			"mb_per_s":      mbps,
+		},
+	}, nil
+}
+
+// loadBaseline embeds a prior BENCH file under the given label so the
+// perf trajectory stays in one file; the prior file's own baselines are
+// hoisted alongside it.
+func loadBaseline(spec string, out *benchFile) error {
+	label, path, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("baseline %q: want label=path", spec)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prior benchFile
+	if err := json.Unmarshal(buf, &prior); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if out.Baselines == nil {
+		out.Baselines = map[string][]benchEntry{}
+	}
+	out.Baselines[label] = prior.Entries
+	for k, v := range prior.Baselines {
+		if _, dup := out.Baselines[k]; !dup {
+			out.Baselines[k] = v
+		}
+	}
+	return nil
+}
+
 // runBenchJSON measures every selected experiment with testing.Benchmark
 // and writes the machine-readable file future PRs diff against. Domain
 // metrics come from the final benchmark iteration's result.
-func runBenchJSON(path string, runs []runner, seed uint64, workers int) error {
+func runBenchJSON(path string, runs []runner, seed uint64, workers int, baselines []string) error {
 	out := benchFile{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -273,6 +354,13 @@ func runBenchJSON(path string, runs []runner, seed uint64, workers int) error {
 		CPUs:      runtime.NumCPU(),
 		Workers:   parallel.Workers(workers),
 		Seed:      seed,
+	}
+	// Load baselines first: a bad spec should fail instantly, not after
+	// minutes of completed measurements.
+	for _, spec := range baselines {
+		if err := loadBaseline(spec, &out); err != nil {
+			return err
+		}
 	}
 	for _, r := range runs {
 		var last any
@@ -299,17 +387,24 @@ func runBenchJSON(path string, runs []runner, seed uint64, workers int) error {
 			Metrics:     r.metrics(last),
 		})
 	}
-	// The decoder unit benchmarks ride along with the decode experiment,
-	// so a narrow -exp selection keeps the file (and the runtime) to what
+	// The decoder unit benchmarks ride along with the decode experiment
+	// and the end-to-end pipeline benchmark with the interleaved one, so
+	// a narrow -exp selection keeps the file (and the runtime) to what
 	// was asked for.
 	for _, r := range runs {
-		if r.name == "decode" {
+		switch r.name {
+		case "decode":
 			dec, err := decoderBenchEntries()
 			if err != nil {
 				return fmt.Errorf("decoder bench: %w", err)
 			}
 			out.Entries = append(out.Entries, dec...)
-			break
+		case "interleaved":
+			pipe, err := pipelineBenchEntry()
+			if err != nil {
+				return fmt.Errorf("pipeline bench: %w", err)
+			}
+			out.Entries = append(out.Entries, pipe)
 		}
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
@@ -319,13 +414,21 @@ func runBenchJSON(path string, runs []runner, seed uint64, workers int) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func main() {
 	var (
 		exp       = flag.String("exp", "", "run a single experiment (empty = all)")
 		seed      = flag.Uint64("seed", 3, "deterministic seed")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = WM_WORKERS or GOMAXPROCS)")
 		benchJSON = flag.String("benchjson", "", "write machine-readable benchmark results to this file instead of printing reports")
+		baselines multiFlag
 	)
+	flag.Var(&baselines, "baseline", "label=path of a prior BENCH json to embed as a frozen baseline (repeatable)")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
@@ -336,7 +439,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, runs, *seed, *workers); err != nil {
+		if err := runBenchJSON(*benchJSON, runs, *seed, *workers, baselines); err != nil {
 			fmt.Fprintf(os.Stderr, "wmbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -118,7 +118,7 @@ func TestSimulateLeanMatchesMaterialized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lean, err := Simulate(SessionOptions{Seed: 31, omitServerPayload: true})
+	lean, err := Simulate(SessionOptions{Seed: 31, Lean: true})
 	if err != nil {
 		t.Fatal(err)
 	}

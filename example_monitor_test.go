@@ -1,0 +1,43 @@
+package whitemirror
+
+import "fmt"
+
+// ExampleNewMonitor shows the streaming attack: the capture — here the
+// interactive session interleaved with two bulk-streaming noise flows —
+// is fed to a Monitor in chunks, the way an on-path eavesdropper tails a
+// link, and events fire as the attack progresses. Close returns the same
+// Inference the one-shot InferPcap produces.
+func ExampleNewMonitor() {
+	tr, _ := Simulate(SessionOptions{Seed: 1, Condition: ConditionUbuntu})
+	pcapBytes, _ := CapturePcapMulti(tr, 1, 2) // 2 concurrent noise flows
+	atk, _ := TrainAttacker(TrainingOptions{Condition: ConditionUbuntu, Seed: 99})
+
+	var finalized FlowKey
+	m := NewMonitor(atk, MonitorOptions{OnEvent: func(ev MonitorEvent) {
+		switch e := ev.(type) {
+		case FlowDetected:
+			// e.Flow produced an in-band report — a candidate session.
+		case ChoiceInferred:
+			// Running decisions and DecodeMargin are available here.
+		case SessionFinalized:
+			finalized = e.Flow
+		}
+	}})
+	const chunk = 64 << 10 // feed 64 KiB at a time
+	for off := 0; off < len(pcapBytes); off += chunk {
+		end := min(off+chunk, len(pcapBytes))
+		if err := m.Feed(pcapBytes[off:end]); err != nil {
+			panic(err)
+		}
+	}
+	inf, _ := m.Close()
+
+	correct, total := 0, len(tr.GroundTruthDecisions())
+	for i, d := range tr.GroundTruthDecisions() {
+		if i < len(inf.Decisions) && inf.Decisions[i] == d {
+			correct++
+		}
+	}
+	fmt.Printf("attacked flow: %s, choices recovered: %d/%d\n", finalized, correct, total)
+	// Output: attacked flow: 192.168.1.23:51732 > 198.51.100.7:443, choices recovered: 8/8
+}

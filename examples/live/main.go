@@ -1,0 +1,94 @@
+// Live & interleaved inference: the attacker as an on-path eavesdropper.
+//
+// A viewer watches the interactive title while two other devices in the
+// household bulk-stream ordinary video. The eavesdropper tails the link:
+// pcap bytes arrive in chunks, the streaming Monitor demultiplexes the
+// flows, finds the interactive session among the noise, and narrates the
+// viewer's choices as the state reports fly by — then Close returns the
+// same Inference the one-shot InferPcap would have produced.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	whitemirror "repro"
+)
+
+func main() {
+	// 1. The interactive session plus 2 concurrent noise flows, rendered
+	//    as one interleaved capture (a genuine libpcap file).
+	trace, err := whitemirror.Simulate(whitemirror.SessionOptions{
+		Seed:      42,
+		Condition: whitemirror.ConditionUbuntu,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcapBytes, err := whitemirror.CapturePcapMulti(trace, 42, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interleaved capture: %.1f MB, interactive session + 2 noise flows\n\n",
+		float64(len(pcapBytes))/(1<<20))
+
+	// 2. The attacker profiles the service under the same condition.
+	atk, err := whitemirror.TrainAttacker(whitemirror.TrainingOptions{
+		Condition: whitemirror.ConditionUbuntu,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Stream the capture through the monitor in 64 KiB chunks and
+	//    print events as they fire.
+	var epoch time.Time
+	clock := func(t time.Time) string {
+		if epoch.IsZero() {
+			epoch = t
+		}
+		return fmt.Sprintf("t+%6.1fs", t.Sub(epoch).Seconds())
+	}
+	monitor := whitemirror.NewMonitor(atk, whitemirror.MonitorOptions{
+		OnEvent: func(ev whitemirror.MonitorEvent) {
+			switch e := ev.(type) {
+			case whitemirror.FlowDetected:
+				fmt.Printf("[%s] candidate flow %v sent a %v report (%d bytes)\n",
+					clock(e.At), e.Flow, e.Class, e.Length)
+			case whitemirror.ChoiceInferred:
+				branch := "default"
+				if !e.TookDefault {
+					branch = "NON-DEFAULT"
+				}
+				fmt.Printf("[%s] Q%d looks %s (running margin %.3f)\n",
+					clock(e.At), e.Choice+1, branch, e.DecodeMargin)
+			case whitemirror.SessionFinalized:
+				fmt.Printf("\nfinalized on %v\n", e.Flow)
+			}
+		},
+	})
+	const chunk = 64 << 10
+	for off := 0; off < len(pcapBytes); off += chunk {
+		end := min(off+chunk, len(pcapBytes))
+		if err := monitor.Feed(pcapBytes[off:end]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	inf, err := monitor.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Score against ground truth.
+	truth := trace.GroundTruthDecisions()
+	correct := 0
+	for i, d := range truth {
+		if i < len(inf.Decisions) && inf.Decisions[i] == d {
+			correct++
+		}
+	}
+	fmt.Printf("recovered %d/%d choices (decode margin %.3f)\n",
+		correct, len(truth), inf.DecodeMargin)
+}

@@ -233,13 +233,18 @@ func pathValid(g *script.Graph, decisions []bool) bool {
 	return ok && last.Ending
 }
 
-// InferPcap extracts the observation from capture bytes and runs Infer.
+// InferPcap runs the one-shot attack on capture bytes. It is a thin
+// wrapper over the streaming engine — a Monitor fed the whole capture at
+// once and closed — and returns exactly what the same capture yields when
+// fed in chunks of any size.
 func (a *Attacker) InferPcap(pcapBytes []byte) (*Inference, error) {
-	obs, err := ExtractPcapBytes(pcapBytes)
-	if err != nil {
+	m := NewMonitor(a, MonitorOptions{})
+	// The caller's bytes are read-only for the call's duration, so the
+	// reader adopts them without the streaming path's defensive copy.
+	if err := m.feedOwned(pcapBytes); err != nil {
 		return nil, err
 	}
-	return a.Infer(obs)
+	return m.Close()
 }
 
 // ScoreDecisions compares inferred against ground-truth decisions and

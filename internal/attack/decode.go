@@ -36,14 +36,21 @@ func ClassifyRecords(recs []tlsrec.Record, c Classifier) []ClassifiedRecord {
 		if r.Type != tlsrec.ContentApplicationData {
 			continue
 		}
-		cls, conf := c.Classify(r.Length)
-		cr := ClassifiedRecord{Record: r, Class: cls, Confidence: conf}
-		if cls == ClassOther && soft != nil {
-			cr.SoftClass, cr.SoftConfidence = soft.SoftClassify(r.Length)
-		}
-		out = append(out, cr)
+		out = append(out, classifyRecord(r, c, soft))
 	}
 	return out
+}
+
+// classifyRecord classifies a single application record — the unit the
+// streaming monitor applies as each record completes, and the body of the
+// batch ClassifyRecords loop, so both paths classify identically.
+func classifyRecord(r tlsrec.Record, c Classifier, soft SoftClassifier) ClassifiedRecord {
+	cls, conf := c.Classify(r.Length)
+	cr := ClassifiedRecord{Record: r, Class: cls, Confidence: conf}
+	if cls == ClassOther && soft != nil {
+		cr.SoftClass, cr.SoftConfidence = soft.SoftClassify(r.Length)
+	}
+	return cr
 }
 
 // InferredChoice is one decoded choice: the i-th question encountered and
@@ -363,22 +370,33 @@ func observedEvents(recs []ClassifiedRecord, anchor time.Time) []observedEvent {
 	}
 	var out []observedEvent
 	for i, r := range recs {
-		ev := observedEvent{recIdx: i}
-		switch {
-		case r.Class == ClassType1 || r.Class == ClassType2:
-			ev.class, ev.conf, ev.hard = r.Class, r.Confidence, true
-		case r.SoftConfidence > 0:
-			ev.class, ev.conf = r.SoftClass, r.SoftConfidence
-		default:
-			continue
+		if ev, ok := observedEventFrom(r, i, anchor); ok {
+			out = append(out, ev)
 		}
-		if !r.Record.Time.IsZero() && !anchor.IsZero() {
-			ev.offset = r.Record.Time.Sub(anchor).Seconds()
-			ev.timed = true
-		}
-		out = append(out, ev)
 	}
 	return out
+}
+
+// observedEventFrom builds the observation for one classified record —
+// hard for in-band reports, soft for near-band refinements — or reports
+// ok=false for records that carry no report evidence. The streaming
+// monitor uses it to extend a flow's observation sequence one record at a
+// time, with exactly the batch extraction's semantics.
+func observedEventFrom(r ClassifiedRecord, idx int, anchor time.Time) (observedEvent, bool) {
+	ev := observedEvent{recIdx: idx}
+	switch {
+	case r.Class == ClassType1 || r.Class == ClassType2:
+		ev.class, ev.conf, ev.hard = r.Class, r.Confidence, true
+	case r.SoftConfidence > 0:
+		ev.class, ev.conf = r.SoftClass, r.SoftConfidence
+	default:
+		return observedEvent{}, false
+	}
+	if !r.Record.Time.IsZero() && !anchor.IsZero() {
+		ev.offset = r.Record.Time.Sub(anchor).Seconds()
+		ev.timed = true
+	}
+	return ev, true
 }
 
 // Decode scores every table path against the classified records and
@@ -548,6 +566,148 @@ func (a *aligner) score(expected []ExpectedEvent, obs []observedEvent, prm Decod
 		prev, cur = cur, prev
 	}
 	return prev[n]
+}
+
+// --- Incremental prefix alignment --------------------------------------------
+//
+// The streaming monitor cannot afford to re-run the full alignment on
+// every feed: it extends the DP column-by-column instead. For each
+// candidate path the aligner keeps the Needleman–Wunsch column
+// S[0..m][j] — the score of aligning the path's first i expected events
+// against all j observations so far — and each new observation advances
+// every column by one step in O(events) per path. The recurrence, the
+// candidate order and therefore the floating-point results are identical
+// to the batch aligner's, so the column's final cell after the last
+// observation equals the batch raw score exactly; the running ranking in
+// between scores the best *prefix* of each path, which is what a partial
+// session can honestly be compared against.
+
+// prefixAligner is the incremental per-flow decoding state.
+type prefixAligner struct {
+	table  *PathTable
+	prm    DecodeParams
+	cols   [][]float64 // per path: S[0..m][observations so far]
+	scores []float64   // scratch: per-path prefix scores for one ranking
+	nObs   int
+	nHard  int
+}
+
+// newPrefixAligner initializes the zero-observation columns (every
+// expected event unmatched).
+func newPrefixAligner(t *PathTable, prm DecodeParams) *prefixAligner {
+	pa := &prefixAligner{table: t, prm: prm.withDefaults()}
+	pa.cols = make([][]float64, len(t.Paths))
+	for i := range t.Paths {
+		col := make([]float64, len(t.Paths[i].Events)+1)
+		for j := 1; j < len(col); j++ {
+			col[j] = col[j-1] - pa.prm.ExpectedGapPenalty
+		}
+		pa.cols[i] = col
+	}
+	return pa
+}
+
+// observe extends every path's column with one new observation.
+func (pa *prefixAligner) observe(o observedEvent) {
+	pa.nObs++
+	if o.hard {
+		pa.nHard++
+	}
+	skip := skipObserved(o, pa.prm)
+	for pi := range pa.table.Paths {
+		events := pa.table.Paths[pi].Events
+		col := pa.cols[pi]
+		prevDiag := col[0] // S[i-1][j-1], seeded with S[0][j-1]
+		col[0] += skip
+		for i := 1; i <= len(events); i++ {
+			oldCol := col[i] // S[i][j-1]
+			best := prevDiag + alignScore(events[i-1], o, pa.prm)
+			if up := col[i-1] - pa.prm.ExpectedGapPenalty; up > best {
+				best = up
+			}
+			if left := oldCol + skip; left > best {
+				best = left
+			}
+			col[i] = best
+			prevDiag = oldCol
+		}
+	}
+}
+
+// prefixScore is a path's running score: the best per-event-normalized
+// alignment over every prefix of its expected events, so a long path is
+// judged on the part of the film that has plausibly played out rather
+// than charged for reports that are not yet due.
+func (pa *prefixAligner) prefixScore(pi int) float64 {
+	col := pa.cols[pi]
+	best := math.Inf(-1)
+	for i, v := range col {
+		denom := float64(i + pa.nHard)
+		if denom < 1 {
+			denom = 1
+		}
+		if s := v / denom; s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// ranking returns the running best path index and the margin to the best
+// path that *disagrees within the first k decisions* — the choices the
+// session has evidenced so far. Competing completions of the same
+// decision prefix are indistinguishable mid-session by construction, so
+// the margin measures confidence in what has actually been decided; it is
+// 0 while nothing discriminates (k = 0, or a single path). Candidates are
+// ranked with the batch decoder's Occam nudge (fewest expected events
+// wins a tie, enumeration order breaks exact ties), so under
+// non-discriminating evidence the live best hypothesis agrees with what
+// Decode will finalize.
+func (pa *prefixAligner) ranking(k int) (best int, margin float64) {
+	if cap(pa.scores) < len(pa.cols) {
+		pa.scores = make([]float64, len(pa.cols))
+	}
+	scores := pa.scores[:len(pa.cols)]
+	rank := func(pi int) float64 {
+		return scores[pi] - 1e-7*float64(len(pa.table.Paths[pi].Events))
+	}
+	bestRank := math.Inf(-1)
+	for pi := range pa.cols {
+		scores[pi] = pa.prefixScore(pi)
+		if r := rank(pi); r > bestRank {
+			bestRank, best = r, pi
+		}
+	}
+	bestDec := pa.table.Paths[best].Decisions
+	rival, found := math.Inf(-1), false
+	for pi := range pa.cols {
+		if !prefixEqual(pa.table.Paths[pi].Decisions, bestDec, k) && scores[pi] > rival {
+			rival, found = scores[pi], true
+		}
+	}
+	if !found {
+		return best, 0
+	}
+	// The margin, like the batch DecodeMargin, is the raw score gap.
+	if m := scores[best] - rival; m > 0 {
+		return best, m
+	}
+	return best, 0
+}
+
+// prefixEqual reports whether two decision vectors agree on their first k
+// entries (shorter vectors compare over their available length; a length
+// difference inside the prefix is a disagreement).
+func prefixEqual(a, b []bool, k int) bool {
+	for i := 0; i < k; i++ {
+		if i >= len(a) || i >= len(b) {
+			return len(a) == len(b)
+		}
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // traceback re-runs the alignment with a full move matrix and returns the

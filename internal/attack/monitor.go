@@ -1,0 +1,533 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/pcapio"
+	"repro/internal/tcpreasm"
+	"repro/internal/tlsrec"
+)
+
+// Monitor is the incremental form of the attack: an on-path eavesdropper
+// that watches traffic as it happens. Packets (or raw pcap bytes in
+// chunks of any size) are fed as they arrive; the monitor demultiplexes
+// them into per-TCP-flow reassembly states, scans each flow's TLS records
+// as they complete, classifies client records against the trained bands
+// and maintains a live partial-path hypothesis per candidate flow by
+// extending the graph alignment one observation at a time. Typed events
+// fire on the way (FlowDetected, ChoiceInferred, SessionFinalized) and
+// Close returns the final Inference for the best candidate flow.
+//
+// The one-shot Attacker.InferPcap is a thin wrapper over a Monitor: for a
+// single-conversation capture the result is byte-identical at any feed
+// granularity, down to single-byte chunks. For captures holding several
+// TLS conversations the monitor improves on the old largest-flow rule: it
+// attacks the flow whose record sequence best matches the title's script
+// graph, which is what lets it find the interactive session among
+// concurrent bulk-streaming noise.
+//
+// A Monitor is single-session state and not safe for concurrent use.
+type Monitor struct {
+	atk     *Attacker
+	onEvent func(Event)
+
+	cr    *pcapio.ChunkReader
+	asm   *tcpreasm.Assembler
+	flows map[layers.FlowKey]*monFlow // keyed by canonical conversation key
+	order []layers.FlowKey            // canonical keys, first-seen order
+	arena []byte                      // FeedPacket copies frames here
+
+	table      *PathTable // lazily built when the attacker has a graph
+	tableTried bool       // one-shot: a failed build is not retried per record
+	prm        DecodeParams
+
+	closed bool
+	err    error
+}
+
+// MonitorOptions tunes a Monitor.
+type MonitorOptions struct {
+	// OnEvent, when non-nil, receives typed events synchronously as they
+	// fire during Feed/FeedPacket/Close. It also enables the live
+	// per-record hypothesis engine (ChoiceInferred events); without it the
+	// monitor only tracks flow state, which keeps the one-shot wrapper as
+	// cheap as the old batch path.
+	OnEvent func(Event)
+}
+
+// Event is a typed notification emitted by a Monitor.
+type Event interface{ monitorEvent() }
+
+// FlowDetected fires once per flow, when the first in-band state report
+// classifies on it — the moment the eavesdropper knows which of the
+// interleaved connections carries the interactive session.
+type FlowDetected struct {
+	// Flow is the client→server flow key.
+	Flow layers.FlowKey
+	// At is the capture time of the triggering record.
+	At time.Time
+	// Length is the record length that fell into a learned band.
+	Length int
+	// Class is the report class that triggered detection.
+	Class Class
+}
+
+// ChoiceInferred fires on each new in-band report: the running decode
+// state after absorbing it.
+type ChoiceInferred struct {
+	// Flow is the client→server flow key.
+	Flow layers.FlowKey
+	// At is the capture time of the triggering record.
+	At time.Time
+	// Choice is the index of the latest choice the evidence pertains to.
+	Choice int
+	// TookDefault is the running belief about that choice.
+	TookDefault bool
+	// Decisions is the current best full-path hypothesis (nil when the
+	// attacker has no graph; then only the plain running decode exists).
+	Decisions []bool
+	// DecodeMargin is the running score margin between the best hypothesis
+	// and the best hypothesis disagreeing on a *confirmed* choice. A
+	// type-1 report confirms every choice before it (the latest stays open
+	// until its type-2 arrives or the next type-1 rules it out); a type-2
+	// confirms its own choice. 0 while nothing discriminates, or without a
+	// graph.
+	DecodeMargin float64
+}
+
+// SessionFinalized fires from Close with the chosen flow's inference.
+type SessionFinalized struct {
+	// Flow is the client→server flow key of the attacked conversation.
+	Flow layers.FlowKey
+	// Inference is the final attack output, identical to what
+	// Attacker.InferPcap returns for the same capture.
+	Inference *Inference
+}
+
+func (FlowDetected) monitorEvent()     {}
+func (ChoiceInferred) monitorEvent()   {}
+func (SessionFinalized) monitorEvent() {}
+
+// monDir is one direction of a monitored conversation: the reassembly
+// stream, the chunk cursor into it, and the record scanner riding on top.
+type monDir struct {
+	stream   *tcpreasm.Stream
+	consumed int // chunks consumed from the stream
+	sc       *tlsrec.RecordScanner
+	taken    int // complete records taken from the scanner
+}
+
+// monFlow is one TCP conversation under observation.
+type monFlow struct {
+	canonical layers.FlowKey
+	clientKey layers.FlowKey
+	client    monDir
+	server    monDir
+	detected  bool
+
+	// Live decode state (populated only when the monitor has OnEvent).
+	anchor       time.Time
+	classified   int // client application records classified so far
+	hards        int // in-band (type-1/type-2) records among them
+	plainChoices []InferredChoice
+	pa           *prefixAligner
+}
+
+// NewMonitor returns a streaming monitor for a trained attacker.
+func NewMonitor(a *Attacker, opts MonitorOptions) *Monitor {
+	asm := tcpreasm.NewAssembler()
+	// Every feed path hands the assembler stable memory: pcap chunks live
+	// in the ChunkReader's grow-only buffer and FeedPacket copies frames
+	// into the monitor's arena, so reassembly owns payloads without
+	// copying each segment again.
+	asm.SetStablePayloads(true)
+	prm := a.Decode.withDefaults()
+	return &Monitor{
+		atk:     a,
+		onEvent: opts.OnEvent,
+		asm:     asm,
+		flows:   make(map[layers.FlowKey]*monFlow),
+		prm:     prm,
+	}
+}
+
+// NewMonitor is the method form of the package constructor.
+func (a *Attacker) NewMonitor(opts MonitorOptions) *Monitor {
+	return NewMonitor(a, opts)
+}
+
+// emit delivers one event to the callback, if any.
+func (m *Monitor) emit(ev Event) {
+	if m.onEvent != nil {
+		m.onEvent(ev)
+	}
+}
+
+// Feed ingests raw pcap bytes — the global header followed by records —
+// in chunks of any size, including single bytes and mid-packet splits.
+// Complete packets are processed as soon as their last byte arrives. The
+// chunk is copied; the caller may reuse its buffer.
+func (m *Monitor) Feed(chunk []byte) error {
+	return m.feed(chunk, false)
+}
+
+// feedOwned is the whole-capture fast path: the one-shot wrapper owns its
+// bytes outright, so the reader adopts them with no copy.
+func (m *Monitor) feedOwned(chunk []byte) error {
+	return m.feed(chunk, true)
+}
+
+func (m *Monitor) feed(chunk []byte, owned bool) error {
+	if m.closed {
+		return errors.New("attack: monitor is closed")
+	}
+	if m.err != nil {
+		return m.err
+	}
+	if m.cr == nil {
+		m.cr = pcapio.NewChunkReader()
+	}
+	if owned {
+		m.cr.FeedOwned(chunk)
+	} else {
+		m.cr.Feed(chunk)
+	}
+	for {
+		rec, ok, err := m.cr.Next()
+		if err != nil {
+			m.err = wrapReadErr(m.cr.HeaderDone(), err)
+			return m.err
+		}
+		if !ok {
+			return nil
+		}
+		m.ingestFrame(rec.Timestamp, rec.Data)
+	}
+}
+
+// FeedPacket ingests one captured frame directly (for consumers that
+// already demultiplex packets, e.g. a live capture loop). The frame is
+// copied; the caller may reuse its buffer.
+func (m *Monitor) FeedPacket(ts time.Time, frame []byte) error {
+	if m.closed {
+		return errors.New("attack: monitor is closed")
+	}
+	if m.err != nil {
+		return m.err
+	}
+	m.arena = append(m.arena, frame...)
+	m.ingestFrame(ts, m.arena[len(m.arena)-len(frame):])
+	return nil
+}
+
+// wrapReadErr mirrors the batch path's error wrapping: file-header
+// problems surface as extraction errors, per-record problems as capture
+// read errors.
+func wrapReadErr(headerDone bool, err error) error {
+	if !headerDone {
+		return fmt.Errorf("attack: %w", err)
+	}
+	return fmt.Errorf("attack: reading capture: %w", err)
+}
+
+// ingestFrame decodes one frame and advances the owning flow.
+func (m *Monitor) ingestFrame(ts time.Time, frame []byte) {
+	p, err := layers.DecodePacket(ts, frame)
+	if err != nil {
+		return // non-TCP or foreign traffic
+	}
+	st := m.asm.Feed(p)
+	canon, _ := p.Flow().Canonical()
+	f, ok := m.flows[canon]
+	if !ok {
+		f = &monFlow{canonical: canon}
+		m.flows[canon] = f
+		m.order = append(m.order, canon)
+	}
+	dir, isClient := f.direction(st.Key)
+	if dir.stream == nil {
+		dir.stream = st
+		dir.sc = tlsrec.NewRecordScanner()
+		if isClient {
+			f.clientKey = st.Key
+		}
+	}
+	// Drain newly delivered chunks into the record scanner. A scanner
+	// that has hit a framing error stays stuck (the direction is not
+	// TLS), exactly as the batch extraction treats that conversation.
+	for _, c := range st.DeliveredChunks(dir.consumed) {
+		dir.consumed++
+		if dir.sc.Err() == nil {
+			dir.sc.Feed(c.Time, c.Data)
+		}
+	}
+	if dir.sc.Err() != nil {
+		return
+	}
+	recs := dir.sc.Records()
+	for i := dir.taken; i < len(recs); i++ {
+		if isClient {
+			m.onClientRecord(f, recs[i])
+		}
+	}
+	dir.taken = len(recs)
+}
+
+// direction resolves which side of the conversation a directional key is,
+// using the batch orienter's rule: the endpoint talking to a well-known
+// port is the client; with two ephemeral ports, the first direction seen
+// is taken as client→server.
+func (f *monFlow) direction(k layers.FlowKey) (*monDir, bool) {
+	switch {
+	case f.client.stream != nil && f.client.stream.Key == k:
+		return &f.client, true
+	case f.server.stream != nil && f.server.stream.Key == k:
+		return &f.server, false
+	case k.DstPort < 1024 && k.SrcPort >= 1024:
+		return &f.client, true
+	case k.SrcPort < 1024 && k.DstPort >= 1024:
+		return &f.server, false
+	case f.client.stream == nil:
+		return &f.client, true
+	default:
+		return &f.server, false
+	}
+}
+
+// onClientRecord absorbs one completed client-side record: anchor the
+// session clock, classify application data, emit detection and running
+// choice events, and extend the live alignment. Without an event
+// callback none of that state is observable before Close (which
+// classifies through Infer anyway), so the whole step is skipped and the
+// one-shot wrapper stays as cheap as the old batch path.
+func (m *Monitor) onClientRecord(f *monFlow, rec tlsrec.Record) {
+	if m.onEvent == nil {
+		return
+	}
+	if f.anchor.IsZero() {
+		f.anchor = rec.Time // first client record — the decode anchor
+	}
+	if rec.Type != tlsrec.ContentApplicationData {
+		return
+	}
+	soft, _ := m.atk.Classifier.(SoftClassifier)
+	cr := classifyRecord(rec, m.atk.Classifier, soft)
+	idx := f.classified
+	f.classified++
+
+	hard := cr.Class == ClassType1 || cr.Class == ClassType2
+	if hard {
+		f.hards++
+		if !f.detected {
+			f.detected = true
+			m.emit(FlowDetected{Flow: f.clientKey, At: rec.Time, Length: rec.Length, Class: cr.Class})
+		}
+		// Plain running decode: a type-1 opens a choice, a type-2 before
+		// the next type-1 flips the latest one to non-default.
+		switch cr.Class {
+		case ClassType1:
+			f.plainChoices = append(f.plainChoices, InferredChoice{
+				Index: len(f.plainChoices), TookDefault: true, QuestionAt: rec.Time,
+			})
+		case ClassType2:
+			if n := len(f.plainChoices); n > 0 {
+				f.plainChoices[n-1].TookDefault = false
+				f.plainChoices[n-1].DecidedAt = rec.Time
+			}
+		}
+	}
+	ev, ok := observedEventFrom(cr, idx, f.anchor)
+	if !ok {
+		return
+	}
+	if t := m.liveTable(); t != nil {
+		if f.pa == nil {
+			f.pa = newPrefixAligner(t, m.prm)
+		}
+		f.pa.observe(ev)
+	}
+	if !hard || len(f.plainChoices) == 0 {
+		// An orphan type-2 (no type-1 opened a choice yet) is a classifier
+		// slip — the plain decode ignores it, and there is no choice to
+		// report an event about.
+		return
+	}
+	ci := ChoiceInferred{
+		Flow:   f.clientKey,
+		At:     rec.Time,
+		Choice: len(f.plainChoices) - 1,
+	}
+	if f.pa != nil {
+		// A type-1 report confirms every *earlier* choice (had the viewer
+		// gone non-default at the latest one, its type-2 would still be
+		// pending); a type-2 confirms its own choice too. The margin is
+		// computed over exactly the confirmed prefix.
+		confirmed := len(f.plainChoices)
+		if cr.Class == ClassType1 {
+			confirmed--
+		}
+		best, margin := f.pa.ranking(confirmed)
+		ci.Decisions = append([]bool(nil), f.pa.table.Paths[best].Decisions...)
+		ci.DecodeMargin = margin
+		if ci.Choice >= 0 && ci.Choice < len(ci.Decisions) {
+			ci.TookDefault = ci.Decisions[ci.Choice]
+		}
+	} else if ci.Choice >= 0 {
+		ci.TookDefault = f.plainChoices[ci.Choice].TookDefault
+	}
+	m.emit(ci)
+}
+
+// liveTable lazily builds the shared decoding table for the live engine.
+// A failed build is remembered and not retried on every record.
+func (m *Monitor) liveTable() *PathTable {
+	if m.tableTried || m.atk.Graph == nil {
+		return m.table
+	}
+	m.tableTried = true
+	maxChoices := m.atk.MaxChoices
+	if maxChoices <= 0 {
+		maxChoices = 16
+	}
+	t, err := PathTableFor(m.atk.Graph, maxChoices)
+	if err != nil {
+		return nil // fall back to the plain running decode
+	}
+	m.table = t
+	return t
+}
+
+// observation assembles the attacker's view of one monitored flow.
+func (f *monFlow) observation() *Observation {
+	return &Observation{
+		ClientRecords: f.client.sc.Records(),
+		ServerRecords: f.server.sc.Records(),
+	}
+}
+
+// viable reports whether a flow is a complete, TLS-parsable conversation
+// — the batch extraction's admission rule.
+func (f *monFlow) viable() bool {
+	return f.client.stream != nil && f.server.stream != nil &&
+		f.client.sc.Err() == nil && f.server.sc.Err() == nil
+}
+
+// Close finalizes the monitor: it verifies the feed ended on a clean pcap
+// boundary, picks the best candidate flow, runs the full inference on it,
+// emits SessionFinalized and returns the Inference. For single-TLS-flow
+// captures the result is byte-identical to the batch Attacker.InferPcap;
+// among multiple candidates the flow whose records the script graph
+// explains best wins (falling back to the largest flow when no in-band
+// reports classified anywhere).
+func (m *Monitor) Close() (*Inference, error) {
+	if m.closed {
+		return nil, errors.New("attack: monitor already closed")
+	}
+	m.closed = true
+	if m.err != nil {
+		return nil, m.err
+	}
+	if m.cr != nil {
+		if err := m.cr.TailErr(); err != nil {
+			m.err = wrapReadErr(m.cr.HeaderDone(), err)
+			return nil, m.err
+		}
+	}
+
+	// Candidate flows, ordered like the batch extraction (by client key).
+	var cands []*monFlow
+	for _, k := range m.order {
+		if f := m.flows[k]; f.viable() {
+			cands = append(cands, f)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].clientKey.String() < cands[j].clientKey.String()
+	})
+	if len(cands) == 0 {
+		return nil, ErrNoTLSConversation
+	}
+
+	chosen, inf, err := m.selectFlow(cands)
+	if err != nil {
+		return nil, err
+	}
+	m.emit(SessionFinalized{Flow: chosen.clientKey, Inference: inf})
+	return inf, nil
+}
+
+// selectFlow picks the conversation to attack. With a single candidate —
+// the whole-capture, one-conversation case InferPcap wraps — the choice
+// is trivial and the inference runs exactly once, preserving byte
+// equivalence with the batch path. With several candidates, every flow
+// that produced in-band reports is scored by how well the graph explains
+// it (hard observations matched by its best hypothesis, then hypothesis
+// score, then size); when no flow produced reports the largest one wins,
+// which is the batch rule.
+func (m *Monitor) selectFlow(cands []*monFlow) (*monFlow, *Inference, error) {
+	if len(cands) == 1 {
+		inf, err := m.atk.Infer(cands[0].observation())
+		return cands[0], inf, err
+	}
+	var best *monFlow
+	var bestInf *Inference
+	bestMatched, bestScore := -1, 0.0
+	for _, f := range cands {
+		hards := m.hardCount(f)
+		if hards == 0 {
+			continue
+		}
+		inf, err := m.atk.Infer(f.observation())
+		if err != nil {
+			continue
+		}
+		matched, score := hards, 0.0
+		if len(inf.Hypotheses) > 0 {
+			matched, score = inf.Hypotheses[0].Matched, inf.Hypotheses[0].Score
+		}
+		if matched > bestMatched || (matched == bestMatched && score > bestScore) {
+			best, bestInf, bestMatched, bestScore = f, inf, matched, score
+		}
+	}
+	if best != nil {
+		return best, bestInf, nil
+	}
+	// No in-band evidence anywhere: attack the largest conversation.
+	for _, f := range cands {
+		if best == nil || f.totalBytes() > best.totalBytes() {
+			best = f
+		}
+	}
+	inf, err := m.atk.Infer(best.observation())
+	return best, inf, err
+}
+
+// hardCount returns the number of in-band (type-1/type-2) client records
+// on a flow. With a live event callback the running counter is already
+// maintained; otherwise — records were not classified during the feed to
+// keep the one-shot path cheap — the client records are classified here,
+// once, for the multi-candidate selection that needs them.
+func (m *Monitor) hardCount(f *monFlow) int {
+	if m.onEvent != nil {
+		return f.hards
+	}
+	n := 0
+	for _, r := range f.client.sc.Records() {
+		if r.Type != tlsrec.ContentApplicationData {
+			continue
+		}
+		if cls, _ := m.atk.Classifier.Classify(r.Length); cls == ClassType1 || cls == ClassType2 {
+			n++
+		}
+	}
+	return n
+}
+
+// totalBytes is the conversation's delivered byte count, both directions.
+func (f *monFlow) totalBytes() int64 {
+	return f.client.stream.Len() + f.server.stream.Len()
+}

@@ -1,0 +1,207 @@
+package attack
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/pcapio"
+	"repro/internal/profiles"
+	"repro/internal/session"
+)
+
+// capturedSession renders one session to pcap bytes.
+func capturedSession(t *testing.T, tr *session.Trace, seed uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := capture.WritePcap(&buf, tr, capture.Options{Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// feedMonitor drives a monitor with fixed-size chunks and closes it.
+func feedMonitor(t *testing.T, m *Monitor, data []byte, chunk int) *Inference {
+	t.Helper()
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := m.Feed(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inf, err := m.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inf
+}
+
+// TestMonitorMatchesInferPcap pins the wrapper contract inside the
+// package: a monitor fed in arbitrary chunks returns the exact Inference
+// the one-shot path produces (the root-level equivalence test extends
+// this to whole datasets and 1-byte feeds).
+func TestMonitorMatchesInferPcap(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	tr := runSession(t, 555, cond)
+	data := capturedSession(t, tr, 7)
+
+	want, err := atk.InferPcap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{997, 64 << 10, len(data)} {
+		got := feedMonitor(t, NewMonitor(atk, MonitorOptions{}), data, chunk)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk %d: monitor inference differs from InferPcap", chunk)
+		}
+	}
+}
+
+// TestMonitorFeedPacket drives the per-packet entry point and requires
+// the same result as the byte-chunk path.
+func TestMonitorFeedPacket(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	tr := runSession(t, 556, cond)
+	data := capturedSession(t, tr, 9)
+
+	want, err := atk.InferPcap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := pcapio.NewBytesReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(atk, MonitorOptions{})
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.FeedPacket(rec.Timestamp, rec.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("FeedPacket inference differs from InferPcap")
+	}
+}
+
+// TestMonitorEvents checks the live event stream: one FlowDetected, a
+// ChoiceInferred per in-band report, and a SessionFinalized carrying the
+// same inference Close returns.
+func TestMonitorEvents(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	tr := runSession(t, 557, cond)
+	data := capturedSession(t, tr, 11)
+
+	var detected []FlowDetected
+	var choices []ChoiceInferred
+	var finals []SessionFinalized
+	m := NewMonitor(atk, MonitorOptions{OnEvent: func(ev Event) {
+		switch e := ev.(type) {
+		case FlowDetected:
+			detected = append(detected, e)
+		case ChoiceInferred:
+			choices = append(choices, e)
+		case SessionFinalized:
+			finals = append(finals, e)
+		}
+	}})
+	inf := feedMonitor(t, m, data, 32<<10)
+
+	if len(detected) != 1 {
+		t.Fatalf("FlowDetected fired %d times, want 1", len(detected))
+	}
+	if detected[0].Flow.DstPort != 443 {
+		t.Errorf("detected flow %v is not client->server", detected[0].Flow)
+	}
+	hard := 0
+	for _, c := range inf.Classified {
+		if c.Class != ClassOther {
+			hard++
+		}
+	}
+	if len(choices) != hard {
+		t.Errorf("ChoiceInferred fired %d times, want one per in-band report (%d)", len(choices), hard)
+	}
+	for i := 1; i < len(choices); i++ {
+		if choices[i].At.Before(choices[i-1].At) {
+			t.Error("ChoiceInferred events out of capture order")
+		}
+	}
+	if len(finals) != 1 {
+		t.Fatalf("SessionFinalized fired %d times, want 1", len(finals))
+	}
+	if !reflect.DeepEqual(finals[0].Inference, inf) {
+		t.Error("SessionFinalized inference differs from Close result")
+	}
+	// The live engine's final running decisions should agree with the
+	// final inference for a clean wired capture.
+	if len(choices) > 0 {
+		last := choices[len(choices)-1]
+		if len(last.Decisions) > 0 && !reflect.DeepEqual(last.Decisions, inf.Decisions) {
+			t.Errorf("running decisions %v, final %v", last.Decisions, inf.Decisions)
+		}
+	}
+}
+
+// TestPrefixAlignerMatchesBatchScore proves the incremental column
+// recurrence reproduces the batch aligner bit-for-bit: after absorbing
+// every observation, each path's final column cell equals the raw
+// Needleman–Wunsch score of the full alignment.
+func TestPrefixAlignerMatchesBatchScore(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	tr := runSession(t, 558, cond)
+	obs := observationFromTrace(t, tr)
+	classified := ClassifyRecords(obs.ClientRecords, atk.Classifier)
+	table, err := PathTableFor(atk.Graph, atk.MaxChoices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anchor time.Time
+	if len(obs.ClientRecords) > 0 {
+		anchor = obs.ClientRecords[0].Time
+	}
+	events := observedEvents(classified, anchor)
+	if len(events) == 0 {
+		t.Fatal("no observations in session")
+	}
+
+	prm := DecodeParams{}.withDefaults()
+	pa := newPrefixAligner(table, prm)
+	for _, ev := range events {
+		pa.observe(ev)
+	}
+	maxM := 0
+	for i := range table.Paths {
+		if m := len(table.Paths[i].Events); m > maxM {
+			maxM = m
+		}
+	}
+	batch := newAligner(maxM, len(events))
+	for pi := range table.Paths {
+		want := batch.score(table.Paths[pi].Events, events, prm)
+		got := pa.cols[pi][len(table.Paths[pi].Events)]
+		if got != want {
+			t.Fatalf("path %d: incremental %v != batch %v", pi, got, want)
+		}
+	}
+}

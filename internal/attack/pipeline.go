@@ -9,7 +9,6 @@
 package attack
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -42,7 +41,24 @@ func ExtractPcap(r io.Reader) (*Observation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("attack: %w", err)
 	}
+	return extractFromReader(pr)
+}
+
+// ExtractPcapBytes is ExtractPcap over an in-memory capture; the capture
+// bytes are never copied (packets and reassembly sub-slice them).
+func ExtractPcapBytes(data []byte) (*Observation, error) {
+	pr, err := pcapio.NewBytesReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	return extractFromReader(pr)
+}
+
+func extractFromReader(pr *pcapio.Reader) (*Observation, error) {
 	asm := tcpreasm.NewAssembler()
+	// Record data sub-slices the reader's arena, which outlives the
+	// extraction; reassembly can own the payload slices outright.
+	asm.SetStablePayloads(true)
 	for {
 		rec, err := pr.Next()
 		if err == io.EOF {
@@ -58,11 +74,6 @@ func ExtractPcap(r io.Reader) (*Observation, error) {
 		asm.Feed(p)
 	}
 	return extractFromAssembler(asm)
-}
-
-// ExtractPcapBytes is ExtractPcap over an in-memory capture.
-func ExtractPcapBytes(data []byte) (*Observation, error) {
-	return ExtractPcap(bytes.NewReader(data))
 }
 
 func extractFromAssembler(asm *tcpreasm.Assembler) (*Observation, error) {

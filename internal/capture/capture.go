@@ -1,10 +1,15 @@
-// Package capture materializes a simulated session trace as a genuine
-// libpcap file: each direction's TLS byte stream is cut into MTU-bounded
-// TCP segments, wrapped in IPv4/Ethernet frames with a proper three-way
+// Package capture materializes simulated traffic as a genuine libpcap
+// file: each direction's TLS byte stream is cut into MTU-bounded TCP
+// segments, wrapped in IPv4/Ethernet frames with a proper three-way
 // handshake and FIN exchange, timestamped from the trace's write schedule,
 // and interleaved in time order. The resulting file is indistinguishable
 // in structure from a tcpdump capture of the same conversation, which is
 // what the attack pipeline consumes.
+//
+// WritePcap renders one session's conversation. WritePcapMulti renders
+// the interleaved scenario: the interactive session plus N seeded
+// bulk-streaming noise flows sharing the capture, which is what an
+// on-path eavesdropper actually sees on a household link.
 package capture
 
 import (
@@ -14,9 +19,12 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cdn"
 	"repro/internal/layers"
+	"repro/internal/netem"
 	"repro/internal/pcapio"
 	"repro/internal/session"
+	"repro/internal/tlsrec"
 	"repro/internal/wire"
 )
 
@@ -42,6 +50,19 @@ func DefaultEndpoints() Endpoints {
 	}
 }
 
+// noiseEndpoints derives distinct addresses for the i-th noise flow: the
+// same household client reaching other CDN edges from other ephemeral
+// ports.
+func noiseEndpoints(i int) Endpoints {
+	ep := DefaultEndpoints()
+	ep.ClientPort = 52000 + uint16(i)
+	a := ep.ServerAddr.As4()
+	a[3] += byte(10 + i)
+	ep.ServerAddr = netip.AddrFrom4(a)
+	ep.ServerMAC[5] += byte(10 + i)
+	return ep
+}
+
 // Options tunes the synthesis.
 type Options struct {
 	Endpoints Endpoints
@@ -50,6 +71,15 @@ type Options struct {
 	// Seed drives small segmentation jitter (segments occasionally carry
 	// less than a full MSS, as real stacks emit on flush boundaries).
 	Seed uint64
+}
+
+// MultiOptions tunes WritePcapMulti.
+type MultiOptions struct {
+	// Options applies to the interactive session's conversation.
+	Options
+	// NoiseFlows is the number of concurrent bulk-streaming flows mixed
+	// into the capture.
+	NoiseFlows int
 }
 
 // frame is one synthesized packet awaiting interleave. Frame bytes live
@@ -62,100 +92,38 @@ type frame struct {
 	seqKey int
 }
 
-// WritePcap renders tr as a pcap stream into w.
-func WritePcap(w io.Writer, tr *session.Trace, opts Options) error {
-	if opts.MTU == 0 {
-		opts.MTU = tr.Profile.MTU
-	}
-	if opts.MTU < 576 {
-		return fmt.Errorf("capture: MTU %d too small", opts.MTU)
-	}
-	var zero Endpoints
-	if opts.Endpoints == zero {
-		opts.Endpoints = DefaultEndpoints()
-	}
-	ep := opts.Endpoints
-	mss := opts.MTU - 40 // IPv4 + TCP headers
-	rng := wire.NewRNG(opts.Seed + 0x9e37)
+// muxer accumulates every conversation's frames in one arena before the
+// final time interleave.
+type muxer struct {
+	arena  *wire.Writer
+	frames []frame
+	ipID   uint16
+}
 
-	c2s := layers.FlowKey{SrcAddr: ep.ClientAddr, DstAddr: ep.ServerAddr,
-		SrcPort: ep.ClientPort, DstPort: ep.ServerPort}
-	s2c := c2s.Reverse()
-	cEth := layers.Ethernet{Src: ep.ClientMAC, Dst: ep.ServerMAC}
-	sEth := layers.Ethernet{Src: ep.ServerMAC, Dst: ep.ClientMAC}
+// add serializes one frame into the arena.
+func (m *muxer) add(ts time.Time, key layers.FlowKey, eth layers.Ethernet,
+	tcp layers.TCP, payload []byte) error {
+	start := m.arena.Len()
+	if err := layers.AppendTCPFrame(m.arena, key, eth, tcp, payload, m.ipID); err != nil {
+		return err
+	}
+	m.ipID++
+	m.frames = append(m.frames, frame{ts: ts, start: start, end: m.arena.Len(), seqKey: len(m.frames)})
+	return nil
+}
 
-	// Size the arena and frame list from the streams: one frame per MSS of
-	// payload plus the handshake/FIN scaffolding, ~54 bytes of headers each.
-	streamBytes := len(tr.ClientToServer.Bytes) + len(tr.ServerToClient.Bytes)
-	frameEstimate := streamBytes/mss + len(tr.ClientToServer.Writes) +
-		len(tr.ServerToClient.Writes) + 8
-	arena := wire.GetWriter(streamBytes + 64*frameEstimate)
-	defer wire.PutWriter(arena)
-	frames := make([]frame, 0, frameEstimate)
-	var ipID uint16 = 1
-	addFrame := func(ts time.Time, key layers.FlowKey, eth layers.Ethernet,
-		tcp layers.TCP, payload []byte) error {
-		start := arena.Len()
-		if err := layers.AppendTCPFrame(arena, key, eth, tcp, payload, ipID); err != nil {
-			return err
+// writeTo interleaves all frames by timestamp (stable on insertion order
+// within a tie) and emits the pcap file.
+func (m *muxer) writeTo(w io.Writer) error {
+	sort.SliceStable(m.frames, func(i, j int) bool {
+		if m.frames[i].ts.Equal(m.frames[j].ts) {
+			return m.frames[i].seqKey < m.frames[j].seqKey
 		}
-		ipID++
-		frames = append(frames, frame{ts: ts, start: start, end: arena.Len(), seqKey: len(frames)})
-		return nil
-	}
-
-	start := handshakeStart(tr)
-	cISN, sISN := uint32(rng.Uint64()), uint32(rng.Uint64())
-
-	// Three-way handshake slightly before the first TLS byte.
-	hs := start.Add(-30 * time.Millisecond)
-	if err := addFrame(hs, c2s, cEth,
-		layers.TCP{Seq: cISN, Flags: layers.TCPSyn, Window: 64240}, nil); err != nil {
-		return err
-	}
-	if err := addFrame(hs.Add(10*time.Millisecond), s2c, sEth,
-		layers.TCP{Seq: sISN, Ack: cISN + 1, Flags: layers.TCPSyn | layers.TCPAck, Window: 65160}, nil); err != nil {
-		return err
-	}
-	if err := addFrame(hs.Add(20*time.Millisecond), c2s, cEth,
-		layers.TCP{Seq: cISN + 1, Ack: sISN + 1, Flags: layers.TCPAck, Window: 64240}, nil); err != nil {
-		return err
-	}
-
-	// Data segments for each direction.
-	cEnd, err := segmentDirection(addFrame, tr.ClientToServer, c2s, cEth,
-		cISN+1, sISN+1, mss, rng)
-	if err != nil {
-		return err
-	}
-	sEnd, err := segmentDirection(addFrame, tr.ServerToClient, s2c, sEth,
-		sISN+1, cISN+1, mss, rng)
-	if err != nil {
-		return err
-	}
-
-	// FIN exchange after the last data in either direction.
-	finAt := tr.Result.EndedAt.Add(50 * time.Millisecond)
-	if err := addFrame(finAt, c2s, cEth,
-		layers.TCP{Seq: cEnd, Ack: sEnd, Flags: layers.TCPFin | layers.TCPAck, Window: 64240}, nil); err != nil {
-		return err
-	}
-	if err := addFrame(finAt.Add(12*time.Millisecond), s2c, sEth,
-		layers.TCP{Seq: sEnd, Ack: cEnd + 1, Flags: layers.TCPFin | layers.TCPAck, Window: 65160}, nil); err != nil {
-		return err
-	}
-
-	// Interleave by timestamp (stable on insertion order within a tie).
-	sort.SliceStable(frames, func(i, j int) bool {
-		if frames[i].ts.Equal(frames[j].ts) {
-			return frames[i].seqKey < frames[j].seqKey
-		}
-		return frames[i].ts.Before(frames[j].ts)
+		return m.frames[i].ts.Before(m.frames[j].ts)
 	})
-
 	pw := pcapio.NewWriter(w)
-	raw := arena.Bytes()
-	for _, f := range frames {
+	raw := m.arena.Bytes()
+	for _, f := range m.frames {
 		if err := pw.WritePacket(f.ts, raw[f.start:f.end]); err != nil {
 			return err
 		}
@@ -163,15 +131,200 @@ func WritePcap(w io.Writer, tr *session.Trace, opts Options) error {
 	return nil
 }
 
-// addFrameFunc matches the addFrame closure's signature.
-type addFrameFunc func(ts time.Time, key layers.FlowKey, eth layers.Ethernet,
-	tcp layers.TCP, payload []byte) error
+// addConversation synthesizes one full TCP conversation — handshake, both
+// directions' data segments, FIN exchange — into the muxer. finAt is when
+// the FIN exchange starts.
+func (m *muxer) addConversation(cl, sv session.DirStream, ep Endpoints,
+	mtu int, finAt time.Time, rng *wire.RNG) error {
+	if mtu < 576 {
+		return fmt.Errorf("capture: MTU %d too small", mtu)
+	}
+	mss := mtu - 40 // IPv4 + TCP headers
+
+	c2s := layers.FlowKey{SrcAddr: ep.ClientAddr, DstAddr: ep.ServerAddr,
+		SrcPort: ep.ClientPort, DstPort: ep.ServerPort}
+	s2c := c2s.Reverse()
+	cEth := layers.Ethernet{Src: ep.ClientMAC, Dst: ep.ServerMAC}
+	sEth := layers.Ethernet{Src: ep.ServerMAC, Dst: ep.ClientMAC}
+
+	start := streamStart(cl)
+	cISN, sISN := uint32(rng.Uint64()), uint32(rng.Uint64())
+
+	// Three-way handshake slightly before the first TLS byte.
+	hs := start.Add(-30 * time.Millisecond)
+	if err := m.add(hs, c2s, cEth,
+		layers.TCP{Seq: cISN, Flags: layers.TCPSyn, Window: 64240}, nil); err != nil {
+		return err
+	}
+	if err := m.add(hs.Add(10*time.Millisecond), s2c, sEth,
+		layers.TCP{Seq: sISN, Ack: cISN + 1, Flags: layers.TCPSyn | layers.TCPAck, Window: 65160}, nil); err != nil {
+		return err
+	}
+	if err := m.add(hs.Add(20*time.Millisecond), c2s, cEth,
+		layers.TCP{Seq: cISN + 1, Ack: sISN + 1, Flags: layers.TCPAck, Window: 64240}, nil); err != nil {
+		return err
+	}
+
+	// Data segments for each direction.
+	cEnd, err := m.segmentDirection(cl, c2s, cEth, cISN+1, sISN+1, mss, rng)
+	if err != nil {
+		return err
+	}
+	sEnd, err := m.segmentDirection(sv, s2c, sEth, sISN+1, cISN+1, mss, rng)
+	if err != nil {
+		return err
+	}
+
+	// FIN exchange after the last data in either direction.
+	fin := finAt.Add(50 * time.Millisecond)
+	if err := m.add(fin, c2s, cEth,
+		layers.TCP{Seq: cEnd, Ack: sEnd, Flags: layers.TCPFin | layers.TCPAck, Window: 64240}, nil); err != nil {
+		return err
+	}
+	return m.add(fin.Add(12*time.Millisecond), s2c, sEth,
+		layers.TCP{Seq: sEnd, Ack: cEnd + 1, Flags: layers.TCPFin | layers.TCPAck, Window: 65160}, nil)
+}
+
+// withDefaults resolves the zero values against a trace.
+func (o Options) withDefaults(tr *session.Trace) Options {
+	if o.MTU == 0 {
+		o.MTU = tr.Profile.MTU
+	}
+	if o.MTU == 0 {
+		o.MTU = 1500
+	}
+	var zero Endpoints
+	if o.Endpoints == zero {
+		o.Endpoints = DefaultEndpoints()
+	}
+	return o
+}
+
+// arenaFor sizes the shared frame arena for the given stream volume.
+func arenaFor(streamBytes, writes int) (*wire.Writer, int) {
+	frameEstimate := streamBytes/1400 + writes + 16
+	return wire.GetWriter(streamBytes + 64*frameEstimate), frameEstimate
+}
+
+// WritePcap renders tr as a pcap stream into w.
+func WritePcap(w io.Writer, tr *session.Trace, opts Options) error {
+	opts = opts.withDefaults(tr)
+	streamBytes := len(tr.ClientToServer.Bytes) + len(tr.ServerToClient.Bytes)
+	arena, frameEstimate := arenaFor(streamBytes,
+		len(tr.ClientToServer.Writes)+len(tr.ServerToClient.Writes))
+	defer wire.PutWriter(arena)
+	m := &muxer{arena: arena, frames: make([]frame, 0, frameEstimate), ipID: 1}
+	rng := wire.NewRNG(opts.Seed + 0x9e37)
+	if err := m.addConversation(tr.ClientToServer, tr.ServerToClient,
+		opts.Endpoints, opts.MTU, tr.Result.EndedAt, rng); err != nil {
+		return err
+	}
+	return m.writeTo(w)
+}
+
+// WritePcapMulti renders the interleaved scenario: tr's conversation plus
+// opts.NoiseFlows concurrent bulk-streaming flows spanning the same
+// capture window, all interleaved in time order. Noise flows are seeded
+// off opts.Seed, so equal options reproduce byte-identical captures.
+func WritePcapMulti(w io.Writer, tr *session.Trace, opts MultiOptions) error {
+	opts.Options = opts.Options.withDefaults(tr)
+	start := streamStart(tr.ClientToServer)
+	end := tr.Result.EndedAt
+
+	// Synthesize the noise flows first so the arena can be sized for the
+	// whole capture.
+	noise := make([]noiseFlow, opts.NoiseFlows)
+	streamBytes := len(tr.ClientToServer.Bytes) + len(tr.ServerToClient.Bytes)
+	writes := len(tr.ClientToServer.Writes) + len(tr.ServerToClient.Writes)
+	for i := range noise {
+		noise[i] = synthNoiseFlow(opts.Seed^uint64(0xbeef+i*7919), start, end)
+		streamBytes += len(noise[i].client.Bytes) + len(noise[i].server.Bytes)
+		writes += len(noise[i].client.Writes) + len(noise[i].server.Writes)
+	}
+
+	arena, frameEstimate := arenaFor(streamBytes, writes)
+	defer wire.PutWriter(arena)
+	m := &muxer{arena: arena, frames: make([]frame, 0, frameEstimate), ipID: 1}
+	rng := wire.NewRNG(opts.Seed + 0x9e37)
+	if err := m.addConversation(tr.ClientToServer, tr.ServerToClient,
+		opts.Endpoints, opts.MTU, end, rng); err != nil {
+		return err
+	}
+	for i := range noise {
+		if err := m.addConversation(noise[i].client, noise[i].server,
+			noiseEndpoints(i), opts.MTU, noise[i].endedAt, rng.Fork(uint64(i+1))); err != nil {
+			return err
+		}
+	}
+	return m.writeTo(w)
+}
+
+// noiseFlow is one synthesized background conversation.
+type noiseFlow struct {
+	client, server session.DirStream
+	endedAt        time.Time
+}
+
+// synthNoiseFlow builds a bulk-streaming background flow covering
+// [start, end]: a TLS handshake, then a request/response loop of small
+// client messages answered by multi-hundred-kilobyte media responses
+// paced by an emulated wired path — the traffic shape of a second
+// (non-interactive) stream sharing the household link. Client requests
+// occasionally fall inside a report-length band by accident, so finding
+// the interactive flow takes more than spotting any in-band record.
+func synthNoiseFlow(seed uint64, start, end time.Time) noiseFlow {
+	rng := wire.NewRNG(seed)
+	suite := tlsrec.SuiteAESGCM128TLS12
+	cEnc := tlsrec.NewEncryptor(suite, tlsrec.DefaultSplitter, tlsrec.VersionTLS12, rng.Fork(1))
+	sEnc := tlsrec.NewEncryptor(suite, tlsrec.DefaultSplitter, tlsrec.VersionTLS12, nil)
+	path := netem.NewPath(netem.Profile(netem.MediumWired, netem.TrafficMorning), rng.Fork(2))
+
+	var f noiseFlow
+	cBuf := wire.NewWriter(64 << 10)
+	sBuf := wire.NewWriter(4 << 20)
+
+	// The flow opens within the first seconds of the capture window.
+	t := start.Add(time.Duration(rng.IntRange(200, 4000)) * time.Millisecond)
+	f.client.Writes = append(f.client.Writes, session.WriteMark{Offset: 0, Time: t})
+	cEnc.HandshakeTranscript(cBuf, t, rng.IntRange(280, 560))
+	st := t.Add(path.RTT() / 2)
+	f.server.Writes = append(f.server.Writes, session.WriteMark{Offset: 0, Time: st})
+	sEnc.HandshakeTranscript(sBuf, st, 3700)
+
+	for t.Before(end) {
+		// Client request. Mostly ordinary sizes; occasionally one that
+		// lands near the report bands (session tokens, beacons).
+		req := rng.IntRange(180, 1400)
+		if rng.Bool(0.08) {
+			req = rng.IntRange(2000, 3300)
+		}
+		f.client.Writes = append(f.client.Writes,
+			session.WriteMark{Offset: int64(cBuf.Len()), Time: t})
+		cEnc.WriteApplicationData(cBuf, t, req)
+
+		// Server response: a media-sized chunk behind HTTP framing (sized
+		// on the simulator's schematic media scale, so a noise flow's
+		// volume is comparable to the interactive session's).
+		respAt := path.Transfer(t, req+60)
+		resp := rng.IntRange(30_000, 120_000) + cdn.ResponseOverhead
+		f.server.Writes = append(f.server.Writes,
+			session.WriteMark{Offset: int64(sBuf.Len()), Time: respAt})
+		sEnc.WriteApplicationData(sBuf, respAt, resp)
+		done := path.Transfer(respAt, resp)
+
+		// Next request after the player drains some buffer.
+		t = done.Add(time.Duration(rng.IntRange(3000, 9000)) * time.Millisecond)
+	}
+	f.client.Bytes = cBuf.CopyBytes()
+	f.server.Bytes = sBuf.CopyBytes()
+	f.endedAt = t
+	return f
+}
 
 // segmentDirection cuts one direction's byte stream into MSS-bounded
 // segments timestamped from the write schedule. Returns the next sequence
 // number after the stream.
-func segmentDirection(add addFrameFunc,
-	d session.DirStream, key layers.FlowKey, eth layers.Ethernet,
+func (m *muxer) segmentDirection(d session.DirStream, key layers.FlowKey, eth layers.Ethernet,
 	isn, peerSeq uint32, mss int, rng *wire.RNG) (uint32, error) {
 	stream := d.Bytes
 	off := 0
@@ -200,7 +353,7 @@ func segmentDirection(add addFrameFunc,
 		if nextOff, ok := nextMark(d, int64(off)); !ok || nextOff == int64(off+n) {
 			flags |= layers.TCPPsh
 		}
-		if err := add(ts, key, eth, layers.TCP{
+		if err := m.add(ts, key, eth, layers.TCP{
 			Seq: seq, Ack: peerSeq, Flags: flags, Window: 64240,
 		}, payload); err != nil {
 			return 0, err
@@ -228,10 +381,10 @@ func nextMark(d session.DirStream, off int64) (int64, bool) {
 	return d.Writes[lo].Offset, true
 }
 
-// handshakeStart returns the trace's earliest write time.
-func handshakeStart(tr *session.Trace) time.Time {
-	if len(tr.ClientToServer.Writes) > 0 {
-		return tr.ClientToServer.Writes[0].Time
+// streamStart returns a direction's earliest write time.
+func streamStart(d session.DirStream) time.Time {
+	if len(d.Writes) > 0 {
+		return d.Writes[0].Time
 	}
 	return time.Unix(0, 0)
 }

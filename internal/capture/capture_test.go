@@ -207,3 +207,59 @@ func TestDeterministicCapture(t *testing.T) {
 		t.Error("captures differ across identical seeds")
 	}
 }
+
+// TestWritePcapMultiInterleavesFlows renders the interleaved scenario and
+// checks every conversation — the interactive one plus each noise flow —
+// survives the round trip as a complete, TLS-parsable TCP conversation,
+// with the interactive client stream byte-intact among the noise.
+func TestWritePcapMultiInterleavesFlows(t *testing.T) {
+	tr, _ := captureTrace(t, 3)
+	const noise = 3
+	var buf bytes.Buffer
+	if err := WritePcapMulti(&buf, tr, MultiOptions{
+		Options: Options{Seed: 3}, NoiseFlows: noise,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	asm := reassemble(t, buf.Bytes())
+	convs := asm.Conversations()
+	if len(convs) != noise+1 {
+		t.Fatalf("conversations = %d, want %d", len(convs), noise+1)
+	}
+	ep := DefaultEndpoints()
+	foundInteractive := false
+	for _, c := range convs {
+		if c.ClientToServer == nil || c.ServerToClient == nil {
+			t.Fatal("conversation not fully captured")
+		}
+		if _, _, err := tlsrec.ParseStream(c.ClientToServer.Bytes(), nil); err != nil {
+			t.Fatalf("client stream of %v not TLS: %v", c.ClientToServer.Key, err)
+		}
+		if c.ClientToServer.Key.SrcPort == ep.ClientPort {
+			foundInteractive = true
+			if !bytes.Equal(c.ClientToServer.Bytes(), tr.ClientToServer.Bytes) {
+				t.Error("interactive client stream corrupted by interleaving")
+			}
+		}
+	}
+	if !foundInteractive {
+		t.Fatal("interactive conversation missing from multi-flow capture")
+	}
+}
+
+// TestWritePcapMultiDeterministic pins seeded reproducibility.
+func TestWritePcapMultiDeterministic(t *testing.T) {
+	tr, _ := captureTrace(t, 4)
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := WritePcapMulti(&buf, tr, MultiOptions{
+			Options: Options{Seed: 9}, NoiseFlows: 2,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Error("WritePcapMulti not deterministic for equal options")
+	}
+}

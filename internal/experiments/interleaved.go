@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/capture"
+	"repro/internal/parallel"
+	"repro/internal/profiles"
+	"repro/internal/script"
+	"repro/internal/session"
+	"repro/internal/stats"
+	"repro/internal/viewer"
+	"repro/internal/wire"
+)
+
+// InterleavedPoint aggregates one noise level.
+type InterleavedPoint struct {
+	// NoiseFlows is the number of concurrent bulk-streaming flows mixed
+	// into each capture.
+	NoiseFlows int
+	// Sessions is the number of attacked captures at this level.
+	Sessions int
+	// Detected counts captures where the monitor finalized on the
+	// interactive flow rather than a noise flow.
+	Detected int
+	// DetectionRate is Detected / Sessions.
+	DetectionRate float64
+	// MeanAccuracy is the mean per-choice recovery over the captures
+	// where detection succeeded (0 when none did).
+	MeanAccuracy float64
+	// MeanMargin is the mean decode margin over detected captures.
+	MeanMargin float64
+}
+
+// InterleavedResult is the multi-flow scenario summary: how well the
+// streaming monitor finds and decodes the interactive session when the
+// capture interleaves it with background streaming noise.
+type InterleavedResult struct {
+	Points []InterleavedPoint
+	Report string
+}
+
+// Interleaved runs the interleaved-capture experiment: for each noise
+// level, render sessions with WritePcapMulti, feed each capture to an
+// attack.Monitor in chunks (exercising the streaming path end to end),
+// and score whether the monitor attacked the interactive flow and how
+// many choices it recovered. The attacker trains once under
+// ConditionUbuntu; units fan out across the worker pool deterministically.
+func Interleaved(sessions int, noiseCounts []int, seed uint64) (*InterleavedResult, error) {
+	if sessions <= 0 {
+		sessions = 5
+	}
+	if len(noiseCounts) == 0 {
+		noiseCounts = []int{0, 1, 2, 4}
+	}
+	g := script.Bandersnatch()
+	enc := sharedEncoding(g, seed)
+	cond := profiles.Fig2Ubuntu
+	root := wire.NewRNG(seed)
+
+	training, err := profileSessions(g, enc, cond, 3, 10,
+		func(t int) (viewer.Viewer, uint64) {
+			return viewer.SamplePopulation(1, root.Stream(uint64(t+1)))[0],
+				seed + uint64(t)*131
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	atk, err := attack.NewAttacker(training, g, script.BandersnatchMaxChoices)
+	if err != nil {
+		return nil, err
+	}
+
+	// Simulate the test sessions once (full-fidelity: the server payload
+	// must be materialized for pcap rendering) and attack each under every
+	// noise level, so levels differ only in the interleaved noise.
+	pop := viewer.SamplePopulation(sessions, root.Stream(77))
+	traces, err := parallel.MapN(0, sessions, func(s int) (*session.Trace, error) {
+		return runOne(g, enc, pop[s], cond, seed+uint64(4000+s*59),
+			func(cfg *session.Config) { cfg.OmitServerPayload = false })
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type unit struct {
+		detected       bool
+		correct, total int
+		margin         float64
+	}
+	units, err := parallel.MapN(0, len(noiseCounts)*sessions, func(i int) (unit, error) {
+		ni, si := i/sessions, i%sessions
+		tr := traces[si]
+		var buf bytes.Buffer
+		if err := capture.WritePcapMulti(&buf, tr, capture.MultiOptions{
+			Options:    capture.Options{Seed: seed + uint64(i)*13},
+			NoiseFlows: noiseCounts[ni],
+		}); err != nil {
+			return unit{}, err
+		}
+
+		var finalized *attack.SessionFinalized
+		m := attack.NewMonitor(atk, attack.MonitorOptions{OnEvent: func(ev attack.Event) {
+			if f, ok := ev.(attack.SessionFinalized); ok {
+				finalized = &f
+			}
+		}})
+		data := buf.Bytes()
+		const chunk = 256 << 10
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := m.Feed(data[off:end]); err != nil {
+				return unit{}, err
+			}
+		}
+		inf, err := m.Close()
+		if err != nil {
+			return unit{}, err
+		}
+		ep := capture.DefaultEndpoints()
+		u := unit{margin: inf.DecodeMargin}
+		u.detected = finalized != nil &&
+			finalized.Flow.SrcAddr == ep.ClientAddr && finalized.Flow.SrcPort == ep.ClientPort
+		u.correct, u.total = attack.ScoreDecisions(inf.Decisions, tr.GroundTruthDecisions())
+		return u, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &InterleavedResult{}
+	for ni, n := range noiseCounts {
+		p := InterleavedPoint{NoiseFlows: n, Sessions: sessions}
+		var accs, margins []float64
+		for si := 0; si < sessions; si++ {
+			u := units[ni*sessions+si]
+			if !u.detected {
+				continue
+			}
+			p.Detected++
+			if u.total > 0 {
+				accs = append(accs, float64(u.correct)/float64(u.total))
+			}
+			margins = append(margins, u.margin)
+		}
+		p.DetectionRate = float64(p.Detected) / float64(sessions)
+		p.MeanAccuracy = stats.Mean(accs)
+		p.MeanMargin = stats.Mean(margins)
+		res.Points = append(res.Points, p)
+	}
+	res.Report = renderInterleaved(res)
+	return res, nil
+}
+
+func renderInterleaved(res *InterleavedResult) string {
+	var b strings.Builder
+	b.WriteString("Interleaved captures: finding the interactive session among noise flows\n")
+	b.WriteString("(streaming attack.Monitor fed in 256 KiB chunks per capture)\n")
+	rows := [][]string{}
+	for _, p := range res.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.NoiseFlows),
+			fmt.Sprintf("%d/%d", p.Detected, p.Sessions),
+			fmt.Sprintf("%.0f%%", 100*p.DetectionRate),
+			fmt.Sprintf("%.1f%%", 100*p.MeanAccuracy),
+			fmt.Sprintf("%.3f", p.MeanMargin),
+		})
+	}
+	b.WriteString(stats.RenderTable(
+		[]string{"noise flows", "detected", "detection", "choice accuracy", "margin"}, rows))
+	return b.String()
+}

@@ -8,6 +8,13 @@
 // (microsecond magic 0xa1b2c3d4 and nanosecond magic 0xa1b23c4d) are
 // supported on read; writes use the host-independent big-endian
 // microsecond form by default.
+//
+// Reading is zero-copy: a Reader holds the whole capture in one arena
+// buffer and every Record's Data sub-slices it, so a multi-megabyte
+// capture costs one buffer (or none at all via NewBytesReader) instead of
+// one allocation per packet. ChunkReader is the incremental form for live
+// feeds: pcap bytes arrive in chunks of any size and complete records pop
+// out as soon as their last byte is in.
 package pcapio
 
 import (
@@ -46,7 +53,9 @@ type Record struct {
 	// OrigLen is the frame's length on the wire; Data may be shorter if
 	// the capture used a snap length.
 	OrigLen int
-	Data    []byte
+	// Data sub-slices the reader's arena buffer: it stays valid for the
+	// reader's lifetime but must be copied if it should outlive it.
+	Data []byte
 }
 
 // Writer emits a pcap file to an io.Writer.
@@ -137,39 +146,85 @@ func (w *Writer) WritePacket(ts time.Time, frame []byte) error {
 	return nil
 }
 
-// Reader parses a pcap file from an io.Reader.
-type Reader struct {
-	r        io.Reader
+// fileHeader is the decoded global header shared by both reader forms.
+type fileHeader struct {
 	order    binary.ByteOrder
 	nanos    bool
 	linkType uint32
 	snapLen  uint32
 }
 
-// NewReader parses the global header and returns a Reader positioned at
-// the first record.
-func NewReader(r io.Reader) (*Reader, error) {
-	var hdr [fileHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: file header: %v", ErrTruncated, err)
-	}
-	pr := &Reader{r: r}
+// parseFileHeader decodes the 24-byte global header.
+func parseFileHeader(hdr []byte) (fileHeader, error) {
+	var fh fileHeader
 	magic := binary.BigEndian.Uint32(hdr[0:])
 	switch magic {
 	case magicMicros:
-		pr.order = binary.BigEndian
+		fh.order = binary.BigEndian
 	case magicNanos:
-		pr.order, pr.nanos = binary.BigEndian, true
+		fh.order, fh.nanos = binary.BigEndian, true
 	case magicMicrosSwapped:
-		pr.order = binary.LittleEndian
+		fh.order = binary.LittleEndian
 	case magicNanosSwapped:
-		pr.order, pr.nanos = binary.LittleEndian, true
+		fh.order, fh.nanos = binary.LittleEndian, true
 	default:
-		return nil, fmt.Errorf("%w: %#08x", ErrBadMagic, magic)
+		return fh, fmt.Errorf("%w: %#08x", ErrBadMagic, magic)
 	}
-	pr.snapLen = pr.order.Uint32(hdr[16:])
-	pr.linkType = pr.order.Uint32(hdr[20:])
-	return pr, nil
+	fh.snapLen = fh.order.Uint32(hdr[16:])
+	fh.linkType = fh.order.Uint32(hdr[20:])
+	return fh, nil
+}
+
+// recordTime decodes a record header's timestamp fields.
+func (fh fileHeader) recordTime(hdr []byte) time.Time {
+	sec := fh.order.Uint32(hdr[0:])
+	sub := fh.order.Uint32(hdr[4:])
+	if fh.nanos {
+		return time.Unix(int64(sec), int64(sub))
+	}
+	return time.Unix(int64(sec), int64(sub)*1000)
+}
+
+// checkCapLen guards against nonsense lengths from corrupt files before
+// slicing. (+64 tolerates writers that set snaplen loosely.)
+func (fh fileHeader) checkCapLen(capLen uint32) error {
+	if fh.snapLen > 0 && capLen > fh.snapLen+64 {
+		return fmt.Errorf("pcapio: record capture length %d exceeds snap length %d",
+			capLen, fh.snapLen)
+	}
+	return nil
+}
+
+// Reader parses a pcap capture held entirely in memory: the input is read
+// into one arena up front and Next sub-slices it per record, so iterating
+// a capture performs no per-packet allocation.
+type Reader struct {
+	fileHeader
+	buf []byte
+	off int
+}
+
+// NewReader drains r into the arena, parses the global header and returns
+// a Reader positioned at the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("pcapio: reading capture: %w", err)
+	}
+	return NewBytesReader(buf)
+}
+
+// NewBytesReader parses an in-memory capture without copying it: records
+// sub-slice data directly.
+func NewBytesReader(data []byte) (*Reader, error) {
+	if len(data) < fileHeaderLen {
+		return nil, fmt.Errorf("%w: file header: unexpected EOF", ErrTruncated)
+	}
+	fh, err := parseFileHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{fileHeader: fh, buf: data, off: fileHeaderLen}, nil
 }
 
 // LinkType returns the capture's link-layer type.
@@ -181,36 +236,30 @@ func (r *Reader) SnapLen() uint32 { return r.snapLen }
 // Next returns the next record, or io.EOF at a clean end of file.
 // A record header that promises more bytes than the file contains yields
 // ErrTruncated, so partially written captures are detected rather than
-// silently shortened.
+// silently shortened. The record's Data sub-slices the reader's arena.
 func (r *Reader) Next() (Record, error) {
-	var hdr [recordHeaderLen]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return Record{}, io.EOF
-		}
-		return Record{}, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+	if r.off == len(r.buf) {
+		return Record{}, io.EOF
 	}
-	sec := r.order.Uint32(hdr[0:])
-	sub := r.order.Uint32(hdr[4:])
+	if len(r.buf)-r.off < recordHeaderLen {
+		return Record{}, fmt.Errorf("%w: record header: unexpected EOF", ErrTruncated)
+	}
+	hdr := r.buf[r.off:]
 	capLen := r.order.Uint32(hdr[8:])
 	origLen := r.order.Uint32(hdr[12:])
-	if r.snapLen > 0 && capLen > r.snapLen+64 {
-		// Guard against nonsense lengths from corrupt files before
-		// allocating. (+64 tolerates writers that set snaplen loosely.)
-		return Record{}, fmt.Errorf("pcapio: record capture length %d exceeds snap length %d",
-			capLen, r.snapLen)
+	if err := r.checkCapLen(capLen); err != nil {
+		return Record{}, err
 	}
-	data := make([]byte, capLen)
-	if _, err := io.ReadFull(r.r, data); err != nil {
-		return Record{}, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
+	if len(r.buf)-r.off-recordHeaderLen < int(capLen) {
+		return Record{}, fmt.Errorf("%w: record body: unexpected EOF", ErrTruncated)
 	}
-	var ts time.Time
-	if r.nanos {
-		ts = time.Unix(int64(sec), int64(sub))
-	} else {
-		ts = time.Unix(int64(sec), int64(sub)*1000)
-	}
-	return Record{Timestamp: ts, OrigLen: int(origLen), Data: data}, nil
+	start := r.off + recordHeaderLen
+	r.off = start + int(capLen)
+	return Record{
+		Timestamp: r.recordTime(hdr),
+		OrigLen:   int(origLen),
+		Data:      r.buf[start:r.off:r.off],
+	}, nil
 }
 
 // ReadAll drains the reader into a slice. It returns records read so far
@@ -226,5 +275,131 @@ func (r *Reader) ReadAll() ([]Record, error) {
 			return recs, err
 		}
 		recs = append(recs, rec)
+	}
+}
+
+// ChunkReader is the incremental reader for live feeds: pcap bytes are
+// appended in chunks of any size — down to a single byte — and Next
+// returns each record as soon as its last byte has arrived. Returned
+// records sub-slice the reader's internal buffer; the buffer is never
+// compacted in place, so outstanding Data slices stay valid for the
+// reader's lifetime.
+type ChunkReader struct {
+	fileHeader
+	headerDone bool
+	buf        []byte
+	off        int
+	err        error
+}
+
+// NewChunkReader returns an empty incremental reader awaiting the global
+// file header.
+func NewChunkReader() *ChunkReader { return &ChunkReader{} }
+
+// Feed appends capture bytes (copying them — the caller may reuse its
+// buffer). Safe to call with any chunking, including mid-header and
+// mid-record splits.
+func (c *ChunkReader) Feed(data []byte) {
+	if c.err != nil {
+		return
+	}
+	// Retire the consumed prefix by moving the live tail to a fresh
+	// buffer (never in place: outstanding Data sub-slices must survive).
+	if c.off >= 4096 && c.off >= len(c.buf)-c.off {
+		fresh := make([]byte, len(c.buf)-c.off, len(c.buf)-c.off+len(data)+4096)
+		copy(fresh, c.buf[c.off:])
+		c.buf, c.off = fresh, 0
+	}
+	c.buf = append(c.buf, data...)
+}
+
+// FeedOwned transfers ownership of data to the reader: when nothing is
+// buffered the slice is adopted directly with no copy — the whole-capture
+// fast path the one-shot wrapper uses — and otherwise it falls back to
+// Feed. The caller must not mutate data afterwards.
+func (c *ChunkReader) FeedOwned(data []byte) {
+	if c.err == nil && c.Buffered() == 0 {
+		// Cap to length so a later Feed appends into a fresh array rather
+		// than the caller's spare capacity.
+		c.buf, c.off = data[:len(data):len(data)], 0
+		return
+	}
+	c.Feed(data)
+}
+
+// LinkType returns the capture's link-layer type (valid once the file
+// header has been consumed).
+func (c *ChunkReader) LinkType() uint32 { return c.linkType }
+
+// SnapLen returns the capture's snap length (valid once the file header
+// has been consumed).
+func (c *ChunkReader) SnapLen() uint32 { return c.snapLen }
+
+// Buffered reports the number of fed bytes not yet consumed by Next.
+func (c *ChunkReader) Buffered() int { return len(c.buf) - c.off }
+
+// HeaderDone reports whether the global file header has been consumed.
+func (c *ChunkReader) HeaderDone() bool { return c.headerDone }
+
+// Next returns the next complete record. ok is false when more bytes are
+// needed; a malformed header yields an error, after which the reader is
+// stuck (matching Reader's fail-stop behaviour).
+func (c *ChunkReader) Next() (rec Record, ok bool, err error) {
+	if c.err != nil {
+		return Record{}, false, c.err
+	}
+	if !c.headerDone {
+		if c.Buffered() < fileHeaderLen {
+			return Record{}, false, nil
+		}
+		fh, err := parseFileHeader(c.buf[c.off:])
+		if err != nil {
+			c.err = err
+			return Record{}, false, err
+		}
+		c.fileHeader = fh
+		c.off += fileHeaderLen
+		c.headerDone = true
+	}
+	if c.Buffered() < recordHeaderLen {
+		return Record{}, false, nil
+	}
+	hdr := c.buf[c.off:]
+	capLen := c.order.Uint32(hdr[8:])
+	if err := c.checkCapLen(capLen); err != nil {
+		c.err = err
+		return Record{}, false, err
+	}
+	if c.Buffered() < recordHeaderLen+int(capLen) {
+		return Record{}, false, nil
+	}
+	origLen := c.order.Uint32(hdr[12:])
+	start := c.off + recordHeaderLen
+	c.off = start + int(capLen)
+	return Record{
+		Timestamp: c.recordTime(hdr),
+		OrigLen:   int(origLen),
+		Data:      c.buf[start:c.off:c.off],
+	}, true, nil
+}
+
+// TailErr reports whether the feed ended on a clean record boundary: nil
+// when every fed byte was consumed, the same errors a batch Reader would
+// return otherwise (missing file header, or a record cut off mid-header /
+// mid-body). Call it when the feed is known to be complete.
+func (c *ChunkReader) TailErr() error {
+	if c.err != nil {
+		return c.err
+	}
+	if !c.headerDone {
+		return fmt.Errorf("%w: file header: unexpected EOF", ErrTruncated)
+	}
+	switch n := c.Buffered(); {
+	case n == 0:
+		return nil
+	case n < recordHeaderLen:
+		return fmt.Errorf("%w: record header: unexpected EOF", ErrTruncated)
+	default:
+		return fmt.Errorf("%w: record body: unexpected EOF", ErrTruncated)
 	}
 }

@@ -217,6 +217,123 @@ func TestEmptyFileWithHeader(t *testing.T) {
 	}
 }
 
+// buildCapture renders n deterministic frames for the ChunkReader tests.
+func buildCapture(t *testing.T, n int) ([]byte, [][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var frames [][]byte
+	for i := 0; i < n; i++ {
+		f := make([]byte, 1+(i*37)%1400)
+		for j := range f {
+			f[j] = byte(i + j)
+		}
+		frames = append(frames, f)
+		if err := w.WritePacket(time.Unix(1700000000+int64(i), 0), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes(), frames
+}
+
+// TestChunkReaderMatchesReaderAtAnyGranularity feeds the same capture in
+// chunks of various sizes — including single bytes — and requires the
+// exact record sequence the batch Reader produces.
+func TestChunkReaderMatchesReaderAtAnyGranularity(t *testing.T) {
+	data, frames := buildCapture(t, 40)
+	for _, chunk := range []int{1, 7, 1000, len(data)} {
+		cr := NewChunkReader()
+		var recs []Record
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			cr.Feed(data[off:end])
+			for {
+				rec, ok, err := cr.Next()
+				if err != nil {
+					t.Fatalf("chunk %d: %v", chunk, err)
+				}
+				if !ok {
+					break
+				}
+				recs = append(recs, rec)
+			}
+		}
+		if err := cr.TailErr(); err != nil {
+			t.Fatalf("chunk %d: TailErr = %v", chunk, err)
+		}
+		if len(recs) != len(frames) {
+			t.Fatalf("chunk %d: %d records, want %d", chunk, len(recs), len(frames))
+		}
+		for i, rec := range recs {
+			if !bytes.Equal(rec.Data, frames[i]) {
+				t.Fatalf("chunk %d: record %d data mismatch", chunk, i)
+			}
+			if !rec.Timestamp.Equal(time.Unix(1700000000+int64(i), 0)) {
+				t.Fatalf("chunk %d: record %d timestamp %v", chunk, i, rec.Timestamp)
+			}
+		}
+	}
+}
+
+// TestChunkReaderDataStable pins the no-in-place-compaction guarantee:
+// record Data obtained early must survive arbitrarily many later feeds.
+func TestChunkReaderDataStable(t *testing.T) {
+	data, frames := buildCapture(t, 200)
+	cr := NewChunkReader()
+	var held []Record
+	for off := 0; off < len(data); off += 512 {
+		end := off + 512
+		if end > len(data) {
+			end = len(data)
+		}
+		cr.Feed(data[off:end])
+		for {
+			rec, ok, err := cr.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			held = append(held, rec)
+		}
+	}
+	for i, rec := range held {
+		if !bytes.Equal(rec.Data, frames[i]) {
+			t.Fatalf("record %d data corrupted by later feeds", i)
+		}
+	}
+}
+
+// TestChunkReaderTailErr mirrors the batch reader's truncation reporting.
+func TestChunkReaderTailErr(t *testing.T) {
+	data, _ := buildCapture(t, 2)
+	cases := []struct {
+		name string
+		cut  int
+	}{
+		{"mid file header", 10},
+		{"mid record header", 24 + 8},
+		{"mid record body", len(data) - 1},
+	}
+	for _, tc := range cases {
+		cr := NewChunkReader()
+		cr.Feed(data[:tc.cut])
+		for {
+			_, ok, err := cr.Next()
+			if err != nil || !ok {
+				break
+			}
+		}
+		if err := cr.TailErr(); !errors.Is(err, ErrTruncated) {
+			t.Errorf("%s: TailErr = %v, want ErrTruncated", tc.name, err)
+		}
+	}
+}
+
 func TestRoundTripProperty(t *testing.T) {
 	f := func(payloads [][]byte, secs []uint32) bool {
 		if len(payloads) > 50 {
@@ -258,4 +375,44 @@ func TestRoundTripProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestChunkReaderFeedOwned pins the adoption fast path: an owned
+// whole-capture feed parses identically to copied feeds and performs no
+// buffer copy (records alias the caller's array).
+func TestChunkReaderFeedOwned(t *testing.T) {
+	data, frames := buildCapture(t, 10)
+	cr := NewChunkReader()
+	cr.FeedOwned(data)
+	for i := 0; ; i++ {
+		rec, ok, err := cr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if i != len(frames) {
+				t.Fatalf("parsed %d records, want %d", i, len(frames))
+			}
+			break
+		}
+		if !bytes.Equal(rec.Data, frames[i]) {
+			t.Fatalf("record %d data mismatch", i)
+		}
+		if len(rec.Data) > 0 && &rec.Data[0] != &data[recOffset(data, rec.Data)] {
+			t.Fatalf("record %d data was copied", i)
+		}
+	}
+	if err := cr.TailErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recOffset locates sub's backing offset within data (sub must alias it).
+func recOffset(data, sub []byte) int {
+	for i := range data {
+		if &data[i] == &sub[0] {
+			return i
+		}
+	}
+	return -1
 }

@@ -30,6 +30,7 @@ type Chunk struct {
 type Stream struct {
 	Key layers.FlowKey
 
+	noCopy   bool // payloads are stable: buffer them without copying
 	synSeen  bool
 	isn      uint32 // initial sequence number (of SYN)
 	nextRel  int64  // next expected relative offset (bytes delivered)
@@ -48,6 +49,18 @@ type pendingSeg struct {
 
 // Chunks returns the in-order chunks delivered so far.
 func (s *Stream) Chunks() []Chunk { return s.chunks }
+
+// DeliveredChunks returns the chunks delivered at or after index since —
+// the incremental form of Chunks. A streaming consumer remembers how many
+// chunks it has processed and asks for the delta after each packet, so
+// per-flow analysis (e.g. a TLS record scanner) advances in lock-step
+// with reassembly instead of rescanning from the start of the stream.
+func (s *Stream) DeliveredChunks(since int) []Chunk {
+	if since >= len(s.chunks) {
+		return nil
+	}
+	return s.chunks[since:]
+}
 
 // Bytes concatenates the delivered stream.
 func (s *Stream) Bytes() []byte {
@@ -134,7 +147,10 @@ func (s *Stream) addSegment(ts time.Time, tcp layers.TCP, payload []byte) {
 	if existing, ok := s.pending[rel]; ok && int64(len(existing.data)) >= int64(len(payload)) {
 		return // duplicate of a buffered segment
 	}
-	s.pending[rel] = pendingSeg{time: ts, data: append([]byte(nil), payload...)}
+	if !s.noCopy {
+		payload = append([]byte(nil), payload...)
+	}
+	s.pending[rel] = pendingSeg{time: ts, data: payload}
 	s.drain()
 }
 
@@ -178,6 +194,7 @@ func (s *Stream) drain() {
 type Assembler struct {
 	streams map[layers.FlowKey]*Stream
 	order   []layers.FlowKey // creation order, for deterministic iteration
+	noCopy  bool
 }
 
 // NewAssembler returns an empty assembler.
@@ -185,17 +202,27 @@ func NewAssembler() *Assembler {
 	return &Assembler{streams: make(map[layers.FlowKey]*Stream)}
 }
 
+// SetStablePayloads declares that every payload fed from now on aliases
+// memory that outlives the assembler (an arena-backed pcap read, a
+// grow-only feed buffer), so reassembly may take ownership of the decoded
+// payload slices instead of copying each into its buffer — the zero-copy
+// contract the attack's read path relies on. Affects streams created
+// after the call.
+func (a *Assembler) SetStablePayloads(stable bool) { a.noCopy = stable }
+
 // Feed routes one decoded packet to its directional stream, creating the
-// stream on first sight.
-func (a *Assembler) Feed(p *layers.Packet) {
+// stream on first sight, and returns the stream the packet landed in so
+// incremental consumers can follow up on exactly the flow that changed.
+func (a *Assembler) Feed(p *layers.Packet) *Stream {
 	key := p.Flow()
 	st, ok := a.streams[key]
 	if !ok {
-		st = &Stream{Key: key, pending: make(map[int64]pendingSeg)}
+		st = &Stream{Key: key, noCopy: a.noCopy, pending: make(map[int64]pendingSeg)}
 		a.streams[key] = st
 		a.order = append(a.order, key)
 	}
 	st.addSegment(p.Timestamp, p.TCP, p.Payload)
+	return st
 }
 
 // Stream returns the stream for a directional key, or nil.

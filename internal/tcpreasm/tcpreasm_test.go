@@ -284,3 +284,63 @@ func TestRandomizedReorderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFeedReturnsTouchedStream pins the incremental contract: Feed hands
+// back the stream the segment landed in, so a streaming consumer can
+// follow the delta without scanning every flow.
+func TestFeedReturnsTouchedStream(t *testing.T) {
+	a := NewAssembler()
+	st := a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	if st == nil || st.Key != key {
+		t.Fatalf("Feed returned %+v, want stream for %v", st, key)
+	}
+	if got := a.Feed(seg(1001, layers.TCPAck, []byte("abc"), 1)); got != st {
+		t.Error("Feed returned a different stream for the same flow")
+	}
+}
+
+// TestDeliveredChunksCursor walks the incremental chunk API the way a
+// live monitor does: after each segment, consume only the new chunks.
+func TestDeliveredChunksCursor(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	var got []byte
+	consumed := 0
+	feed := func(p *layers.Packet) {
+		st := a.Feed(p)
+		for _, c := range st.DeliveredChunks(consumed) {
+			got = append(got, c.Data...)
+			consumed++
+		}
+	}
+	feed(seg(1001, layers.TCPAck, []byte("he"), 1))
+	feed(seg(1007, layers.TCPAck, []byte("world"), 2)) // out of order
+	feed(seg(1003, layers.TCPAck, []byte("llo "), 3))  // fills the gap
+	if string(got) != "hello world" {
+		t.Errorf("incremental consumption = %q", got)
+	}
+	if st := a.Stream(key); st.DeliveredChunks(consumed) != nil {
+		t.Error("cursor at end should yield no chunks")
+	}
+}
+
+// TestStablePayloadsNotCopied verifies the zero-copy ownership mode:
+// buffered out-of-order payloads alias the caller's memory.
+func TestStablePayloadsNotCopied(t *testing.T) {
+	a := NewAssembler()
+	a.SetStablePayloads(true)
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	payload := []byte("world")
+	a.Feed(seg(1007, layers.TCPAck, payload, 1)) // buffered: gap before it
+	a.Feed(seg(1001, layers.TCPAck, []byte("hello "), 2))
+	st := a.Stream(key)
+	if got := string(st.Bytes()); got != "hello world" {
+		t.Fatalf("stream = %q", got)
+	}
+	// The delivered chunk must alias the original payload backing array.
+	chunks := st.Chunks()
+	last := chunks[len(chunks)-1]
+	if &last.Data[0] != &payload[0] {
+		t.Error("stable payload was copied")
+	}
+}

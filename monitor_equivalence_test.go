@@ -1,0 +1,171 @@
+package whitemirror
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/pcapio"
+)
+
+// feedChunks drives a fresh Monitor over data in fixed-size chunks.
+func feedChunks(t *testing.T, atk *Attacker, data []byte, chunk int) *Inference {
+	t.Helper()
+	m := NewMonitor(atk, MonitorOptions{})
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := m.Feed(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inf, err := m.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inf
+}
+
+// feedPackets drives a Monitor one decoded frame at a time.
+func feedPackets(t *testing.T, atk *Attacker, data []byte) *Inference {
+	t.Helper()
+	pr, err := pcapio.NewBytesReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(atk, MonitorOptions{})
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.FeedPacket(rec.Timestamp, rec.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inf, err := m.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inf
+}
+
+// TestMonitorChunkEquivalence is the wrapper contract for the streaming
+// redesign: for every session of the `wmdataset -n 6 -seed 5` fixture
+// (the PR-2 regression dataset), InferPcap — now a thin wrapper over
+// attack.Monitor — and a Monitor fed the same capture in 1-byte chunks,
+// packet by packet, and as one whole chunk all produce the identical
+// Inference, down to every classified record, hypothesis and margin.
+func TestMonitorChunkEquivalence(t *testing.T) {
+	ds, err := GenerateDataset(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := TrainAttacker(TrainingOptions{Condition: ConditionUbuntu, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ds.Points {
+		// The same per-point seed wmdataset's WriteTo uses, so these are
+		// byte-for-byte the published fixture captures.
+		data, err := CapturePcap(p.Trace, uint64(p.Index))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := atk.InferPcap(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := feedChunks(t, atk, data, len(data)); !reflect.DeepEqual(got, want) {
+			t.Errorf("session %03d: whole-capture feed diverged from InferPcap", p.Index+1)
+		}
+		if got := feedPackets(t, atk, data); !reflect.DeepEqual(got, want) {
+			t.Errorf("session %03d: per-packet feed diverged from InferPcap", p.Index+1)
+		}
+		if got := feedChunks(t, atk, data, 1); !reflect.DeepEqual(got, want) {
+			t.Errorf("session %03d: 1-byte feed diverged from InferPcap", p.Index+1)
+		}
+	}
+}
+
+// TestInterleavedDetectionRegression pins the interleaved scenario: with
+// the interactive session mixed among 4 concurrent bulk-streaming noise
+// flows, the monitor must detect the interactive flow, finalize on it,
+// and decode the same decisions it recovers from the clean single-flow
+// capture.
+func TestInterleavedDetectionRegression(t *testing.T) {
+	atk, err := TrainAttacker(TrainingOptions{Condition: ConditionUbuntu, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		tr, err := Simulate(SessionOptions{Seed: seed, Condition: ConditionUbuntu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean, err := CapturePcap(tr, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cleanInf, err := atk.InferPcap(clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := CapturePcapMulti(tr, seed, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var detectedInteractive bool
+		var finalized *SessionFinalized
+		m := NewMonitor(atk, MonitorOptions{OnEvent: func(ev MonitorEvent) {
+			switch e := ev.(type) {
+			case FlowDetected:
+				if e.Flow.SrcPort == 51732 {
+					detectedInteractive = true
+				}
+			case SessionFinalized:
+				finalized = &e
+			}
+		}})
+		const chunk = 128 << 10
+		for off := 0; off < len(multi); off += chunk {
+			end := off + chunk
+			if end > len(multi) {
+				end = len(multi)
+			}
+			if err := m.Feed(multi[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inf, err := m.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !detectedInteractive {
+			t.Errorf("seed %d: interactive flow never detected among noise", seed)
+		}
+		if finalized == nil || finalized.Flow.SrcPort != 51732 {
+			t.Fatalf("seed %d: finalized on %v, want the interactive flow", seed, finalized)
+		}
+		if !reflect.DeepEqual(inf.Decisions, cleanInf.Decisions) {
+			t.Errorf("seed %d: interleaved decode %v differs from clean decode %v",
+				seed, inf.Decisions, cleanInf.Decisions)
+		}
+		// The one-shot wrapper (no event callback, so candidate flows are
+		// classified lazily at Close) must find the interactive flow too.
+		oneShot, err := atk.InferPcap(multi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(oneShot.Decisions, cleanInf.Decisions) {
+			t.Errorf("seed %d: one-shot interleaved decode %v differs from clean decode %v",
+				seed, oneShot.Decisions, cleanInf.Decisions)
+		}
+	}
+}

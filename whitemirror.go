@@ -27,6 +27,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/capture"
 	"repro/internal/dataset"
+	"repro/internal/layers"
 	"repro/internal/media"
 	"repro/internal/parallel"
 	"repro/internal/profiles"
@@ -53,7 +54,35 @@ type (
 	Graph = script.Graph
 	// Dataset is a generated IITM-Bandersnatch-style study.
 	Dataset = dataset.Dataset
+
+	// Monitor is the streaming attack engine: feed packets or pcap chunks
+	// as they arrive, receive typed events, and Close for the final
+	// inference. Attacker.InferPcap is a thin wrapper over it.
+	Monitor = attack.Monitor
+	// MonitorOptions tunes a Monitor (the event callback).
+	MonitorOptions = attack.MonitorOptions
+	// MonitorEvent is a typed Monitor notification; the concrete types are
+	// FlowDetected, ChoiceInferred and SessionFinalized.
+	MonitorEvent = attack.Event
+	// FlowDetected fires when a flow first produces an in-band report.
+	FlowDetected = attack.FlowDetected
+	// ChoiceInferred fires per in-band report with the running decode.
+	ChoiceInferred = attack.ChoiceInferred
+	// SessionFinalized fires from Monitor.Close with the final inference.
+	SessionFinalized = attack.SessionFinalized
+	// FlowKey identifies one direction of a TCP conversation (as carried
+	// by Monitor events).
+	FlowKey = layers.FlowKey
 )
+
+// NewMonitor returns a streaming monitor for a trained attacker. The
+// monitor accepts pcap bytes in chunks of any size (Feed) or decoded
+// frames (FeedPacket), emits events through opts.OnEvent, and Close
+// returns the Inference for the best candidate flow — byte-identical to
+// Attacker.InferPcap for single-conversation captures.
+func NewMonitor(a *Attacker, opts MonitorOptions) *Monitor {
+	return attack.NewMonitor(a, opts)
+}
 
 // Named conditions from the paper's Figure 2.
 var (
@@ -88,9 +117,12 @@ type SessionOptions struct {
 	Encoding *media.Encoding
 	// DisablePrefetch turns off default-branch prefetching.
 	DisablePrefetch bool
-	// omitServerPayload runs the session lean (no server byte stream in
-	// the trace); internal workloads that never capture to pcap use it.
-	omitServerPayload bool
+	// Lean skips materializing the server direction's byte stream — tens
+	// of megabytes of opaque media bodies per session — while keeping the
+	// trace's offsets, timings and record ground truth exact. Use it for
+	// workloads that never render the trace to pcap (training, bulk
+	// experiments); CapturePcap requires a non-lean trace.
+	Lean bool
 }
 
 // Simulate runs one end-to-end viewing session and returns its trace.
@@ -122,7 +154,7 @@ func Simulate(opts SessionOptions) (*Trace, error) {
 		SessionID:         fmt.Sprintf("wm-%d", opts.Seed),
 		Seed:              opts.Seed,
 		DisablePrefetch:   opts.DisablePrefetch,
-		OmitServerPayload: opts.omitServerPayload,
+		OmitServerPayload: opts.Lean,
 	})
 }
 
@@ -141,6 +173,26 @@ func CapturePcap(tr *Trace, seed uint64) ([]byte, error) {
 // WritePcap renders a trace as a libpcap capture to w.
 func WritePcap(w io.Writer, tr *Trace, seed uint64) error {
 	return capture.WritePcap(w, tr, capture.Options{Seed: seed})
+}
+
+// CapturePcapMulti renders the interleaved scenario in memory: the
+// trace's conversation plus noiseFlows concurrent seeded bulk-streaming
+// flows, all interleaved in time order — the traffic an on-path
+// eavesdropper actually records on a shared link. Feed the result to a
+// Monitor (or InferPcap) to exercise finding the interactive session
+// among the noise.
+func CapturePcapMulti(tr *Trace, seed uint64, noiseFlows int) ([]byte, error) {
+	var buf bytes.Buffer
+	streamBytes := len(tr.ClientToServer.Bytes) + len(tr.ServerToClient.Bytes)
+	buf.Grow((noiseFlows + 1) * (streamBytes + 70*(streamBytes/1400+16)))
+	err := capture.WritePcapMulti(&buf, tr, capture.MultiOptions{
+		Options:    capture.Options{Seed: seed},
+		NoiseFlows: noiseFlows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // TrainingOptions parameterizes TrainAttacker.
@@ -191,7 +243,7 @@ func TrainAttacker(opts TrainingOptions) (*Attacker, error) {
 			Encoding:  enc,
 			// Profiling only consumes client-side record lengths; skip the
 			// server media payload.
-			omitServerPayload: true,
+			Lean: true,
 		})
 	}
 	traces, err := parallel.MapN(opts.Workers, n, func(t int) (*Trace, error) {
