@@ -7,13 +7,17 @@
 //
 //	wmattack -pcap session.pcap -os linux -browser firefox
 //	wmattack -pcap session.pcap -live          # stream the capture, print events
+//	wmattack -pcap tap.pcap -live -idle 2m     # rolling-window tap replay
 //
 // Training happens in-process: the attacker profiles simulated sessions
 // under the named condition first (the paper's per-condition training),
 // then attacks the capture. In -live mode the capture is fed to the
 // streaming monitor in chunks and detection/choice events print as they
-// fire, which is how the attack behaves against a link tap. If a
-// ground-truth sidecar from wmsession exists next to the pcap, the
+// fire, which is how the attack behaves against a link tap; the monitor
+// runs in rolling-window mode by default (-window=false reverts to
+// retain-everything), so flows finalize individually on FIN/RST or the
+// -idle timeout and memory stays bounded however long the capture is. If
+// a ground-truth sidecar from wmsession exists next to the pcap, the
 // inference is scored against it.
 //
 // Exit status: 0 on a fully successful attack, 1 when inference fails,
@@ -49,6 +53,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1000, "training seed")
 		live     = flag.Bool("live", false, "feed the capture in chunks through the streaming monitor and print events as they fire")
 		chunkKiB = flag.Int("chunk", 64, "live-mode feed chunk size in KiB")
+		window   = flag.Bool("window", true, "live mode: rolling-window operation (bounded memory, per-flow FIN/RST/idle finalization)")
+		idle     = flag.Duration("idle", 90*time.Second, "live window mode: idle timeout before a silent flow finalizes")
 	)
 	flag.Parse()
 
@@ -72,7 +78,11 @@ func main() {
 	}
 	var inf *attack.Inference
 	if *live {
-		inf, err = attackLive(atk, data, *chunkKiB<<10)
+		var win *attack.Window
+		if *window {
+			win = &attack.Window{IdleTimeout: *idle}
+		}
+		inf, err = attackLive(atk, data, *chunkKiB<<10, win)
 	} else {
 		inf, err = atk.InferPcap(data)
 	}
@@ -130,8 +140,11 @@ func main() {
 }
 
 // attackLive streams the capture through a monitor in chunkBytes pieces,
-// printing each event relative to the capture clock as it fires.
-func attackLive(atk *attack.Attacker, data []byte, chunkBytes int) (*attack.Inference, error) {
+// printing each event relative to the capture clock as it fires. With win
+// non-nil the monitor runs in rolling-window mode — the link-tap regime:
+// memory stays bounded, flows finalize individually on FIN/RST/idle (so
+// SessionFinalized can fire mid-feed), and evicted flows are narrated.
+func attackLive(atk *attack.Attacker, data []byte, chunkBytes int, win *attack.Window) (*attack.Inference, error) {
 	if chunkBytes <= 0 {
 		chunkBytes = 64 << 10
 	}
@@ -142,7 +155,7 @@ func attackLive(atk *attack.Attacker, data []byte, chunkBytes int) (*attack.Infe
 		}
 		return fmt.Sprintf("t+%7.2fs", t.Sub(epoch).Seconds())
 	}
-	m := attack.NewMonitor(atk, attack.MonitorOptions{OnEvent: func(ev attack.Event) {
+	m := attack.NewMonitor(atk, attack.MonitorOptions{Window: win, OnEvent: func(ev attack.Event) {
 		switch e := ev.(type) {
 		case attack.FlowDetected:
 			fmt.Printf("[%s] FLOW DETECTED   %v  (%s record, %d bytes)\n",
@@ -157,6 +170,9 @@ func attackLive(atk *attack.Attacker, data []byte, chunkBytes int) (*attack.Infe
 		case attack.SessionFinalized:
 			fmt.Printf("[session end] FINALIZED %v: %d choices decoded\n",
 				e.Flow, len(e.Inference.Decisions))
+		case attack.FlowExpired:
+			fmt.Printf("[%s] FLOW EXPIRED    %v  (%s; %d records, %d bytes)\n",
+				at(e.At), e.Flow, e.Reason, e.Records, e.Bytes)
 		}
 	}})
 	for off := 0; off < len(data); off += chunkBytes {

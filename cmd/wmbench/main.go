@@ -8,9 +8,11 @@
 //	wmbench -exp figure2          # one experiment
 //	wmbench -workers 8            # bound the worker pool (0 = GOMAXPROCS)
 //	wmbench -benchjson BENCH.json # machine-readable perf + domain metrics
+//	wmbench -check BENCH_pr3.json # CI perf gate: rerun pipeline benches,
+//	                              # exit non-zero outside the tolerance band
 //
 // Experiments: table1, figure1, figure2, accuracy, decode, baselines,
-// defenses, timing, classifiers, prefetch, interleaved.
+// defenses, timing, classifiers, prefetch, interleaved, soak.
 package main
 
 import (
@@ -141,6 +143,18 @@ func runners() []runner {
 				}
 				return m
 			}},
+		{"soak",
+			func(seed uint64) (any, error) { return experiments.Soak(20, 2, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.SoakResult)
+				return map[string]float64{
+					"sessions":            float64(v.Sessions),
+					"decoded_identical":   float64(v.Decoded),
+					"finalized":           float64(v.Finalized),
+					"peak_retained_bytes": float64(v.PeakRetainedBytes),
+					"ring_blocks":         float64(v.RingBlocks),
+				}
+			}},
 	}
 }
 
@@ -168,6 +182,8 @@ func report(r any) (string, error) {
 	case *experiments.PrefetchAblationResult:
 		return v.Report, nil
 	case *experiments.InterleavedResult:
+		return v.Report, nil
+	case *experiments.SoakResult:
 		return v.Report, nil
 	default:
 		return "", fmt.Errorf("unknown result type %T", r)
@@ -414,6 +430,101 @@ func runBenchJSON(path string, runs []runner, seed uint64, workers int, baseline
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// checkTolerances is the -check mode's acceptance band: ns/op is noisy
+// across machines and load, so it gets a wide band and only regressions
+// fail (a speedup never does); allocs/op and bytes/op are near
+// deterministic and get a tight one.
+type checkTolerances struct {
+	time   float64 // fractional ns/op growth allowed (0.25 = +25%)
+	allocs float64 // fractional allocs/op growth allowed
+	bytes  float64 // fractional bytes/op growth allowed
+}
+
+// runCheck is the CI perf-regression gate: rerun the pipeline benchmarks
+// — the end-to-end attack read path and the decoder's unit costs, the
+// numbers the BENCH_pr*.json trail tracks — and compare against the
+// committed baseline file, failing on any metric outside its band.
+func runCheck(path string, tol checkTolerances) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseline := map[string]benchEntry{}
+	for _, e := range base.Entries {
+		baseline[e.Name] = e
+	}
+
+	var current []benchEntry
+	dec, err := decoderBenchEntries()
+	if err != nil {
+		return fmt.Errorf("decoder bench: %w", err)
+	}
+	current = append(current, dec...)
+	pipe, err := pipelineBenchEntry()
+	if err != nil {
+		return fmt.Errorf("pipeline bench: %w", err)
+	}
+	current = append(current, pipe)
+
+	type metric struct {
+		name string
+		tol  float64
+		get  func(benchEntry) int64
+	}
+	metrics := []metric{
+		{"ns/op", tol.time, func(e benchEntry) int64 { return e.NsPerOp }},
+		{"bytes/op", tol.bytes, func(e benchEntry) int64 { return e.BytesPerOp }},
+		{"allocs/op", tol.allocs, func(e benchEntry) int64 { return e.AllocsPerOp }},
+	}
+	var regressions []string
+	fmt.Printf("perf gate against %s (go %s, +%.0f%% ns, +%.0f%% bytes, +%.0f%% allocs allowed)\n",
+		path, base.GoVersion, 100*tol.time, 100*tol.bytes, 100*tol.allocs)
+	for _, e := range current {
+		b, ok := baseline[e.Name]
+		if !ok {
+			// A benchmark the baseline has never seen must fail the gate:
+			// letting it skip would mean a rename (or a new hot path) ships
+			// unguarded until someone notices the file is stale.
+			fmt.Printf("  %-28s NO BASELINE ENTRY — refresh %s\n", e.Name, path)
+			regressions = append(regressions,
+				fmt.Sprintf("%s: no baseline entry in %s (rename or new benchmark; refresh the file)", e.Name, path))
+			continue
+		}
+		for _, mt := range metrics {
+			have, want := mt.get(e), mt.get(b)
+			delta := 0.0
+			switch {
+			case want > 0:
+				delta = float64(have-want) / float64(want)
+			case have > 0:
+				// A zero baseline means any cost at all is a regression.
+				delta = mt.tol + 1
+			}
+			verdict := "ok"
+			if delta > mt.tol {
+				verdict = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s: %d vs baseline %d (%+.1f%% > +%.0f%%)",
+						e.Name, mt.name, have, want, 100*delta, 100*mt.tol))
+			} else if delta < -mt.tol {
+				verdict = "improved (consider refreshing the baseline)"
+			}
+			fmt.Printf("  %-28s %-9s %12d  baseline %12d  %+7.1f%%  %s\n",
+				e.Name, mt.name, have, want, 100*delta, verdict)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d perf regression(s):\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("perf gate passed")
+	return nil
+}
+
 // multiFlag collects a repeatable string flag.
 type multiFlag []string
 
@@ -426,11 +537,25 @@ func main() {
 		seed      = flag.Uint64("seed", 3, "deterministic seed")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = WM_WORKERS or GOMAXPROCS)")
 		benchJSON = flag.String("benchjson", "", "write machine-readable benchmark results to this file instead of printing reports")
+		check     = flag.String("check", "", "perf-regression gate: rerun the pipeline benchmarks and compare against this BENCH json, exiting non-zero on regression")
+		tolTime   = flag.Float64("tol-time", 0.25, "-check: allowed fractional ns/op growth")
+		tolAllocs = flag.Float64("tol-allocs", 0.10, "-check: allowed fractional allocs/op growth")
+		tolBytes  = flag.Float64("tol-bytes", 0.10, "-check: allowed fractional bytes/op growth")
 		baselines multiFlag
 	)
 	flag.Var(&baselines, "baseline", "label=path of a prior BENCH json to embed as a frozen baseline (repeatable)")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
+
+	if *check != "" {
+		if err := runCheck(*check, checkTolerances{
+			time: *tolTime, allocs: *tolAllocs, bytes: *tolBytes,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "wmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runs, err := selected(*exp)
 	if err != nil {

@@ -1,6 +1,9 @@
 package whitemirror
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // ExampleNewMonitor shows the streaming attack: the capture — here the
 // interactive session interleaved with two bulk-streaming noise flows —
@@ -40,4 +43,46 @@ func ExampleNewMonitor() {
 	}
 	fmt.Printf("attacked flow: %s, choices recovered: %d/%d\n", finalized, correct, total)
 	// Output: attacked flow: 192.168.1.23:51732 > 198.51.100.7:443, choices recovered: 8/8
+}
+
+// ExampleNewMonitor_rollingWindow is the link-tap configuration: with
+// MonitorOptions.Window set, consumed reassembly memory is released as it
+// is scanned and each flow concludes on its FIN/RST or idle timeout with
+// its own event — SessionFinalized for any flow that classified in-band
+// reports (noise flows whose requests happen to collide with a report
+// band conclude this way too, with low matched counts that lose the final
+// selection), FlowExpired otherwise — all before Close, so one monitor
+// holds a tap indefinitely in bounded memory.
+func ExampleNewMonitor_rollingWindow() {
+	tr, _ := Simulate(SessionOptions{Seed: 1, Condition: ConditionUbuntu})
+	pcapBytes, _ := CapturePcapMulti(tr, 1, 2)
+	atk, _ := TrainAttacker(TrainingOptions{Condition: ConditionUbuntu, Seed: 99})
+
+	concluded := 0
+	m := NewMonitor(atk, MonitorOptions{
+		Window: &MonitorWindow{IdleTimeout: 90 * time.Second},
+		OnEvent: func(ev MonitorEvent) {
+			switch ev.(type) {
+			case SessionFinalized, FlowExpired:
+				concluded++
+			}
+		},
+	})
+	if err := m.Feed(pcapBytes); err != nil {
+		panic(err)
+	}
+	stats := m.Stats() // every flow already concluded: nothing retained
+	inf, err := m.Close()
+	if err != nil {
+		panic(err)
+	}
+	correct, total := 0, len(tr.GroundTruthDecisions())
+	for i, d := range tr.GroundTruthDecisions() {
+		if i < len(inf.Decisions) && inf.Decisions[i] == d {
+			correct++
+		}
+	}
+	fmt.Printf("flows concluded before Close: %d, bytes retained at end of feed: %d, choices recovered: %d/%d\n",
+		concluded, stats.RetainedBytes, correct, total)
+	// Output: flows concluded before Close: 3, bytes retained at end of feed: 0, choices recovered: 8/8
 }

@@ -6,6 +6,12 @@
 // flows, finds the interactive session among the noise, and narrates the
 // viewer's choices as the state reports fly by — then Close returns the
 // same Inference the one-shot InferPcap would have produced.
+//
+// The monitor runs in rolling-window mode, the configuration for an
+// indefinite tap: consumed reassembly memory is released as it is
+// scanned, and each flow finalizes on its FIN (or an idle timeout) with
+// its own SessionFinalized/FlowExpired event rather than waiting for
+// Close, so the same loop would hold a link tap for days in flat memory.
 package main
 
 import (
@@ -52,6 +58,7 @@ func main() {
 		return fmt.Sprintf("t+%6.1fs", t.Sub(epoch).Seconds())
 	}
 	monitor := whitemirror.NewMonitor(atk, whitemirror.MonitorOptions{
+		Window: &whitemirror.MonitorWindow{IdleTimeout: 90 * time.Second},
 		OnEvent: func(ev whitemirror.MonitorEvent) {
 			switch e := ev.(type) {
 			case whitemirror.FlowDetected:
@@ -65,7 +72,10 @@ func main() {
 				fmt.Printf("[%s] Q%d looks %s (running margin %.3f)\n",
 					clock(e.At), e.Choice+1, branch, e.DecodeMargin)
 			case whitemirror.SessionFinalized:
-				fmt.Printf("\nfinalized on %v\n", e.Flow)
+				fmt.Printf("\nfinalized on %v (%d choices)\n", e.Flow, len(e.Inference.Decisions))
+			case whitemirror.FlowExpired:
+				fmt.Printf("[%s] flow %v left the window (%s)\n",
+					clock(e.At), e.Flow, e.Reason)
 			}
 		},
 	})

@@ -19,8 +19,9 @@ import (
 // as they complete, classifies client records against the trained bands
 // and maintains a live partial-path hypothesis per candidate flow by
 // extending the graph alignment one observation at a time. Typed events
-// fire on the way (FlowDetected, ChoiceInferred, SessionFinalized) and
-// Close returns the final Inference for the best candidate flow.
+// fire on the way (FlowDetected, ChoiceInferred, SessionFinalized,
+// FlowExpired) and Close returns the final Inference for the best
+// candidate flow.
 //
 // The one-shot Attacker.InferPcap is a thin wrapper over a Monitor: for a
 // single-conversation capture the result is byte-identical at any feed
@@ -30,16 +31,52 @@ import (
 // graph, which is what lets it find the interactive session among
 // concurrent bulk-streaming noise.
 //
+// By default the monitor retains every flow's reassembled stream until
+// Close — the batch-equivalence contract needs the full observation. A
+// real deployment watches a link tap for hours; MonitorOptions.Window
+// turns on the rolling-window mode for that regime: consumed reassembly
+// chunks are released the moment the record scanner has seen them, flows
+// finalize individually on FIN/RST or an idle timeout (emitting
+// SessionFinalized or FlowExpired as they go), and noise flows that never
+// produce an in-band report are rejected and eventually evicted, so one
+// monitor runs indefinitely in memory bounded by the set of concurrently
+// live conversations rather than by uptime.
+//
 // A Monitor is single-session state and not safe for concurrent use.
 type Monitor struct {
 	atk     *Attacker
 	onEvent func(Event)
+	win     *Window
+	ring    *pcapio.PacketRing
 
 	cr    *pcapio.ChunkReader
 	asm   *tcpreasm.Assembler
 	flows map[layers.FlowKey]*monFlow // keyed by canonical conversation key
 	order []layers.FlowKey            // canonical keys, first-seen order
-	arena []byte                      // FeedPacket copies frames here
+	arena []byte                      // FeedPacket copies frames into chained blocks
+
+	clock       time.Time // high-water capture timestamp
+	sinceSweep  int       // packets since the last idle sweep
+	sweptAt     time.Time // capture clock of the last idle sweep
+	flowsGone   int       // m.order entries whose flow was dropped
+	finalized   int       // SessionFinalized emitted (window mode)
+	expired     int       // FlowExpired emitted (window mode)
+	rejectedNow int       // flows currently in rejected probation
+
+	// Best finalized inference so far (window mode), by the same
+	// (matched, score) rule selectFlow applies at batch Close.
+	bestFinal   *Inference
+	bestMatched int
+	bestScore   float64
+
+	// Largest-flow fallback (window mode): until a session finalizes, the
+	// largest viable flow to expire keeps its inference, preserving the
+	// batch rule that a capture with no classified reports still attacks
+	// its biggest conversation. Costs one Infer per new-largest expiry and
+	// nothing once a real session has been seen.
+	fallback      *Inference
+	fallbackFlow  layers.FlowKey
+	fallbackBytes int64
 
 	table      *PathTable // lazily built when the attacker has a graph
 	tableTried bool       // one-shot: a failed build is not retried per record
@@ -49,6 +86,67 @@ type Monitor struct {
 	err    error
 }
 
+// Window configures the monitor's rolling-window mode: bounded-memory
+// operation over an indefinite link tap. The zero value of each field
+// selects its default.
+type Window struct {
+	// IdleTimeout finalizes a flow when no packet has arrived on it for
+	// this long on the capture clock (the high-water frame timestamp, so
+	// replayed captures age exactly as live links do). Default 90s.
+	IdleTimeout time.Duration
+	// RejectAfterRecords is the number of classified client application
+	// records with zero in-band reports after which a flow is rejected:
+	// its record descriptors are released and it enters bounded re-check
+	// probation. Default 128.
+	RejectAfterRecords int
+	// RecheckEvery is the number of further application records between
+	// re-checks of a rejected flow. Default 64.
+	RecheckEvery int
+	// RecheckBudget is how many re-check rounds a rejected flow gets
+	// before terminal eviction (its reassembly stops buffering entirely).
+	// A flow that produces an in-band report during probation is
+	// rehabilitated immediately, outside the re-check cadence. Default 4.
+	RecheckBudget int
+}
+
+// withDefaults resolves zero fields.
+func (w Window) withDefaults() Window {
+	if w.IdleTimeout <= 0 {
+		w.IdleTimeout = 90 * time.Second
+	}
+	if w.RejectAfterRecords <= 0 {
+		w.RejectAfterRecords = 128
+	}
+	if w.RecheckEvery <= 0 {
+		w.RecheckEvery = 64
+	}
+	if w.RecheckBudget <= 0 {
+		w.RecheckBudget = 4
+	}
+	return w
+}
+
+// sweepInterval is how many ingested packets pass between idle sweeps.
+const sweepInterval = 256
+
+// minSessionHards is the least in-band report count for a finalizing flow
+// to be inferred as an interactive session rather than expired as noise —
+// 1, the same admission rule the batch selectFlow applies, so a windowed
+// run never discards a flow the batch path would have attacked. (An
+// accidental band collision on a bulk flow does cost one Infer and a
+// low-matched SessionFinalized; selection by (matched, score) still
+// rejects it as the final answer.)
+const minSessionHards = 1
+
+// frameArenaBlock sizes the FeedPacket copy arena's blocks; retired
+// blocks are pinned only by the chunks that still reference them, so the
+// rolling window releases them wholesale as flows are consumed.
+const frameArenaBlock = 256 << 10
+
+// recordFootprint approximates one retained record descriptor's heap cost
+// for Stats accounting.
+const recordFootprint = 96
+
 // MonitorOptions tunes a Monitor.
 type MonitorOptions struct {
 	// OnEvent, when non-nil, receives typed events synchronously as they
@@ -57,6 +155,19 @@ type MonitorOptions struct {
 	// monitor only tracks flow state, which keeps the one-shot wrapper as
 	// cheap as the old batch path.
 	OnEvent func(Event)
+	// Window, when non-nil, turns on the rolling-window mode: released
+	// chunk memory, per-flow FIN/RST/idle finalization, and noise-flow
+	// eviction. Per-record classification runs even without OnEvent (the
+	// window needs the counters), but the hypothesis engine still needs
+	// the callback.
+	Window *Window
+	// FrameRing, when non-nil, is the caller-owned ring backing
+	// FeedPacketOwned slots. The monitor routes every frame span it stops
+	// referencing back to the ring — headers immediately after decode,
+	// payloads when the rolling window releases their chunks — so a live
+	// capture loop reading frames into ring slots makes no per-packet
+	// copy and recycles slot memory in steady state.
+	FrameRing *pcapio.PacketRing
 }
 
 // Event is a typed notification emitted by a Monitor.
@@ -99,7 +210,11 @@ type ChoiceInferred struct {
 	DecodeMargin float64
 }
 
-// SessionFinalized fires from Close with the chosen flow's inference.
+// SessionFinalized fires with a flow's final inference: from Close in
+// batch mode, and additionally per flow in rolling-window mode the moment
+// the flow finalizes (FIN/RST exchange or idle timeout) — a mid-session
+// expiry carries the partial path decoded so far with its
+// confirmed-prefix DecodeMargin.
 type SessionFinalized struct {
 	// Flow is the client→server flow key of the attacked conversation.
 	Flow layers.FlowKey
@@ -108,17 +223,55 @@ type SessionFinalized struct {
 	Inference *Inference
 }
 
+// FlowExpired fires in rolling-window mode when a flow leaves the monitor
+// without finalizing as an interactive session: its close arrived, it
+// idled out, or rejection probation settled.
+type FlowExpired struct {
+	// Flow is the client→server flow key when the client side was seen,
+	// else the canonical conversation key.
+	Flow layers.FlowKey
+	// At is the capture-clock time of the eviction.
+	At time.Time
+	// Reason is "fin", "rst", "idle", "rejected" or "close".
+	Reason string
+	// Records is the number of client application records classified.
+	Records int
+	// Bytes is the delivered byte volume, both directions.
+	Bytes int64
+}
+
 func (FlowDetected) monitorEvent()     {}
 func (ChoiceInferred) monitorEvent()   {}
 func (SessionFinalized) monitorEvent() {}
+func (FlowExpired) monitorEvent()      {}
+
+// MonitorStats is a point-in-time snapshot of a monitor's footprint, the
+// figure the soak harness asserts stays flat over an indefinite feed.
+type MonitorStats struct {
+	// Flows is the number of tracked conversation entries, including
+	// evicted tombstones awaiting their FIN/idle drop.
+	Flows int
+	// LiveFlows are flows that can still finalize as a session.
+	LiveFlows int
+	// RejectedFlows are flows currently in rejected probation.
+	RejectedFlows int
+	// FinalizedSessions counts SessionFinalized events so far.
+	FinalizedSessions int
+	// ExpiredFlows counts FlowExpired events so far.
+	ExpiredFlows int
+	// RetainedBytes approximates the monitor's retained buffer memory:
+	// reassembly chunks and pending segments, record descriptors, and the
+	// unconsumed tail of the pcap feed buffer.
+	RetainedBytes int64
+}
 
 // monDir is one direction of a monitored conversation: the reassembly
 // stream, the chunk cursor into it, and the record scanner riding on top.
 type monDir struct {
 	stream   *tcpreasm.Stream
-	consumed int // chunks consumed from the stream
+	consumed int // chunks consumed from the stream (absolute index)
 	sc       *tlsrec.RecordScanner
-	taken    int // complete records taken from the scanner
+	taken    int // complete records taken from the scanner (absolute index)
 }
 
 // monFlow is one TCP conversation under observation.
@@ -128,6 +281,14 @@ type monFlow struct {
 	client    monDir
 	server    monDir
 	detected  bool
+
+	// Rolling-window state.
+	lastSeen    time.Time
+	dead        bool // non-TLS or terminally evicted: streams discarded
+	rejected    bool // zero-report probation
+	announced   bool // FlowExpired already emitted (tombstones expire once)
+	nextRecheck int  // classified-record count of the next probation check
+	rechecks    int  // probation rounds left before terminal eviction
 
 	// Live decode state (populated only when the monitor has OnEvent).
 	anchor       time.Time
@@ -141,18 +302,29 @@ type monFlow struct {
 func NewMonitor(a *Attacker, opts MonitorOptions) *Monitor {
 	asm := tcpreasm.NewAssembler()
 	// Every feed path hands the assembler stable memory: pcap chunks live
-	// in the ChunkReader's grow-only buffer and FeedPacket copies frames
-	// into the monitor's arena, so reassembly owns payloads without
-	// copying each segment again.
+	// in the ChunkReader's grow-only buffer, FeedPacket copies frames
+	// into the monitor's arena and FeedPacketOwned slots are caller-owned,
+	// so reassembly owns payloads without copying each segment again.
 	asm.SetStablePayloads(true)
+	if opts.FrameRing != nil {
+		// Unreferenced payload spans flow back to the caller's ring; spans
+		// from other feed paths are foreign to it and ignored.
+		asm.SetReleaseFunc(opts.FrameRing.Release)
+	}
 	prm := a.Decode.withDefaults()
-	return &Monitor{
+	m := &Monitor{
 		atk:     a,
 		onEvent: opts.OnEvent,
+		ring:    opts.FrameRing,
 		asm:     asm,
 		flows:   make(map[layers.FlowKey]*monFlow),
 		prm:     prm,
 	}
+	if opts.Window != nil {
+		w := opts.Window.withDefaults()
+		m.win = &w
+	}
+	return m
 }
 
 // NewMonitor is the method form of the package constructor.
@@ -205,7 +377,7 @@ func (m *Monitor) feed(chunk []byte, owned bool) error {
 		if !ok {
 			return nil
 		}
-		m.ingestFrame(rec.Timestamp, rec.Data)
+		m.ingestFrame(rec.Timestamp, rec.Data, false)
 	}
 }
 
@@ -219,8 +391,42 @@ func (m *Monitor) FeedPacket(ts time.Time, frame []byte) error {
 	if m.err != nil {
 		return m.err
 	}
+	if cap(m.arena)-len(m.arena) < len(frame) {
+		size := frameArenaBlock
+		if len(frame) > size {
+			size = len(frame)
+		}
+		// Chained blocks instead of one growing arena: a retired block is
+		// pinned only by the chunks still referencing it, so the rolling
+		// window releases copy memory as it consumes the stream.
+		m.arena = make([]byte, 0, size)
+	}
 	m.arena = append(m.arena, frame...)
-	m.ingestFrame(ts, m.arena[len(m.arena)-len(frame):])
+	m.ingestFrame(ts, m.arena[len(m.arena)-len(frame):], false)
+	return nil
+}
+
+// FeedPacketOwned ingests one captured frame without copying it: the
+// caller transfers ownership and must keep the bytes stable. Paired with
+// MonitorOptions.FrameRing — the caller reads each frame into a ring slot
+// (PacketRing.Alloc/AllocFrame) and every span the monitor stops
+// referencing is released back to the ring — the live path makes no
+// per-packet copy and recycles a bounded set of blocks indefinitely.
+// Without a ring the frames are simply garbage-collected once the rolling
+// window drops them.
+func (m *Monitor) FeedPacketOwned(ts time.Time, frame []byte) error {
+	if m.closed || m.err != nil {
+		// The frame will never be referenced; hand the slot straight back
+		// so a capture loop feeding a dead monitor cannot leak its ring.
+		if m.ring != nil {
+			m.ring.ReleaseExcept(frame, nil)
+		}
+		if m.closed {
+			return errors.New("attack: monitor is closed")
+		}
+		return m.err
+	}
+	m.ingestFrame(ts, frame, true)
 	return nil
 }
 
@@ -234,11 +440,24 @@ func wrapReadErr(headerDone bool, err error) error {
 	return fmt.Errorf("attack: reading capture: %w", err)
 }
 
-// ingestFrame decodes one frame and advances the owning flow.
-func (m *Monitor) ingestFrame(ts time.Time, frame []byte) {
+// ingestFrame decodes one frame and advances the owning flow. ringOwned
+// marks frames fed through FeedPacketOwned, whose unreferenced spans go
+// back to the caller's ring.
+func (m *Monitor) ingestFrame(ts time.Time, frame []byte, ringOwned bool) {
+	if ts.After(m.clock) {
+		m.clock = ts
+	}
 	p, err := layers.DecodePacket(ts, frame)
 	if err != nil {
-		return // non-TCP or foreign traffic
+		if ringOwned && m.ring != nil {
+			m.ring.ReleaseExcept(frame, nil) // non-TCP or foreign traffic
+		}
+		return
+	}
+	if ringOwned && m.ring != nil {
+		// Only the TCP payload can be retained by reassembly; the frame's
+		// link/network/transport headers go straight back to the ring.
+		m.ring.ReleaseExcept(frame, p.Payload)
 	}
 	st := m.asm.Feed(p)
 	canon, _ := p.Flow().Canonical()
@@ -248,6 +467,7 @@ func (m *Monitor) ingestFrame(ts time.Time, frame []byte) {
 		m.flows[canon] = f
 		m.order = append(m.order, canon)
 	}
+	f.lastSeen = ts
 	dir, isClient := f.direction(st.Key)
 	if dir.stream == nil {
 		dir.stream = st
@@ -266,15 +486,237 @@ func (m *Monitor) ingestFrame(ts time.Time, frame []byte) {
 		}
 	}
 	if dir.sc.Err() != nil {
-		return
-	}
-	recs := dir.sc.Records()
-	for i := dir.taken; i < len(recs); i++ {
-		if isClient {
-			m.onClientRecord(f, recs[i])
+		// Not TLS: the conversation can never be attacked, so stop
+		// buffering it in every mode (its data is never read again).
+		m.deadenFlow(f)
+	} else if !f.dead {
+		recs := dir.sc.Records()
+		if base := dir.sc.Released(); dir.taken < base+len(recs) {
+			for _, r := range recs[dir.taken-base:] {
+				if isClient {
+					m.onClientRecord(f, r)
+				}
+			}
+			dir.taken = base + len(recs)
 		}
 	}
-	dir.taken = len(recs)
+	if m.win != nil {
+		m.maintainFlow(f, dir, isClient)
+		m.maybeFinalize(f, ts)
+		m.maybeSweep()
+	}
+}
+
+// deadenFlow marks a conversation as unattackable and evicts its buffers:
+// reassembly stops retaining payloads and already-scanned descriptors are
+// dropped. Candidate selection is unaffected — the flow was never viable.
+func (m *Monitor) deadenFlow(f *monFlow) {
+	if f.dead {
+		return
+	}
+	f.dead = true
+	if f.rejected {
+		f.rejected = false
+		m.rejectedNow--
+	}
+	for _, d := range []*monDir{&f.client, &f.server} {
+		if d.stream != nil {
+			d.stream.Discard()
+		}
+		if d.sc != nil {
+			d.sc.ReleaseRecords(d.sc.Released() + len(d.sc.Records()))
+		}
+	}
+}
+
+// maintainFlow is the rolling-window bookkeeping after one packet: the
+// touched direction's consumed chunks are released, the server side's
+// record descriptors (which the attack never reads) are dropped, and the
+// client side drives the noise-rejection state machine.
+func (m *Monitor) maintainFlow(f *monFlow, dir *monDir, isClient bool) {
+	dir.stream.ReleaseThrough(dir.consumed)
+	if !isClient {
+		dir.sc.ReleaseRecords(dir.sc.Released() + len(dir.sc.Records()))
+		return
+	}
+	if f.dead {
+		return
+	}
+	if f.detected {
+		if f.rejected {
+			// A hard report arrived during probation: rehabilitated. Its
+			// earliest descriptors are gone, so a finalize sees a partial
+			// observation — the price of having looked like noise.
+			f.rejected = false
+			m.rejectedNow--
+		}
+		return
+	}
+	w := m.win
+	if !f.rejected {
+		if f.classified >= w.RejectAfterRecords {
+			// Before the descriptors go: if no session has been seen yet,
+			// this flow may still end up the batch-rule fallback target
+			// (largest conversation of a reportless capture), so its decode
+			// over the pre-rejection prefix is stashed now — rejection must
+			// never turn a zero-report capture into an error.
+			if m.bestFinal == nil && f.viable() && f.totalBytes() > m.fallbackBytes {
+				if inf, err := m.atk.Infer(f.observation()); err == nil {
+					m.fallback, m.fallbackFlow, m.fallbackBytes = inf, f.clientKey, f.totalBytes()
+				}
+			}
+			f.rejected = true
+			m.rejectedNow++
+			f.rechecks = w.RecheckBudget
+			f.nextRecheck = f.classified + w.RecheckEvery
+			dir.sc.ReleaseRecords(dir.taken)
+		}
+		return
+	}
+	// Rejected probation: keep descriptors drained; after the bounded
+	// re-check budget with still zero reports, evict terminally.
+	dir.sc.ReleaseRecords(dir.taken)
+	if f.classified >= f.nextRecheck {
+		f.rechecks--
+		f.nextRecheck = f.classified + w.RecheckEvery
+		if f.rechecks <= 0 {
+			f.rejected = false
+			m.rejectedNow--
+			m.deadenFlow(f)
+			m.expired++
+			f.announced = true
+			m.emit(FlowExpired{Flow: f.eventKey(), At: m.clock,
+				Reason: "rejected", Records: f.classified, Bytes: f.totalBytes()})
+		}
+	}
+}
+
+// maybeFinalize finalizes a flow whose transport state ended: both
+// directions saw their FIN delivered, or either direction was reset.
+func (m *Monitor) maybeFinalize(f *monFlow, at time.Time) {
+	cs, ss := f.client.stream, f.server.stream
+	if cs == nil || ss == nil {
+		return
+	}
+	switch {
+	case cs.Aborted() || ss.Aborted():
+		m.finalizeFlow(f, at, "rst")
+	case cs.Complete() && ss.Complete():
+		m.finalizeFlow(f, at, "fin")
+	}
+}
+
+// maybeSweep runs the idle sweep every sweepInterval packets — or sooner
+// when the capture clock has jumped a quarter of the idle timeout, so a
+// sparse tap (one packet after a long silence) still ages flows out
+// promptly. Flows with no traffic for IdleTimeout on the capture clock
+// finalize, which is how conversations that vanish without a close (a
+// device leaving the network) still leave the window.
+func (m *Monitor) maybeSweep() {
+	m.sinceSweep++
+	if m.sweptAt.IsZero() {
+		m.sweptAt = m.clock
+	}
+	if m.sinceSweep < sweepInterval &&
+		m.clock.Sub(m.sweptAt) < m.win.IdleTimeout/4 {
+		return
+	}
+	m.sinceSweep = 0
+	m.sweptAt = m.clock
+	m.compactOrder()
+	for _, k := range m.order {
+		f, ok := m.flows[k]
+		if !ok {
+			continue
+		}
+		if !f.lastSeen.IsZero() && !f.lastSeen.Add(m.win.IdleTimeout).After(m.clock) {
+			m.finalizeFlow(f, m.clock, "idle")
+		}
+	}
+}
+
+// compactOrder rebuilds the first-seen order without dropped flows.
+func (m *Monitor) compactOrder() {
+	if m.flowsGone <= 64 || m.flowsGone*2 <= len(m.order) {
+		return
+	}
+	kept := m.order[:0]
+	for _, k := range m.order {
+		if _, ok := m.flows[k]; ok {
+			kept = append(kept, k)
+		}
+	}
+	m.order, m.flowsGone = kept, 0
+}
+
+// finalizeFlow concludes one flow and removes it from the monitor. A
+// viable flow with enough in-band evidence is inferred and emitted as a
+// SessionFinalized — for a mid-session idle expiry that inference carries
+// the partial path decoded so far and its confirmed-prefix DecodeMargin —
+// and everything else expires.
+func (m *Monitor) finalizeFlow(f *monFlow, at time.Time, reason string) {
+	defer m.dropFlow(f)
+	if !f.dead && f.viable() && m.hardCount(f) >= minSessionHards {
+		if inf, err := m.atk.Infer(f.observation()); err == nil {
+			matched, score := m.hardCount(f), 0.0
+			if len(inf.Hypotheses) > 0 {
+				matched, score = inf.Hypotheses[0].Matched, inf.Hypotheses[0].Score
+			}
+			m.noteFinal(inf, matched, score)
+			m.finalized++
+			m.emit(SessionFinalized{Flow: f.clientKey, Inference: inf})
+			return
+		}
+	}
+	// A currently-rejected flow's retained records are the post-rejection
+	// tail; its richer pre-rejection prefix was already stashed when the
+	// rejection hit, so don't overwrite that with a worse observation.
+	if m.bestFinal == nil && !f.dead && !f.rejected && f.viable() && f.totalBytes() > m.fallbackBytes {
+		if inf, err := m.atk.Infer(f.observation()); err == nil {
+			m.fallback, m.fallbackFlow, m.fallbackBytes = inf, f.clientKey, f.totalBytes()
+		}
+	}
+	if !f.announced {
+		m.expired++
+		f.announced = true
+		m.emit(FlowExpired{Flow: f.eventKey(), At: at, Reason: reason,
+			Records: f.classified, Bytes: f.totalBytes()})
+	}
+}
+
+// noteFinal keeps the best finalized inference by the same
+// (matched, score) rule the batch selectFlow applies.
+func (m *Monitor) noteFinal(inf *Inference, matched int, score float64) {
+	if m.bestFinal == nil || matched > m.bestMatched ||
+		(matched == m.bestMatched && score > m.bestScore) {
+		m.bestFinal, m.bestMatched, m.bestScore = inf, matched, score
+	}
+}
+
+// dropFlow releases a flow's reassembly state and forgets it. A later
+// packet on the same 5-tuple starts a fresh conversation, which is how
+// port reuse on a long tap should read.
+func (m *Monitor) dropFlow(f *monFlow) {
+	if f.rejected {
+		f.rejected = false
+		m.rejectedNow--
+	}
+	if f.client.stream != nil {
+		m.asm.Drop(f.client.stream.Key)
+	}
+	if f.server.stream != nil {
+		m.asm.Drop(f.server.stream.Key)
+	}
+	delete(m.flows, f.canonical)
+	m.flowsGone++
+}
+
+// eventKey is the key FlowExpired carries: client→server when known.
+func (f *monFlow) eventKey() layers.FlowKey {
+	if f.client.stream != nil {
+		return f.clientKey
+	}
+	return f.canonical
 }
 
 // direction resolves which side of the conversation a directional key is,
@@ -300,12 +742,14 @@ func (f *monFlow) direction(k layers.FlowKey) (*monDir, bool) {
 
 // onClientRecord absorbs one completed client-side record: anchor the
 // session clock, classify application data, emit detection and running
-// choice events, and extend the live alignment. Without an event
-// callback none of that state is observable before Close (which
-// classifies through Infer anyway), so the whole step is skipped and the
-// one-shot wrapper stays as cheap as the old batch path.
+// choice events, and extend the live alignment. Without an event callback
+// or a rolling window none of that state is observable before Close
+// (which classifies through Infer anyway), so the whole step is skipped
+// and the one-shot wrapper stays as cheap as the old batch path. With a
+// window but no callback only the counters the window needs are kept.
 func (m *Monitor) onClientRecord(f *monFlow, rec tlsrec.Record) {
-	if m.onEvent == nil {
+	live := m.onEvent != nil
+	if !live && m.win == nil {
 		return
 	}
 	if f.anchor.IsZero() {
@@ -339,6 +783,11 @@ func (m *Monitor) onClientRecord(f *monFlow, rec tlsrec.Record) {
 				f.plainChoices[n-1].DecidedAt = rec.Time
 			}
 		}
+	}
+	if !live || f.rejected {
+		// Window-only bookkeeping, or a flow in rejected probation whose
+		// hypothesis engine is paused: counters are all that is needed.
+		return
 	}
 	ev, ok := observedEventFrom(cr, idx, f.anchor)
 	if !ok {
@@ -416,13 +865,42 @@ func (f *monFlow) viable() bool {
 		f.client.sc.Err() == nil && f.server.sc.Err() == nil
 }
 
+// Stats snapshots the monitor's flow table and retained memory.
+func (m *Monitor) Stats() MonitorStats {
+	st := MonitorStats{
+		Flows:             len(m.flows),
+		RejectedFlows:     m.rejectedNow,
+		FinalizedSessions: m.finalized,
+		ExpiredFlows:      m.expired,
+	}
+	if m.cr != nil {
+		st.RetainedBytes += int64(m.cr.Buffered())
+	}
+	for _, f := range m.flows {
+		if !f.dead {
+			st.LiveFlows++
+		}
+		for _, d := range []*monDir{&f.client, &f.server} {
+			if d.stream != nil {
+				st.RetainedBytes += d.stream.BufferedBytes()
+			}
+			if d.sc != nil {
+				st.RetainedBytes += int64(len(d.sc.Records())) * recordFootprint
+			}
+		}
+	}
+	return st
+}
+
 // Close finalizes the monitor: it verifies the feed ended on a clean pcap
 // boundary, picks the best candidate flow, runs the full inference on it,
 // emits SessionFinalized and returns the Inference. For single-TLS-flow
 // captures the result is byte-identical to the batch Attacker.InferPcap;
 // among multiple candidates the flow whose records the script graph
 // explains best wins (falling back to the largest flow when no in-band
-// reports classified anywhere).
+// reports classified anywhere). In rolling-window mode every still-open
+// flow finalizes first — emitting its own SessionFinalized or FlowExpired
+// — and the best inference across the whole run is returned.
 func (m *Monitor) Close() (*Inference, error) {
 	if m.closed {
 		return nil, errors.New("attack: monitor already closed")
@@ -436,6 +914,9 @@ func (m *Monitor) Close() (*Inference, error) {
 			m.err = wrapReadErr(m.cr.HeaderDone(), err)
 			return nil, m.err
 		}
+	}
+	if m.win != nil {
+		return m.closeWindowed()
 	}
 
 	// Candidate flows, ordered like the batch extraction (by client key).
@@ -458,6 +939,74 @@ func (m *Monitor) Close() (*Inference, error) {
 	}
 	m.emit(SessionFinalized{Flow: chosen.clientKey, Inference: inf})
 	return inf, nil
+}
+
+// closeWindowed drains the window at end of feed: candidate flows
+// finalize (in deterministic first-seen order), and if no session was
+// ever finalized the largest still-viable conversation is attacked — the
+// batch fallback for captures whose reports never classified. Everything
+// else expires with reason "close".
+func (m *Monitor) closeWindowed() (*Inference, error) {
+	m.compactOrder()
+	// m.order can hold a key twice when a finalized flow's 5-tuple was
+	// reused; dedupe so no flow finalizes more than once.
+	var remaining []*monFlow
+	seen := make(map[layers.FlowKey]bool, len(m.order))
+	for _, k := range m.order {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if f, ok := m.flows[k]; ok {
+			remaining = append(remaining, f)
+		}
+	}
+	for _, f := range remaining {
+		if _, ok := m.flows[f.canonical]; !ok {
+			continue
+		}
+		if !f.dead && f.viable() && m.hardCount(f) >= minSessionHards {
+			m.finalizeFlow(f, m.clock, "close")
+		}
+	}
+	if m.bestFinal == nil {
+		var largest *monFlow
+		for _, f := range remaining {
+			if _, ok := m.flows[f.canonical]; !ok || f.dead || !f.viable() {
+				continue
+			}
+			if largest == nil || f.totalBytes() > largest.totalBytes() {
+				largest = f
+			}
+		}
+		// The batch rule attacks the capture's biggest conversation; an
+		// already-expired flow (tracked by the fallback) may outweigh
+		// everything still open.
+		if largest != nil && largest.totalBytes() > m.fallbackBytes {
+			if inf, err := m.atk.Infer(largest.observation()); err == nil {
+				m.noteFinal(inf, 0, 0)
+				m.finalized++
+				m.emit(SessionFinalized{Flow: largest.clientKey, Inference: inf})
+				m.dropFlow(largest)
+			}
+		}
+	}
+	for _, f := range remaining {
+		if _, ok := m.flows[f.canonical]; ok {
+			m.finalizeFlow(f, m.clock, "close")
+		}
+	}
+	if m.bestFinal == nil && m.fallback != nil {
+		// Nothing ever classified as a session; the largest expired viable
+		// flow is the attack target, as in the batch path.
+		m.finalized++
+		m.emit(SessionFinalized{Flow: m.fallbackFlow, Inference: m.fallback})
+		return m.fallback, nil
+	}
+	if m.bestFinal == nil {
+		return nil, ErrNoTLSConversation
+	}
+	return m.bestFinal, nil
 }
 
 // selectFlow picks the conversation to attack. With a single candidate —
@@ -507,12 +1056,13 @@ func (m *Monitor) selectFlow(cands []*monFlow) (*monFlow, *Inference, error) {
 }
 
 // hardCount returns the number of in-band (type-1/type-2) client records
-// on a flow. With a live event callback the running counter is already
-// maintained; otherwise — records were not classified during the feed to
-// keep the one-shot path cheap — the client records are classified here,
-// once, for the multi-candidate selection that needs them.
+// on a flow. With a live event callback or a rolling window the running
+// counter is already maintained; otherwise — records were not classified
+// during the feed to keep the one-shot path cheap — the client records
+// are classified here, once, for the multi-candidate selection that needs
+// them.
 func (m *Monitor) hardCount(f *monFlow) int {
-	if m.onEvent != nil {
+	if m.onEvent != nil || m.win != nil {
 		return f.hards
 	}
 	n := 0
@@ -529,5 +1079,12 @@ func (m *Monitor) hardCount(f *monFlow) int {
 
 // totalBytes is the conversation's delivered byte count, both directions.
 func (f *monFlow) totalBytes() int64 {
-	return f.client.stream.Len() + f.server.stream.Len()
+	var n int64
+	if f.client.stream != nil {
+		n += f.client.stream.Len()
+	}
+	if f.server.stream != nil {
+		n += f.server.stream.Len()
+	}
+	return n
 }

@@ -3,11 +3,13 @@ package attack
 import (
 	"bytes"
 	"io"
+	"net/netip"
 	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/capture"
+	"repro/internal/layers"
 	"repro/internal/pcapio"
 	"repro/internal/profiles"
 	"repro/internal/session"
@@ -203,5 +205,366 @@ func TestPrefixAlignerMatchesBatchScore(t *testing.T) {
 		if got != want {
 			t.Fatalf("path %d: incremental %v != batch %v", pi, got, want)
 		}
+	}
+}
+
+// feedMonitorPackets drives a monitor packet by packet without closing,
+// returning the records fed.
+func feedMonitorPackets(t *testing.T, m *Monitor, data []byte, frac float64) int {
+	t.Helper()
+	pr, err := pcapio.NewBytesReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := pr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(float64(len(recs)) * frac)
+	for _, rec := range recs[:n] {
+		if err := m.FeedPacket(rec.Timestamp, rec.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+// TestMonitorWindowFinFinalizes pins the rolling-window FIN path: the
+// session finalizes the moment its FIN exchange is delivered — before
+// Close — with the very inference the one-shot batch path produces, and
+// the monitor's flow table is empty afterwards.
+func TestMonitorWindowFinFinalizes(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	tr := runSession(t, 561, cond)
+	data := capturedSession(t, tr, 13)
+	want, err := atk.InferPcap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var finals []SessionFinalized
+	var closed bool
+	var finalizedBeforeClose bool
+	m := NewMonitor(atk, MonitorOptions{
+		Window: &Window{},
+		OnEvent: func(ev Event) {
+			if f, ok := ev.(SessionFinalized); ok {
+				finals = append(finals, f)
+				finalizedBeforeClose = finalizedBeforeClose || !closed
+			}
+		},
+	})
+	feedMonitorPackets(t, m, data, 1.0)
+	if len(finals) != 1 {
+		t.Fatalf("SessionFinalized fired %d times during the feed, want 1 (on FIN)", len(finals))
+	}
+	if !finalizedBeforeClose {
+		t.Error("finalization waited for Close; the FIN should have triggered it")
+	}
+	if st := m.Stats(); st.Flows != 0 || st.RetainedBytes != 0 {
+		t.Errorf("flow state retained after FIN finalization: %+v", st)
+	}
+	closed = true
+	got, err := m.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("windowed inference differs from batch InferPcap")
+	}
+	if !reflect.DeepEqual(finals[0].Inference, want) {
+		t.Error("SessionFinalized inference differs from batch InferPcap")
+	}
+}
+
+// TestMonitorWindowRstFinalizes: a reset mid-session finalizes the flow
+// immediately with the partial path decoded so far.
+func TestMonitorWindowRstFinalizes(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	tr := runSession(t, 562, cond)
+	data := capturedSession(t, tr, 17)
+	full, err := atk.InferPcap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var finals []SessionFinalized
+	m := NewMonitor(atk, MonitorOptions{
+		Window: &Window{},
+		OnEvent: func(ev Event) {
+			if f, ok := ev.(SessionFinalized); ok {
+				finals = append(finals, f)
+			}
+		},
+	})
+	feedMonitorPackets(t, m, data, 0.6)
+	if len(finals) != 0 {
+		t.Fatal("finalized before any close signal")
+	}
+
+	// The eavesdropper sees the connection reset mid-film.
+	ep := capture.DefaultEndpoints()
+	key := layers.FlowKey{SrcAddr: ep.ClientAddr, DstAddr: ep.ServerAddr,
+		SrcPort: ep.ClientPort, DstPort: ep.ServerPort}
+	rst, err := layers.BuildTCPFrame(key, layers.Ethernet{}, layers.TCP{Seq: 1, Flags: layers.TCPRst}, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FeedPacket(tr.Result.EndedAt, rst); err != nil {
+		t.Fatal(err)
+	}
+	if len(finals) != 1 {
+		t.Fatalf("SessionFinalized fired %d times after RST, want 1", len(finals))
+	}
+	inf := finals[0].Inference
+	if len(inf.Classified) == 0 || len(inf.Classified) >= len(full.Classified) {
+		t.Errorf("RST inference classified %d records, want a proper partial of %d",
+			len(inf.Classified), len(full.Classified))
+	}
+	if len(inf.Decisions) == 0 {
+		t.Error("partial-path inference carries no decisions")
+	}
+}
+
+// TestMonitorWindowIdleExpiry is the mid-session flow-expiry contract:
+// a session that goes silent finalizes via the idle sweep, emitting a
+// partial-path SessionFinalized whose inference carries the decode margin
+// over the confirmed prefix.
+func TestMonitorWindowIdleExpiry(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	tr := runSession(t, 563, cond)
+	data := capturedSession(t, tr, 19)
+	full, err := atk.InferPcap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var finals []SessionFinalized
+	var expired []FlowExpired
+	m := NewMonitor(atk, MonitorOptions{
+		Window: &Window{IdleTimeout: 60 * time.Second},
+		OnEvent: func(ev Event) {
+			switch e := ev.(type) {
+			case SessionFinalized:
+				finals = append(finals, e)
+			case FlowExpired:
+				expired = append(expired, e)
+			}
+		},
+	})
+	feedMonitorPackets(t, m, data, 0.6)
+
+	// Ten minutes later an unrelated connection sends one packet; the
+	// sweep must age the silent session out.
+	other := layers.FlowKey{
+		SrcAddr: netip.MustParseAddr("192.168.1.50"),
+		DstAddr: netip.MustParseAddr("198.51.100.99"),
+		SrcPort: 40000, DstPort: 443,
+	}
+	frame, err := layers.BuildTCPFrame(other, layers.Ethernet{}, layers.TCP{Seq: 1, Flags: layers.TCPSyn}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FeedPacket(tr.Result.EndedAt.Add(10*time.Minute), frame); err != nil {
+		t.Fatal(err)
+	}
+	if len(finals) != 1 {
+		t.Fatalf("SessionFinalized fired %d times after idle, want 1", len(finals))
+	}
+	inf := finals[0].Inference
+	if len(inf.Classified) == 0 || len(inf.Classified) >= len(full.Classified) {
+		t.Errorf("idle inference classified %d records, want a proper partial of %d",
+			len(inf.Classified), len(full.Classified))
+	}
+	if len(inf.Hypotheses) == 0 {
+		t.Error("partial-path inference carries no hypotheses")
+	}
+	if inf.DecodeMargin < 0 {
+		t.Errorf("confirmed-prefix DecodeMargin = %v", inf.DecodeMargin)
+	}
+	// The partial decode must agree with the full decode on the prefix of
+	// choices whose evidence it saw.
+	n := len(inf.Decisions)
+	if n > len(full.Decisions) {
+		n = len(full.Decisions)
+	}
+	agree := 0
+	for i := 0; i < n; i++ {
+		if inf.Decisions[i] == full.Decisions[i] {
+			agree++
+		}
+	}
+	if n > 0 && agree*2 < n {
+		t.Errorf("partial decode agrees on %d/%d prefix choices", agree, n)
+	}
+}
+
+// TestMonitorWindowRejectsNoiseFlows is the eviction regression from the
+// rolling-window work: noise flows the monitor has (implicitly) rejected
+// must stop accumulating state. 16 concurrent bulk-streaming flows ride
+// along one interactive session; with a window configured, every noise
+// flow must enter rejected probation once it has produced enough
+// reportless records, most must be terminally evicted after the bounded
+// re-check, the monitor's retained memory must stay far below the stream
+// volume, and the interactive session must still be found and decoded.
+func TestMonitorWindowRejectsNoiseFlows(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	tr := runSession(t, 564, cond)
+	var buf bytes.Buffer
+	if err := capture.WritePcapMulti(&buf, tr, capture.MultiOptions{
+		Options:    capture.Options{Seed: 23},
+		NoiseFlows: 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// The first in-band report arrives ~record 12 on interactive flows
+	// (see the soak defaults); 20 keeps the session clear of rejection
+	// while noise flows trip it quickly.
+	win := &Window{IdleTimeout: 120 * time.Second,
+		RejectAfterRecords: 20, RecheckEvery: 8, RecheckBudget: 2}
+	var finals []SessionFinalized
+	var rejectedEvictions int
+	m := NewMonitor(atk, MonitorOptions{Window: win, OnEvent: func(ev Event) {
+		switch e := ev.(type) {
+		case SessionFinalized:
+			finals = append(finals, e)
+		case FlowExpired:
+			if e.Reason == "rejected" {
+				rejectedEvictions++
+			}
+		}
+	}})
+	var peak int64
+	const chunk = 256 << 10
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := m.Feed(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		if st := m.Stats(); st.RetainedBytes > peak {
+			peak = st.RetainedBytes
+		}
+	}
+	inf, err := m.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The interactive flow finalized as the session and decoded fully.
+	ep := capture.DefaultEndpoints()
+	found := false
+	for _, f := range finals {
+		if f.Flow.SrcAddr == ep.ClientAddr && f.Flow.SrcPort == ep.ClientPort {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("interactive flow never finalized as a session (finals: %d)", len(finals))
+	}
+	correct, total := ScoreDecisions(inf.Decisions, tr.GroundTruthDecisions())
+	if correct != total {
+		t.Errorf("decode with 16 noise flows: %d/%d choices", correct, total)
+	}
+
+	// Eviction really happened, and really bounded memory: the capture
+	// carries 17 flows of media-scale traffic, the monitor must retain a
+	// small fraction of it at any instant.
+	if rejectedEvictions < 8 {
+		t.Errorf("only %d noise flows terminally evicted, want >= 8 of 16", rejectedEvictions)
+	}
+	if peak > int64(len(data))/8 {
+		t.Errorf("peak retained %d bytes on a %d-byte capture; window is not releasing", peak, len(data))
+	}
+	t.Logf("capture %d bytes, peak retained %d, rejected evictions %d", len(data), peak, rejectedEvictions)
+}
+
+// otherOnlyClassifier never places a record in a report band — the view
+// an attacker trained under the wrong condition has of a capture.
+type otherOnlyClassifier struct{}
+
+func (otherOnlyClassifier) Classify(int) (Class, float64) { return ClassOther, 0 }
+
+func (otherOnlyClassifier) Name() string { return "other-only" }
+
+// TestMonitorWindowFallbackWithoutReports pins the batch fallback in
+// rolling-window mode: when no flow ever classifies an in-band report
+// (wrong training condition, defended traffic), Close must still attack
+// the capture's largest conversation — byte-identical to InferPcap —
+// rather than expiring everything and erroring.
+func TestMonitorWindowFallbackWithoutReports(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	blind := *atk
+	blind.Classifier = otherOnlyClassifier{}
+	tr := runSession(t, 565, cond)
+	data := capturedSession(t, tr, 29)
+
+	want, err := blind.InferPcap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(&blind, MonitorOptions{Window: &Window{}})
+	got := feedMonitor(t, m, data, 128<<10)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("windowed fallback inference differs from batch InferPcap")
+	}
+}
+
+// TestMonitorWindowFallbackSurvivesRejection extends the zero-report
+// fallback to the long-flow case: a reportless conversation that crosses
+// the rejection threshold — and is even terminally evicted before its FIN
+// — must still yield a largest-conversation inference at Close (decoded
+// over the pre-rejection prefix), never an error.
+func TestMonitorWindowFallbackSurvivesRejection(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	blind := *atk
+	blind.Classifier = otherOnlyClassifier{}
+	tr := runSession(t, 556, cond) // 140 app records: crosses every threshold below
+	data := capturedSession(t, tr, 31)
+
+	m := NewMonitor(&blind, MonitorOptions{
+		Window: &Window{RejectAfterRecords: 20, RecheckEvery: 8, RecheckBudget: 2},
+	})
+	inf := feedMonitor(t, m, data, 128<<10)
+	if inf == nil {
+		t.Fatal("no inference")
+	}
+	if len(inf.Classified) == 0 {
+		t.Error("fallback inference classified nothing")
+	}
+	if len(inf.Classified) >= 140 {
+		t.Errorf("fallback classified %d records; expected the pre-rejection prefix only", len(inf.Classified))
+	}
+}
+
+// TestMonitorFeedPacketOwnedReleasesOnError: a capture loop feeding a
+// closed (or poisoned) monitor must get its ring slots back, or the ring
+// grows one frame per packet — the leak the ring exists to prevent.
+func TestMonitorFeedPacketOwnedReleasesOnError(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	ring := pcapio.NewPacketRing(4 << 10)
+	m := NewMonitor(atk, MonitorOptions{Window: &Window{}, FrameRing: ring})
+	if _, err := m.Close(); err == nil {
+		t.Fatal("Close on an empty packet-fed monitor should report no conversation")
+	}
+	for i := 0; i < 10; i++ {
+		slot := ring.AllocFrame(make([]byte, 1200))
+		if err := m.FeedPacketOwned(time.Unix(int64(i), 0), slot); err == nil {
+			t.Fatal("feed after Close should error")
+		}
+	}
+	if ring.InUse() != 0 {
+		t.Fatalf("ring holds %d bytes after error-path feeds; slots leaked", ring.InUse())
 	}
 }

@@ -52,10 +52,14 @@ func DefaultEndpoints() Endpoints {
 
 // noiseEndpoints derives distinct addresses for the i-th noise flow: the
 // same household client reaching other CDN edges from other ephemeral
-// ports.
-func noiseEndpoints(i int) Endpoints {
-	ep := DefaultEndpoints()
-	ep.ClientPort = 52000 + uint16(i)
+// ports. The derivation is relative to the session's endpoints so a
+// long-run harness rendering many sessions with shifted client ports (a
+// soak through one monitor) gets distinct noise 5-tuples per session; for
+// the default endpoints it reproduces the historical 52000+i ports
+// exactly.
+func noiseEndpoints(base Endpoints, i int) Endpoints {
+	ep := base
+	ep.ClientPort = base.ClientPort + 268 + uint16(i)
 	a := ep.ServerAddr.As4()
 	a[3] += byte(10 + i)
 	ep.ServerAddr = netip.AddrFrom4(a)
@@ -71,6 +75,11 @@ type Options struct {
 	// Seed drives small segmentation jitter (segments occasionally carry
 	// less than a full MSS, as real stacks emit on flush boundaries).
 	Seed uint64
+	// TimeOffset shifts every frame's capture timestamp. A long-run
+	// harness rendering back-to-back sessions uses it to lay them on one
+	// continuous tap timeline; the attack is shift-invariant (all timing
+	// evidence is relative to the session anchor).
+	TimeOffset time.Duration
 }
 
 // MultiOptions tunes WritePcapMulti.
@@ -98,6 +107,7 @@ type muxer struct {
 	arena  *wire.Writer
 	frames []frame
 	ipID   uint16
+	shift  time.Duration // applied to every frame timestamp
 }
 
 // add serializes one frame into the arena.
@@ -108,7 +118,7 @@ func (m *muxer) add(ts time.Time, key layers.FlowKey, eth layers.Ethernet,
 		return err
 	}
 	m.ipID++
-	m.frames = append(m.frames, frame{ts: ts, start: start, end: m.arena.Len(), seqKey: len(m.frames)})
+	m.frames = append(m.frames, frame{ts: ts.Add(m.shift), start: start, end: m.arena.Len(), seqKey: len(m.frames)})
 	return nil
 }
 
@@ -213,7 +223,7 @@ func WritePcap(w io.Writer, tr *session.Trace, opts Options) error {
 	arena, frameEstimate := arenaFor(streamBytes,
 		len(tr.ClientToServer.Writes)+len(tr.ServerToClient.Writes))
 	defer wire.PutWriter(arena)
-	m := &muxer{arena: arena, frames: make([]frame, 0, frameEstimate), ipID: 1}
+	m := &muxer{arena: arena, frames: make([]frame, 0, frameEstimate), ipID: 1, shift: opts.TimeOffset}
 	rng := wire.NewRNG(opts.Seed + 0x9e37)
 	if err := m.addConversation(tr.ClientToServer, tr.ServerToClient,
 		opts.Endpoints, opts.MTU, tr.Result.EndedAt, rng); err != nil {
@@ -244,7 +254,7 @@ func WritePcapMulti(w io.Writer, tr *session.Trace, opts MultiOptions) error {
 
 	arena, frameEstimate := arenaFor(streamBytes, writes)
 	defer wire.PutWriter(arena)
-	m := &muxer{arena: arena, frames: make([]frame, 0, frameEstimate), ipID: 1}
+	m := &muxer{arena: arena, frames: make([]frame, 0, frameEstimate), ipID: 1, shift: opts.TimeOffset}
 	rng := wire.NewRNG(opts.Seed + 0x9e37)
 	if err := m.addConversation(tr.ClientToServer, tr.ServerToClient,
 		opts.Endpoints, opts.MTU, end, rng); err != nil {
@@ -252,7 +262,7 @@ func WritePcapMulti(w io.Writer, tr *session.Trace, opts MultiOptions) error {
 	}
 	for i := range noise {
 		if err := m.addConversation(noise[i].client, noise[i].server,
-			noiseEndpoints(i), opts.MTU, noise[i].endedAt, rng.Fork(uint64(i+1))); err != nil {
+			noiseEndpoints(opts.Endpoints, i), opts.MTU, noise[i].endedAt, rng.Fork(uint64(i+1))); err != nil {
 			return err
 		}
 	}

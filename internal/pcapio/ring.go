@@ -1,0 +1,169 @@
+package pcapio
+
+import "unsafe"
+
+// PacketRing is a caller-owned frame arena for zero-copy live feeds: a
+// capture loop reads each frame into a slot from Alloc, hands the slot to
+// Monitor.FeedPacketOwned without copying, and the consumer releases
+// every span it stops referencing (immediately for headers and dead
+// traffic, at rolling-window release for reassembled payloads). Blocks
+// whose bytes have all come back are recycled, so a steady-state live
+// path allocates nothing per packet and the ring's footprint is bounded
+// by the consumer's window, not by uptime.
+//
+// Release is span-based: a slot may be returned in pieces (the TCP
+// payload through one path, the frame headers through another) and the
+// block recycles once the pieces add up. Slices the ring does not own are
+// ignored, so a consumer can route every unreferenced span through one
+// callback without tracking provenance. A PacketRing is single-consumer
+// state and not safe for concurrent use.
+type PacketRing struct {
+	blockSize int
+	cur       *ringBlock
+	blocks    []*ringBlock // blocks with outstanding bytes (cur included)
+	free      []*ringBlock
+	inUse     int64
+	allocated int64 // lifetime bytes handed out, for accounting tests
+}
+
+// ringBlock is one bump-allocated arena block.
+type ringBlock struct {
+	buf      []byte
+	off      int // allocation watermark
+	released int // bytes handed back
+}
+
+// DefaultRingBlock is the block size NewPacketRing uses for sizes <= 0.
+const DefaultRingBlock = 256 << 10
+
+// NewPacketRing returns a ring handing out slots from blocks of the given
+// size (<= 0 selects DefaultRingBlock). Frames larger than the block size
+// get a dedicated block.
+func NewPacketRing(blockSize int) *PacketRing {
+	if blockSize <= 0 {
+		blockSize = DefaultRingBlock
+	}
+	return &PacketRing{blockSize: blockSize}
+}
+
+// Alloc returns a stable n-byte slot for the caller to read a frame into.
+// The slot stays valid until every one of its bytes has been released.
+func (r *PacketRing) Alloc(n int) []byte {
+	if r.cur == nil || len(r.cur.buf)-r.cur.off < n {
+		r.seal()
+		r.cur = r.takeBlock(n)
+		r.blocks = append(r.blocks, r.cur)
+	}
+	b := r.cur.buf[r.cur.off : r.cur.off+n : r.cur.off+n]
+	r.cur.off += n
+	r.inUse += int64(n)
+	r.allocated += int64(n)
+	return b
+}
+
+// AllocFrame copies frame into a fresh slot and returns the stable copy —
+// the convenience form for callers whose source buffer is reused per
+// packet (a capture library handing out its own memory).
+func (r *PacketRing) AllocFrame(frame []byte) []byte {
+	b := r.Alloc(len(frame))
+	copy(b, frame)
+	return b
+}
+
+// Trim shrinks a just-allocated slot to n bytes — a capture read that
+// returned fewer bytes than reserved — releasing the tail immediately.
+func (r *PacketRing) Trim(b []byte, n int) []byte {
+	r.Release(b[n:])
+	return b[:n]
+}
+
+// Release hands back a span previously obtained from Alloc (whole or in
+// pieces). Spans the ring does not own are ignored. Releasing the same
+// bytes twice corrupts the accounting; the reassembly release contract
+// guarantees each span comes back exactly once.
+func (r *PacketRing) Release(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	p := uintptr(unsafe.Pointer(&b[0]))
+	for i, blk := range r.blocks {
+		s := uintptr(unsafe.Pointer(&blk.buf[0]))
+		if p < s || p >= s+uintptr(blk.off) {
+			continue
+		}
+		blk.released += len(b)
+		r.inUse -= int64(len(b))
+		if blk.released == blk.off && blk != r.cur {
+			blk.off, blk.released = 0, 0
+			r.blocks = append(r.blocks[:i], r.blocks[i+1:]...)
+			r.free = append(r.free, blk)
+		}
+		return
+	}
+}
+
+// seal retires the current block: if all its bytes already came back it
+// recycles immediately, otherwise Release will recycle it later.
+func (r *PacketRing) seal() {
+	blk := r.cur
+	r.cur = nil
+	if blk == nil || blk.released != blk.off {
+		return
+	}
+	for i, b := range r.blocks {
+		if b == blk {
+			r.blocks = append(r.blocks[:i], r.blocks[i+1:]...)
+			break
+		}
+	}
+	blk.off, blk.released = 0, 0
+	r.free = append(r.free, blk)
+}
+
+// takeBlock recycles a free block with room for n bytes or makes one.
+func (r *PacketRing) takeBlock(n int) *ringBlock {
+	for i := len(r.free) - 1; i >= 0; i-- {
+		if blk := r.free[i]; len(blk.buf) >= n {
+			r.free = append(r.free[:i], r.free[i+1:]...)
+			return blk
+		}
+	}
+	size := r.blockSize
+	if n > size {
+		size = n
+	}
+	return &ringBlock{buf: make([]byte, size)}
+}
+
+// ReleaseExcept releases the parts of slot not covered by kept, which
+// must be a sub-slice of slot (or empty, releasing everything). A packet
+// consumer uses it to hand back a frame's link/network/transport headers
+// the moment the payload — the only part reassembly retains — has been
+// carved out.
+func (r *PacketRing) ReleaseExcept(slot, kept []byte) {
+	if len(kept) == 0 {
+		r.Release(slot)
+		return
+	}
+	ss := uintptr(unsafe.Pointer(&slot[0]))
+	ks := uintptr(unsafe.Pointer(&kept[0]))
+	if ks < ss || ks+uintptr(len(kept)) > ss+uintptr(len(slot)) {
+		r.Release(slot) // kept is foreign: nothing of the slot is retained
+		return
+	}
+	head := int(ks - ss)
+	r.Release(slot[:head])
+	r.Release(slot[head+len(kept):])
+}
+
+// InUse returns the bytes handed out and not yet released.
+func (r *PacketRing) InUse() int64 { return r.inUse }
+
+// Allocated returns the lifetime bytes handed out — with InUse, the
+// figure accounting tests use to prove slots cycle rather than leak.
+func (r *PacketRing) Allocated() int64 { return r.allocated }
+
+// Blocks returns the count of blocks currently backing the ring (live
+// plus recycled). A flat Blocks over a long run is the bounded-memory
+// proof for the live path.
+func (r *PacketRing) Blocks() int { return len(r.blocks) + len(r.free) }

@@ -1,0 +1,110 @@
+package pcapio
+
+import "testing"
+
+// TestPacketRingRecycles is the steady-state contract: allocating and
+// releasing far more bytes than one block must cycle a bounded set of
+// blocks rather than grow.
+func TestPacketRingRecycles(t *testing.T) {
+	r := NewPacketRing(1 << 10)
+	var live [][]byte
+	for i := 0; i < 1000; i++ {
+		live = append(live, r.AllocFrame(make([]byte, 100)))
+		if len(live) > 3 {
+			r.Release(live[0]) // FIFO-ish consumer holding a small window
+			live = live[1:]
+		}
+	}
+	for _, b := range live {
+		r.Release(b)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after releasing everything", r.InUse())
+	}
+	if r.Allocated() != 100*1000 {
+		t.Fatalf("Allocated = %d", r.Allocated())
+	}
+	if n := r.Blocks(); n > 4 {
+		t.Fatalf("ring grew to %d blocks; slots are not recycling", n)
+	}
+}
+
+// TestPacketRingSpanRelease checks split release: a slot handed back in
+// pieces (header now, payload later) recycles the block once the pieces
+// add up, and ReleaseExcept releases exactly the non-kept spans.
+func TestPacketRingSpanRelease(t *testing.T) {
+	r := NewPacketRing(256)
+	slot := r.Alloc(100)
+	payload := slot[40:90]
+	r.ReleaseExcept(slot, payload)
+	if r.InUse() != 50 {
+		t.Fatalf("InUse = %d after releasing around the payload", r.InUse())
+	}
+	r.Release(payload)
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after final span", r.InUse())
+	}
+	// The block must now be reusable.
+	b2 := r.Alloc(200)
+	if r.Blocks() != 1 {
+		t.Fatalf("Blocks = %d, want 1 (recycled)", r.Blocks())
+	}
+	r.Release(b2)
+
+	// ReleaseExcept with nothing kept releases the whole slot.
+	s3 := r.Alloc(64)
+	r.ReleaseExcept(s3, nil)
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after ReleaseExcept(all)", r.InUse())
+	}
+}
+
+// TestPacketRingIgnoresForeignSpans: spans from memory the ring does not
+// own must be ignored, so one release callback can serve every feed path.
+func TestPacketRingIgnoresForeignSpans(t *testing.T) {
+	r := NewPacketRing(256)
+	b := r.Alloc(10)
+	r.Release(make([]byte, 50))
+	r.Release(nil)
+	if r.InUse() != 10 {
+		t.Fatalf("foreign release corrupted accounting: InUse = %d", r.InUse())
+	}
+	r.Release(b)
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d", r.InUse())
+	}
+}
+
+// TestPacketRingTrim: a capture read shorter than its reservation returns
+// the tail immediately.
+func TestPacketRingTrim(t *testing.T) {
+	r := NewPacketRing(256)
+	slot := r.Alloc(128)
+	frame := r.Trim(slot, 60)
+	if len(frame) != 60 || r.InUse() != 60 {
+		t.Fatalf("Trim: len=%d InUse=%d", len(frame), r.InUse())
+	}
+	r.Release(frame)
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d", r.InUse())
+	}
+}
+
+// TestPacketRingOversizeFrame: frames larger than the block size get a
+// dedicated block and still recycle.
+func TestPacketRingOversizeFrame(t *testing.T) {
+	r := NewPacketRing(64)
+	big := r.AllocFrame(make([]byte, 1000))
+	small := r.AllocFrame(make([]byte, 10))
+	r.Release(big)
+	r.Release(small)
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d", r.InUse())
+	}
+	// The big block is reused for the next oversize frame.
+	before := r.Blocks()
+	r.Release(r.AllocFrame(make([]byte, 900)))
+	if r.Blocks() != before {
+		t.Fatalf("oversize alloc grew blocks %d -> %d", before, r.Blocks())
+	}
+}

@@ -31,15 +31,19 @@ type Stream struct {
 	Key layers.FlowKey
 
 	noCopy   bool // payloads are stable: buffer them without copying
+	discard  bool // rolling-window eviction: count bytes, buffer nothing
 	synSeen  bool
 	isn      uint32 // initial sequence number (of SYN)
 	nextRel  int64  // next expected relative offset (bytes delivered)
 	chunks   []Chunk
+	released int                  // chunks dropped from the front by ReleaseThrough
 	pending  map[int64]pendingSeg // keyed by relative offset
 	finSeen  bool
 	finRel   int64
+	rstSeen  bool
 	bytesIn  int64 // total payload bytes accepted (including dups trimmed away)
 	segCount int
+	unref    func([]byte) // optional: called for every payload span dropped
 }
 
 type pendingSeg struct {
@@ -47,7 +51,16 @@ type pendingSeg struct {
 	data []byte
 }
 
-// Chunks returns the in-order chunks delivered so far.
+// drop hands a payload span the stream permanently stops referencing to
+// the release callback, if any (the zero-copy live path recycles frame
+// memory through it).
+func (s *Stream) drop(b []byte) {
+	if s.unref != nil && len(b) > 0 {
+		s.unref(b)
+	}
+}
+
+// Chunks returns the in-order chunks delivered and not yet released.
 func (s *Stream) Chunks() []Chunk { return s.chunks }
 
 // DeliveredChunks returns the chunks delivered at or after index since —
@@ -55,14 +68,69 @@ func (s *Stream) Chunks() []Chunk { return s.chunks }
 // chunks it has processed and asks for the delta after each packet, so
 // per-flow analysis (e.g. a TLS record scanner) advances in lock-step
 // with reassembly instead of rescanning from the start of the stream.
+// The index is absolute over the stream's lifetime: chunks dropped by
+// ReleaseThrough still count, and asking for an index inside the released
+// prefix returns from the first retained chunk.
 func (s *Stream) DeliveredChunks(since int) []Chunk {
+	since -= s.released
 	if since >= len(s.chunks) {
 		return nil
+	}
+	if since < 0 {
+		since = 0
 	}
 	return s.chunks[since:]
 }
 
-// Bytes concatenates the delivered stream.
+// ReleaseThrough drops every delivered chunk with absolute index < n,
+// handing their payload spans to the release callback. It is the
+// rolling-window consumer's half of the DeliveredChunks cursor contract:
+// once a chunk has been scanned, releasing it lets the memory behind it
+// (the feed buffer, a caller-owned packet ring) be reclaimed, so a
+// monitor can run indefinitely without retaining the whole stream.
+// Releasing past the delivered count is clamped.
+func (s *Stream) ReleaseThrough(n int) {
+	k := n - s.released
+	if k <= 0 {
+		return
+	}
+	if k > len(s.chunks) {
+		k = len(s.chunks)
+	}
+	for i := 0; i < k; i++ {
+		s.drop(s.chunks[i].Data)
+	}
+	rest := copy(s.chunks, s.chunks[k:])
+	// Zero the tail so the backing array stops pinning payload memory.
+	for i := rest; i < len(s.chunks); i++ {
+		s.chunks[i] = Chunk{}
+	}
+	s.chunks = s.chunks[:rest]
+	s.released += k
+}
+
+// Released returns the number of chunks dropped by ReleaseThrough.
+func (s *Stream) Released() int { return s.released }
+
+// Discard evicts the stream: every buffered chunk and pending segment is
+// released now, and future payloads are counted but never buffered (the
+// delivery cursor jumps over them, so Len stays meaningful and FIN/RST
+// completion still tracks). A rolling-window monitor uses it for flows
+// that can never be attacked — non-TLS conversations, rejected noise —
+// so their reassembly state stops growing.
+func (s *Stream) Discard() {
+	if s.discard {
+		return
+	}
+	s.discard = true
+	s.ReleaseThrough(s.released + len(s.chunks))
+	for off, p := range s.pending {
+		s.drop(p.data)
+		delete(s.pending, off)
+	}
+}
+
+// Bytes concatenates the retained (unreleased) delivered stream.
 func (s *Stream) Bytes() []byte {
 	var n int
 	for _, c := range s.chunks {
@@ -78,9 +146,27 @@ func (s *Stream) Bytes() []byte {
 // Len returns the number of contiguous bytes delivered.
 func (s *Stream) Len() int64 { return s.nextRel }
 
+// BufferedBytes returns the payload bytes the stream currently retains:
+// unreleased delivered chunks plus out-of-order pending segments. It is
+// the figure a rolling-window monitor's memory accounting sums per flow.
+func (s *Stream) BufferedBytes() int64 {
+	var n int64
+	for _, c := range s.chunks {
+		n += int64(len(c.Data))
+	}
+	for _, p := range s.pending {
+		n += int64(len(p.data))
+	}
+	return n
+}
+
 // Complete reports whether a FIN was seen and every byte up to it has
 // been delivered.
 func (s *Stream) Complete() bool { return s.finSeen && s.nextRel >= s.finRel }
+
+// Aborted reports whether an RST was seen; the conversation is dead from
+// that point and a streaming consumer finalizes the flow immediately.
+func (s *Stream) Aborted() bool { return s.rstSeen }
 
 // Gaps reports the number of byte ranges still missing before the highest
 // buffered segment, useful for diagnosing lossy captures.
@@ -111,6 +197,7 @@ func (s *Stream) addSegment(ts time.Time, tcp layers.TCP, payload []byte) {
 		if s.pending == nil {
 			s.pending = make(map[int64]pendingSeg)
 		}
+		s.drop(payload) // TFO-style SYN data is not reassembled
 		return
 	}
 	if !s.synSeen {
@@ -128,6 +215,9 @@ func (s *Stream) addSegment(ts time.Time, tcp layers.TCP, payload []byte) {
 			s.finSeen, s.finRel = true, rel
 		}
 	}
+	if tcp.Flags&layers.TCPRst != 0 {
+		s.rstSeen = true
+	}
 	if len(payload) == 0 {
 		return
 	}
@@ -136,16 +226,32 @@ func (s *Stream) addSegment(ts time.Time, tcp layers.TCP, payload []byte) {
 
 	rel := s.relOffset(tcp.Seq)
 	end := rel + int64(len(payload))
+	if s.discard {
+		// Evicted stream: advance the delivery cursor past the data (gaps
+		// are of no consequence once nothing downstream reads bytes) and
+		// hand the payload straight back.
+		if end > s.nextRel {
+			s.nextRel = end
+		}
+		s.drop(payload)
+		return
+	}
 	if end <= s.nextRel {
+		s.drop(payload)
 		return // pure retransmission of delivered data
 	}
 	if rel < s.nextRel {
 		// Partial overlap with delivered data: keep only the new tail.
+		s.drop(payload[:s.nextRel-rel])
 		payload = payload[s.nextRel-rel:]
 		rel = s.nextRel
 	}
-	if existing, ok := s.pending[rel]; ok && int64(len(existing.data)) >= int64(len(payload)) {
-		return // duplicate of a buffered segment
+	if existing, ok := s.pending[rel]; ok {
+		if int64(len(existing.data)) >= int64(len(payload)) {
+			s.drop(payload)
+			return // duplicate of a buffered segment
+		}
+		s.drop(existing.data) // superseded by the longer arrival
 	}
 	if !s.noCopy {
 		payload = append([]byte(nil), payload...)
@@ -164,6 +270,7 @@ func (s *Stream) drain() {
 			found := false
 			for off, p := range s.pending {
 				if off < s.nextRel && off+int64(len(p.data)) > s.nextRel {
+					s.drop(p.data[:s.nextRel-off])
 					trimmed := p.data[s.nextRel-off:]
 					delete(s.pending, off)
 					s.pending[s.nextRel] = pendingSeg{time: p.time, data: trimmed}
@@ -184,6 +291,7 @@ func (s *Stream) drain() {
 		// Drop any buffered segments now wholly superseded.
 		for off, p := range s.pending {
 			if off+int64(len(p.data)) <= s.nextRel {
+				s.drop(p.data)
 				delete(s.pending, off)
 			}
 		}
@@ -194,7 +302,9 @@ func (s *Stream) drain() {
 type Assembler struct {
 	streams map[layers.FlowKey]*Stream
 	order   []layers.FlowKey // creation order, for deterministic iteration
+	dropped int              // streams removed since the last order compaction
 	noCopy  bool
+	unref   func([]byte)
 }
 
 // NewAssembler returns an empty assembler.
@@ -210,6 +320,16 @@ func NewAssembler() *Assembler {
 // after the call.
 func (a *Assembler) SetStablePayloads(stable bool) { a.noCopy = stable }
 
+// SetReleaseFunc installs a callback that receives every payload span the
+// assembler permanently stops referencing: duplicate and overlapping
+// retransmissions, chunks dropped by Stream.ReleaseThrough, and buffers
+// evicted by Stream.Discard or Drop. A caller feeding frames from its own
+// ring (pcapio.PacketRing) recycles slots through it; spans from other
+// memory may be passed too — the ring ignores what it does not own. Only
+// meaningful with stable payloads, and affects streams created after the
+// call.
+func (a *Assembler) SetReleaseFunc(f func([]byte)) { a.unref = f }
+
 // Feed routes one decoded packet to its directional stream, creating the
 // stream on first sight, and returns the stream the packet landed in so
 // incremental consumers can follow up on exactly the flow that changed.
@@ -217,7 +337,8 @@ func (a *Assembler) Feed(p *layers.Packet) *Stream {
 	key := p.Flow()
 	st, ok := a.streams[key]
 	if !ok {
-		st = &Stream{Key: key, noCopy: a.noCopy, pending: make(map[int64]pendingSeg)}
+		st = &Stream{Key: key, noCopy: a.noCopy, unref: a.unref,
+			pending: make(map[int64]pendingSeg)}
 		a.streams[key] = st
 		a.order = append(a.order, key)
 	}
@@ -230,11 +351,43 @@ func (a *Assembler) Stream(key layers.FlowKey) *Stream {
 	return a.streams[key]
 }
 
-// Streams returns all streams in first-seen order.
+// Drop releases a directional stream's buffers and removes it from the
+// assembler. A rolling-window monitor calls it when a flow finalizes
+// (FIN/RST/idle) so the demultiplexer's footprint tracks the set of live
+// conversations, not every conversation ever seen. A later packet on the
+// same key starts a fresh stream (mid-stream adoption), which is exactly
+// how port reuse on a long-lived tap should behave.
+func (a *Assembler) Drop(key layers.FlowKey) {
+	st, ok := a.streams[key]
+	if !ok {
+		return
+	}
+	st.Discard()
+	delete(a.streams, key)
+	a.dropped++
+	if a.dropped > 64 && a.dropped*2 > len(a.order) {
+		a.compactOrder()
+	}
+}
+
+// compactOrder rebuilds the first-seen order without dropped keys.
+func (a *Assembler) compactOrder() {
+	kept := a.order[:0]
+	for _, k := range a.order {
+		if _, ok := a.streams[k]; ok {
+			kept = append(kept, k)
+		}
+	}
+	a.order, a.dropped = kept, 0
+}
+
+// Streams returns all live streams in first-seen order.
 func (a *Assembler) Streams() []*Stream {
 	out := make([]*Stream, 0, len(a.order))
 	for _, k := range a.order {
-		out = append(out, a.streams[k])
+		if st, ok := a.streams[k]; ok {
+			out = append(out, st)
+		}
 	}
 	return out
 }
@@ -259,7 +412,10 @@ func (a *Assembler) Conversations() []Conversation {
 			continue
 		}
 		seen[k] = true
-		fwd := a.streams[k]
+		fwd, ok := a.streams[k]
+		if !ok {
+			continue // dropped
+		}
 		var rev *Stream
 		if r, ok := a.streams[k.Reverse()]; ok {
 			rev = r

@@ -344,3 +344,158 @@ func TestStablePayloadsNotCopied(t *testing.T) {
 		t.Error("stable payload was copied")
 	}
 }
+
+// TestReleaseThroughCursor pins the rolling-window half of the
+// DeliveredChunks contract: indices stay absolute across releases, the
+// released prefix is gone, and releasing is clamped and idempotent.
+func TestReleaseThroughCursor(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPAck, []byte("aa"), 1))
+	a.Feed(seg(1003, layers.TCPAck, []byte("bb"), 2))
+	a.Feed(seg(1005, layers.TCPAck, []byte("cc"), 3))
+	st := a.Stream(key)
+	if len(st.Chunks()) != 3 {
+		t.Fatalf("chunks = %d", len(st.Chunks()))
+	}
+	st.ReleaseThrough(2)
+	if st.Released() != 2 || len(st.Chunks()) != 1 {
+		t.Fatalf("after release: released=%d retained=%d", st.Released(), len(st.Chunks()))
+	}
+	if got := st.DeliveredChunks(2); len(got) != 1 || string(got[0].Data) != "cc" {
+		t.Fatalf("DeliveredChunks(2) = %v", got)
+	}
+	// New data keeps flowing behind the released prefix.
+	a.Feed(seg(1007, layers.TCPAck, []byte("dd"), 4))
+	if got := st.DeliveredChunks(3); len(got) != 1 || string(got[0].Data) != "dd" {
+		t.Fatalf("DeliveredChunks(3) = %v", got)
+	}
+	if st.Len() != 8 {
+		t.Errorf("Len = %d after releases (must stay absolute)", st.Len())
+	}
+	st.ReleaseThrough(100) // clamped
+	if len(st.Chunks()) != 0 || st.Released() != 4 {
+		t.Errorf("clamped release: released=%d retained=%d", st.Released(), len(st.Chunks()))
+	}
+	st.ReleaseThrough(1) // backwards: no-op
+	if st.Released() != 4 {
+		t.Errorf("backwards release moved the cursor: %d", st.Released())
+	}
+}
+
+// TestReleaseCallbackAccounting proves every payload byte fed to the
+// assembler in stable mode comes back through the release callback
+// exactly once — duplicates, overlaps, trims, released chunks and
+// discards included. This is the invariant the caller-owned packet ring
+// needs to recycle frame memory.
+func TestReleaseCallbackAccounting(t *testing.T) {
+	var released int
+	a := NewAssembler()
+	a.SetStablePayloads(true)
+	a.SetReleaseFunc(func(b []byte) { released += len(b) })
+	fed := 0
+	feed := func(p *layers.Packet) {
+		fed += len(p.Payload)
+		a.Feed(p)
+	}
+	feed(seg(1000, layers.TCPSyn, nil, 0))
+	feed(seg(1001, layers.TCPAck, []byte("hello "), 1))
+	feed(seg(1001, layers.TCPAck, []byte("hello "), 2)) // pure retransmission
+	feed(seg(1004, layers.TCPAck, []byte("lo wor"), 3)) // partial overlap with delivered
+	feed(seg(1011, layers.TCPAck, []byte("ld"), 4))     // out of order (pending)
+	feed(seg(1011, layers.TCPAck, []byte("l"), 5))      // shorter duplicate of pending
+	feed(seg(1009, layers.TCPAck, []byte("rld!"), 6))   // fills gap, supersedes pending
+	st := a.Stream(key)
+	if got := string(st.Bytes()); got != "hello world!" {
+		t.Fatalf("stream = %q", got)
+	}
+	// Everything not retained must have been released already.
+	if want := fed - int(st.BufferedBytes()); released != want {
+		t.Fatalf("released %d bytes, want %d (fed %d, buffered %d)",
+			released, want, fed, st.BufferedBytes())
+	}
+	st.ReleaseThrough(st.Released() + len(st.Chunks()))
+	if released != fed {
+		t.Fatalf("after full release: released %d of %d fed bytes", released, fed)
+	}
+	if st.BufferedBytes() != 0 {
+		t.Errorf("BufferedBytes = %d after full release", st.BufferedBytes())
+	}
+}
+
+// TestDiscardStopsBuffering covers eviction: a discarded stream releases
+// what it held, buffers nothing new, and still tracks delivery length and
+// FIN completion so transport-state finalization keeps working.
+func TestDiscardStopsBuffering(t *testing.T) {
+	var released int
+	a := NewAssembler()
+	a.SetStablePayloads(true)
+	a.SetReleaseFunc(func(b []byte) { released += len(b) })
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPAck, []byte("hello "), 1))
+	a.Feed(seg(1010, layers.TCPAck, []byte("xx"), 2)) // pending behind a gap
+	st := a.Stream(key)
+	st.Discard()
+	if released != 8 {
+		t.Fatalf("discard released %d bytes, want 8", released)
+	}
+	a.Feed(seg(1007, layers.TCPAck, []byte("world"), 3))
+	if released != 13 {
+		t.Errorf("post-discard payload not released (released=%d)", released)
+	}
+	if st.BufferedBytes() != 0 || len(st.Chunks()) != 0 {
+		t.Errorf("discarded stream retains memory: %d bytes", st.BufferedBytes())
+	}
+	if st.Len() != 11 {
+		t.Errorf("Len = %d, want 11 (cursor advances past dropped data)", st.Len())
+	}
+	a.Feed(seg(1012, layers.TCPFin|layers.TCPAck, nil, 4))
+	if !st.Complete() {
+		t.Error("FIN completion lost in discard mode")
+	}
+}
+
+// TestAbortedOnRST pins RST tracking: the stream reports Aborted so a
+// streaming consumer can finalize the flow at the reset.
+func TestAbortedOnRST(t *testing.T) {
+	a := NewAssembler()
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPAck, []byte("data"), 1))
+	st := a.Stream(key)
+	if st.Aborted() {
+		t.Fatal("aborted before RST")
+	}
+	a.Feed(seg(1005, layers.TCPRst, nil, 2))
+	if !st.Aborted() {
+		t.Fatal("RST not tracked")
+	}
+	if st.Complete() {
+		t.Error("RST must not masquerade as a clean FIN close")
+	}
+}
+
+// TestAssemblerDrop verifies eviction from the demultiplexer: the stream's
+// memory is released, iteration skips it, and a later packet on the same
+// key starts a fresh conversation (port reuse on a long tap).
+func TestAssemblerDrop(t *testing.T) {
+	var released int
+	a := NewAssembler()
+	a.SetStablePayloads(true)
+	a.SetReleaseFunc(func(b []byte) { released += len(b) })
+	a.Feed(seg(1000, layers.TCPSyn, nil, 0))
+	a.Feed(seg(1001, layers.TCPAck, []byte("hello"), 1))
+	a.Drop(key)
+	if released != 5 {
+		t.Fatalf("drop released %d bytes, want 5", released)
+	}
+	if a.Stream(key) != nil {
+		t.Fatal("dropped stream still resolvable")
+	}
+	if len(a.Streams()) != 0 || len(a.Conversations()) != 0 {
+		t.Fatal("dropped stream still iterable")
+	}
+	st := a.Feed(seg(9000, layers.TCPAck, []byte("fresh"), 2))
+	if got := string(st.Bytes()); got != "fresh" {
+		t.Fatalf("reused key did not start fresh: %q", got)
+	}
+}

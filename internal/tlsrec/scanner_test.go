@@ -124,3 +124,45 @@ func TestAppendSplitMatchesSplit(t *testing.T) {
 		}
 	}
 }
+
+// TestRecordScannerReleaseRecords pins the descriptor-release cursor: the
+// released prefix is gone, Released stays absolute, scanning continues,
+// and a record whose body is still arriving can never be released.
+func TestRecordScannerReleaseRecords(t *testing.T) {
+	stream, _ := buildStream(t)
+	sc := NewRecordScanner()
+	// Feed all but the final byte: the last record's body is incomplete.
+	sc.Feed(time.Unix(300, 0), stream[:len(stream)-1])
+	complete := len(sc.Records())
+	if complete == 0 {
+		t.Fatal("no complete records")
+	}
+	all := append([]Record(nil), sc.Records()...)
+
+	sc.ReleaseRecords(2)
+	if sc.Released() != 2 {
+		t.Fatalf("Released = %d", sc.Released())
+	}
+	if got := sc.Records(); len(got) != complete-2 || got[0].StreamOffset != all[2].StreamOffset {
+		t.Fatalf("retained tail wrong: %d records, first %+v", len(got), got[0])
+	}
+
+	// Releasing "everything" is clamped to the complete records; the
+	// in-flight partial record survives and completes on the last byte.
+	sc.ReleaseRecords(1 << 30)
+	if sc.Released() != complete {
+		t.Fatalf("clamped release: Released = %d, want %d", sc.Released(), complete)
+	}
+	sc.Feed(time.Unix(301, 0), stream[len(stream)-1:])
+	if got := sc.Records(); len(got) != 1 {
+		t.Fatalf("final record lost across release: %d retained", len(got))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Backwards release is a no-op.
+	sc.ReleaseRecords(1)
+	if sc.Released() != complete {
+		t.Errorf("backwards release moved the cursor: %d", sc.Released())
+	}
+}

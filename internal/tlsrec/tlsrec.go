@@ -230,8 +230,9 @@ func (p *StreamParser) Pending() int { return len(p.buf) }
 // path: the side-channel needs lengths and times, never bodies, so a
 // multi-megabyte capture costs a record-descriptor slice and nothing else.
 type RecordScanner struct {
-	recs []Record
-	hdr  [headerLen]byte
+	recs     []Record
+	released int // records dropped from the front by ReleaseRecords
+	hdr      [headerLen]byte
 	// hdrLen counts header bytes accumulated so far for the record being
 	// started; hdrOff/hdrTime pin its stream offset and arrival time.
 	hdrLen  int
@@ -275,7 +276,7 @@ func (s *RecordScanner) Feed(ts time.Time, data []byte) {
 		typ := ContentType(s.hdr[0])
 		ver := Version(uint16(s.hdr[1])<<8 | uint16(s.hdr[2]))
 		length := int(s.hdr[3])<<8 | int(s.hdr[4])
-		if err := validateHeader(typ, ver, length, len(s.recs) == 0); err != nil {
+		if err := validateHeader(typ, ver, length, s.released+len(s.recs) == 0); err != nil {
 			s.err = err
 			return
 		}
@@ -288,9 +289,9 @@ func (s *RecordScanner) Feed(ts time.Time, data []byte) {
 	}
 }
 
-// Records returns the complete records scanned so far. A trailing partial
-// record (header or body cut off mid-stream) is absent, matching
-// ParseStream's tolerance for truncated captures.
+// Records returns the complete records scanned and not yet released. A
+// trailing partial record (header or body cut off mid-stream) is absent,
+// matching ParseStream's tolerance for truncated captures.
 func (s *RecordScanner) Records() []Record {
 	if s.skip > 0 && len(s.recs) > 0 {
 		// The last record's body never finished arriving; exclude it so a
@@ -298,6 +299,35 @@ func (s *RecordScanner) Records() []Record {
 		return s.recs[:len(s.recs)-1]
 	}
 	return s.recs
+}
+
+// Released returns the number of record descriptors dropped by
+// ReleaseRecords; Records()[0], when present, has absolute index
+// Released().
+func (s *RecordScanner) Released() int { return s.released }
+
+// ReleaseRecords drops every complete record with absolute index < n from
+// the scanner's retention — the descriptor-level analogue of
+// tcpreasm.Stream.ReleaseThrough. A rolling-window consumer that has
+// classified a record and will never revisit it (a rejected noise flow,
+// the server direction whose lengths the attack never reads) releases it
+// so descriptor memory is bounded by the window, not the tap's lifetime.
+// Scanning continues unaffected; a record whose body is still arriving is
+// never released. Releasing past the completed count is clamped.
+func (s *RecordScanner) ReleaseRecords(n int) {
+	if complete := s.released + len(s.Records()); n > complete {
+		n = complete
+	}
+	k := n - s.released
+	if k <= 0 {
+		return
+	}
+	rest := copy(s.recs, s.recs[k:])
+	for i := rest; i < len(s.recs); i++ {
+		s.recs[i] = Record{}
+	}
+	s.recs = s.recs[:rest]
+	s.released = n
 }
 
 // Err reports a fatal framing error, after which Feed is a no-op.

@@ -30,6 +30,7 @@ import (
 	"repro/internal/layers"
 	"repro/internal/media"
 	"repro/internal/parallel"
+	"repro/internal/pcapio"
 	"repro/internal/profiles"
 	"repro/internal/script"
 	"repro/internal/session"
@@ -59,29 +60,55 @@ type (
 	// as they arrive, receive typed events, and Close for the final
 	// inference. Attacker.InferPcap is a thin wrapper over it.
 	Monitor = attack.Monitor
-	// MonitorOptions tunes a Monitor (the event callback).
+	// MonitorOptions tunes a Monitor (event callback, rolling window,
+	// frame ring).
 	MonitorOptions = attack.MonitorOptions
+	// MonitorWindow configures the rolling-window mode: bounded-memory
+	// operation over an indefinite link tap, with per-flow FIN/RST/idle
+	// finalization and noise-flow eviction.
+	MonitorWindow = attack.Window
+	// MonitorStats snapshots a monitor's flow table and retained memory.
+	MonitorStats = attack.MonitorStats
 	// MonitorEvent is a typed Monitor notification; the concrete types are
-	// FlowDetected, ChoiceInferred and SessionFinalized.
+	// FlowDetected, ChoiceInferred, SessionFinalized and FlowExpired.
 	MonitorEvent = attack.Event
 	// FlowDetected fires when a flow first produces an in-band report.
 	FlowDetected = attack.FlowDetected
 	// ChoiceInferred fires per in-band report with the running decode.
 	ChoiceInferred = attack.ChoiceInferred
-	// SessionFinalized fires from Monitor.Close with the final inference.
+	// SessionFinalized fires with a flow's final inference: from Close,
+	// and per flow at FIN/RST/idle finalization in rolling-window mode.
 	SessionFinalized = attack.SessionFinalized
+	// FlowExpired fires in rolling-window mode when a flow is evicted
+	// without finalizing as a session.
+	FlowExpired = attack.FlowExpired
 	// FlowKey identifies one direction of a TCP conversation (as carried
 	// by Monitor events).
 	FlowKey = layers.FlowKey
+	// PacketRing is the caller-owned frame arena backing the zero-copy
+	// Monitor.FeedPacketOwned path: a live capture loop reads frames into
+	// ring slots and the monitor releases every span it stops
+	// referencing, so steady state allocates nothing per packet.
+	PacketRing = pcapio.PacketRing
 )
 
 // NewMonitor returns a streaming monitor for a trained attacker. The
 // monitor accepts pcap bytes in chunks of any size (Feed) or decoded
-// frames (FeedPacket), emits events through opts.OnEvent, and Close
-// returns the Inference for the best candidate flow — byte-identical to
-// Attacker.InferPcap for single-conversation captures.
+// frames (FeedPacket, or the zero-copy FeedPacketOwned), emits events
+// through opts.OnEvent, and Close returns the Inference for the best
+// candidate flow — byte-identical to Attacker.InferPcap for
+// single-conversation captures. Set opts.Window for the rolling-window
+// link-tap regime: bounded memory over an indefinite feed, with flows
+// finalizing individually on FIN/RST or idle.
 func NewMonitor(a *Attacker, opts MonitorOptions) *Monitor {
 	return attack.NewMonitor(a, opts)
+}
+
+// NewPacketRing returns a frame ring for the zero-copy live path; pass it
+// as MonitorOptions.FrameRing and feed slots via Monitor.FeedPacketOwned.
+// blockSize <= 0 selects the default.
+func NewPacketRing(blockSize int) *PacketRing {
+	return pcapio.NewPacketRing(blockSize)
 }
 
 // Named conditions from the paper's Figure 2.
