@@ -16,6 +16,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/experiments"
 	"repro/internal/script"
+	"repro/internal/tlsrec"
 )
 
 // BenchmarkTable1_DatasetAttributes regenerates Table I: the attribute
@@ -145,6 +146,24 @@ func BenchmarkAblation_Prefetch(b *testing.B) {
 		}
 		b.ReportMetric(100*res.WithPrefetch, "%with-prefetch")
 		b.ReportMetric(100*res.WithoutPrefetch, "%without")
+	}
+}
+
+// BenchmarkScenario_TLS13 regenerates the modern-stack sweep: detection
+// and decode accuracy when the service negotiates the TLS 1.3 record
+// layer, across the padding policies.
+func BenchmarkScenario_TLS13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TLS13(4, nil, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.Policy.Version == tlsrec.RecordTLS13 && p.Policy.Padding.Mode == tlsrec.PadNone {
+				b.ReportMetric(100*p.MeanAccuracy, "%tls13-accuracy")
+				b.ReportMetric(100*p.DetectionRate, "%tls13-detection")
+			}
+		}
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"repro/internal/profiles"
 	"repro/internal/script"
 	"repro/internal/session"
+	"repro/internal/tlsrec"
 	"repro/internal/viewer"
 	"repro/internal/wire"
 )
@@ -55,6 +56,9 @@ func main() {
 		chunkKiB = flag.Int("chunk", 64, "live-mode feed chunk size in KiB")
 		window   = flag.Bool("window", true, "live mode: rolling-window operation (bounded memory, per-flow FIN/RST/idle finalization)")
 		idle     = flag.Duration("idle", 90*time.Second, "live window mode: idle timeout before a silent flow finalizes")
+		tls13    = flag.Bool("tls13", false, "train under the TLS 1.3 record layer (attack a wmsession -tls13 capture)")
+		padTo    = flag.Int("pad-to", 0, "TLS 1.3 training: records were padded to a multiple of this many bytes")
+		padRand  = flag.Int("pad-random", 0, "TLS 1.3 training: records carried a random pad up to this many bytes")
 	)
 	flag.Parse()
 
@@ -66,8 +70,13 @@ func main() {
 		TrafficTime: netem.TrafficTime(*traffic),
 	}
 
+	recVer, padding, err := tlsrec.ResolveRecordFlags(*tls13, *padTo, *padRand)
+	if err != nil {
+		fatal(err)
+	}
+
 	g := script.Bandersnatch()
-	atk, err := train(g, cond, *trainN, *seed)
+	atk, err := train(g, cond, *trainN, *seed, recVer, padding)
 	if err != nil {
 		fatal(err)
 	}
@@ -192,9 +201,11 @@ func attackLive(atk *attack.Attacker, data []byte, chunkBytes int, win *attack.W
 	return inf, nil
 }
 
-// train profiles the service under cond, drawing extra sessions until
-// both report types appear in the training set.
-func train(g *script.Graph, cond profiles.Condition, n int, seed uint64) (*attack.Attacker, error) {
+// train profiles the service under cond — and under the capture's record
+// layer, which moves every band — drawing extra sessions until both
+// report types appear in the training set.
+func train(g *script.Graph, cond profiles.Condition, n int, seed uint64,
+	recVer tlsrec.RecordVersion, padding tlsrec.PaddingPolicy) (*attack.Attacker, error) {
 	enc := media.Encode(g, media.DefaultLadder, seed^0xabcd)
 	var traces []*session.Trace
 	for t := 0; t < n+8; t++ {
@@ -202,6 +213,7 @@ func train(g *script.Graph, cond profiles.Condition, n int, seed uint64) (*attac
 		tr, err := session.Run(session.Config{
 			Graph: g, Encoding: enc, Viewer: pop[0], Condition: cond,
 			SessionID: fmt.Sprintf("train-%d", t), Seed: seed + uint64(t)*101,
+			RecordVersion: recVer, Padding: padding,
 		})
 		if err != nil {
 			return nil, err
@@ -211,7 +223,8 @@ func train(g *script.Graph, cond profiles.Condition, n int, seed uint64) (*attac
 			break
 		}
 	}
-	return attack.NewAttacker(traces, g, script.BandersnatchMaxChoices)
+	return attack.NewAttackerWithTrainer(attack.TrainerFor(recVer, padding),
+		traces, g, script.BandersnatchMaxChoices)
 }
 
 func bothClasses(traces []*session.Trace) bool {

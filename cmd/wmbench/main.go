@@ -8,11 +8,22 @@
 //	wmbench -exp figure2          # one experiment
 //	wmbench -workers 8            # bound the worker pool (0 = GOMAXPROCS)
 //	wmbench -benchjson BENCH.json # machine-readable perf + domain metrics
-//	wmbench -check BENCH_pr3.json # CI perf gate: rerun pipeline benches,
+//	wmbench -check BENCH_pr4.json # CI perf gate: rerun pipeline benches,
 //	                              # exit non-zero outside the tolerance band
 //
 // Experiments: table1, figure1, figure2, accuracy, decode, baselines,
-// defenses, timing, classifiers, prefetch, interleaved, soak.
+// defenses, timing, classifiers, prefetch, interleaved, tls13, soak.
+//
+// The tls13 experiment sweeps the modern record layer: it profiles and
+// attacks sessions under TLS 1.2, unpadded TLS 1.3, and the RFC 8446
+// padding policies (pad-to-64/256, pad-random-128/512), reporting
+// detection rate, choice accuracy and padding byte overhead per policy:
+//
+//	wmbench -exp tls13            # the full sweep at the default seed
+//
+// A policy whose padding envelope makes the widened type-1/type-2 bands
+// overlap is reported as "not separable" — the attack declines to train
+// rather than misclassify.
 package main
 
 import (
@@ -143,6 +154,21 @@ func runners() []runner {
 				}
 				return m
 			}},
+		{"tls13",
+			func(seed uint64) (any, error) { return experiments.TLS13(4, nil, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.TLS13Result)
+				m := map[string]float64{}
+				for _, p := range v.Points {
+					// Untrainable rows carry zero rates by construction
+					// (tls13Point returns before any session runs).
+					key := strings.NewReplacer("/", "_", ".", "", "-", "_").Replace(p.Policy.Label())
+					m["detection_pct_"+key] = 100 * p.DetectionRate
+					m["accuracy_pct_"+key] = 100 * p.MeanAccuracy
+					m["pad_overhead_pct_"+key] = p.PadOverheadPct
+				}
+				return m
+			}},
 		{"soak",
 			func(seed uint64) (any, error) { return experiments.Soak(20, 2, seed) },
 			func(r any) map[string]float64 {
@@ -182,6 +208,8 @@ func report(r any) (string, error) {
 	case *experiments.PrefetchAblationResult:
 		return v.Report, nil
 	case *experiments.InterleavedResult:
+		return v.Report, nil
+	case *experiments.TLS13Result:
 		return v.Report, nil
 	case *experiments.SoakResult:
 		return v.Report, nil

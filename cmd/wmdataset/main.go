@@ -7,9 +7,12 @@
 //
 //	wmdataset -n 100 -seed 1 -out ./iitm-bandersnatch
 //	wmdataset -n 1000 -workers 8   # fan sessions across 8 workers
+//	wmdataset -n 100 -tls13 -pad-to 64   # a modern-stack dataset
 //
 // Generation is deterministic: the same -n and -seed produce byte-identical
-// pcaps at any -workers value.
+// pcaps at any -workers value. -tls13 generates every session under RFC
+// 8446 record framing; -pad-to / -pad-random apply a record-padding
+// policy under it.
 package main
 
 import (
@@ -19,19 +22,30 @@ import (
 	"path/filepath"
 
 	"repro/internal/dataset"
+	"repro/internal/tlsrec"
 )
 
 func main() {
 	var (
-		n       = flag.Int("n", 100, "number of viewers (the paper collected 100)")
-		seed    = flag.Uint64("seed", 1, "deterministic seed")
-		out     = flag.String("out", "iitm-bandersnatch", "output directory ('' to skip persistence)")
-		csv     = flag.Bool("csv", true, "write attributes.csv alongside the dataset")
-		workers = flag.Int("workers", 0, "worker pool size (0 = WM_WORKERS or GOMAXPROCS)")
+		n         = flag.Int("n", 100, "number of viewers (the paper collected 100)")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		out       = flag.String("out", "iitm-bandersnatch", "output directory ('' to skip persistence)")
+		csv       = flag.Bool("csv", true, "write attributes.csv alongside the dataset")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = WM_WORKERS or GOMAXPROCS)")
+		tls13     = flag.Bool("tls13", false, "speak the TLS 1.3 record layer (RFC 8446 framing)")
+		padTo     = flag.Int("pad-to", 0, "TLS 1.3: pad records to a multiple of this many bytes")
+		padRandom = flag.Int("pad-random", 0, "TLS 1.3: per-record seeded random pad up to this many bytes")
 	)
 	flag.Parse()
+	recVer, padding, err := tlsrec.ResolveRecordFlags(*tls13, *padTo, *padRandom)
+	if err != nil {
+		fatal(err)
+	}
 
-	ds, err := dataset.Generate(dataset.Config{N: *n, Seed: *seed, Workers: *workers})
+	ds, err := dataset.Generate(dataset.Config{
+		N: *n, Seed: *seed, Workers: *workers,
+		RecordVersion: recVer, Padding: padding,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -4,9 +4,12 @@
 // Usage:
 //
 //	wmsession -out session.pcap -seed 42 -os linux -browser firefox
+//	wmsession -out s13.pcap -tls13 -pad-to 64   # modern record layer
 //
 // The resulting pcap is a standard libpcap file (open it in Wireshark);
 // the sidecar records the viewer's actual choices for later scoring.
+// -tls13 switches the session to RFC 8446 record framing; -pad-to /
+// -pad-random apply a record-padding policy under it.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/internal/profiles"
 	"repro/internal/script"
 	"repro/internal/session"
+	"repro/internal/tlsrec"
 	"repro/internal/viewer"
 	"repro/internal/wire"
 )
@@ -35,8 +39,16 @@ func main() {
 		medium     = flag.String("medium", "wired", "connection: wired|wireless")
 		traffic    = flag.String("traffic", "morning", "traffic time: morning|noon|night")
 		noPrefetch = flag.Bool("no-prefetch", false, "disable default-branch prefetching")
+		tls13      = flag.Bool("tls13", false, "speak the TLS 1.3 record layer (RFC 8446 framing)")
+		padTo      = flag.Int("pad-to", 0, "TLS 1.3: pad records to a multiple of this many bytes")
+		padRandom  = flag.Int("pad-random", 0, "TLS 1.3: per-record seeded random pad up to this many bytes")
+		noise      = flag.Int("noise", 0, "interleave this many concurrent bulk-streaming noise flows (they speak the session's record layer)")
 	)
 	flag.Parse()
+	recVer, padding, err := tlsrec.ResolveRecordFlags(*tls13, *padTo, *padRandom)
+	if err != nil {
+		fatal(err)
+	}
 
 	cond := profiles.Condition{
 		OS:          profiles.OS(*osName),
@@ -54,6 +66,8 @@ func main() {
 		SessionID:       fmt.Sprintf("wmsession-%d", *seed),
 		Seed:            *seed,
 		DisablePrefetch: *noPrefetch,
+		RecordVersion:   recVer,
+		Padding:         padding,
 	})
 	if err != nil {
 		fatal(err)
@@ -63,7 +77,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := capture.WritePcap(f, tr, capture.Options{Seed: *seed}); err != nil {
+	if *noise > 0 {
+		err = capture.WritePcapMulti(f, tr, capture.MultiOptions{
+			Options:    capture.Options{Seed: *seed},
+			NoiseFlows: *noise,
+		})
+	} else {
+		err = capture.WritePcap(f, tr, capture.Options{Seed: *seed})
+	}
+	if err != nil {
 		f.Close()
 		fatal(err)
 	}

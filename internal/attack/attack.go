@@ -74,8 +74,14 @@ type Attacker struct {
 // NewAttacker trains a classifier from labeled traces using the paper's
 // interval-band rule and returns an attacker for the given graph.
 func NewAttacker(training []*session.Trace, g *script.Graph, maxChoices int) (*Attacker, error) {
-	examples := TrainingSetFromTraces(training)
-	clf, err := (&IntervalBandTrainer{}).Train(examples)
+	return NewAttackerWithTrainer(&IntervalBandTrainer{}, training, g, maxChoices)
+}
+
+// NewAttackerWithTrainer is NewAttacker with an explicit classifier
+// trainer — the hook for padding-aware profiling (an IntervalBandTrainer
+// carrying the policy's PadEnvelope) or for the ablation classifiers.
+func NewAttackerWithTrainer(t Trainer, training []*session.Trace, g *script.Graph, maxChoices int) (*Attacker, error) {
+	clf, err := t.Train(TrainingSetFromTraces(training))
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/tlsrec"
 )
 
 // Class is the attacker-side label for a client record.
@@ -152,6 +154,16 @@ type IntervalBandTrainer struct {
 	// pollution check below rejects the margin if it swallows "other"
 	// traffic.
 	Margin int
+	// PadEnvelope widens each band by the maximum number of bytes a
+	// TLS 1.3 record-padding policy can add to a record
+	// (tlsrec.PaddingPolicy.Envelope). Padded training examples cover
+	// only the pads that happened to be drawn: an attack-time record may
+	// carry up to Envelope more padding than the largest observed example
+	// — or up to Envelope less than the smallest — so both edges widen.
+	// The separability and pollution checks run on the widened bands, so
+	// a policy wide enough to smear the classes together fails training
+	// loudly instead of misclassifying quietly.
+	PadEnvelope int
 }
 
 // Train implements Trainer.
@@ -160,6 +172,7 @@ func (t *IntervalBandTrainer) Train(examples []Example) (Classifier, error) {
 	if margin == 0 {
 		margin = 24
 	}
+	widen := margin + t.PadEnvelope
 	t1 := lengthsOf(examples, ClassType1)
 	t2 := lengthsOf(examples, ClassType2)
 	if len(t1) == 0 || len(t2) == 0 {
@@ -167,8 +180,8 @@ func (t *IntervalBandTrainer) Train(examples []Example) (Classifier, error) {
 			len(t1), len(t2))
 	}
 	c := &IntervalBand{
-		T1Lo: minInt(t1) - margin, T1Hi: maxInt(t1) + margin,
-		T2Lo: minInt(t2) - margin, T2Hi: maxInt(t2) + margin,
+		T1Lo: minInt(t1) - widen, T1Hi: maxInt(t1) + widen,
+		T2Lo: minInt(t2) - widen, T2Hi: maxInt(t2) + widen,
 	}
 	if c.T1Hi >= c.T2Lo {
 		return nil, fmt.Errorf("attack: type-1 band [%d,%d] overlaps type-2 band [%d,%d]; condition not separable",
@@ -186,6 +199,21 @@ func (t *IntervalBandTrainer) Train(examples []Example) (Classifier, error) {
 		}
 	}
 	return c, nil
+}
+
+// TrainerFor returns the interval-band trainer matched to the record
+// layer the profiled service speaks: under TLS 1.3 the learned bands
+// widen by the padding policy's envelope (training examples only cover
+// the pads that happened to be drawn); under 1.2 the policy is
+// meaningless and ignored. Every entry point that trains from
+// version-aware sessions — the facade, the experiment drivers, wmattack
+// — goes through here so the envelope rule lives in one place.
+func TrainerFor(ver tlsrec.RecordVersion, pad tlsrec.PaddingPolicy) Trainer {
+	t := &IntervalBandTrainer{}
+	if ver == tlsrec.RecordTLS13 {
+		t.PadEnvelope = pad.Envelope()
+	}
+	return t
 }
 
 // --- Nearest-centroid classifier -------------------------------------------

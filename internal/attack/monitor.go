@@ -99,8 +99,31 @@ type Window struct {
 	// its record descriptors are released and it enters bounded re-check
 	// probation. Default 128.
 	RejectAfterRecords int
+	// RejectQuiet is the rate-based rejection rule — the figure a
+	// deployed tap actually reasons in is reports per minute of capture
+	// clock, not records. A flow that has classified application records
+	// for this long (measured on the capture clock from its first
+	// classified record) without a single in-band report is rejected no
+	// matter how few records it produced, which is what evicts slow-drip
+	// noise the count rule would tolerate for many minutes. The count
+	// rule stays in force as a floor for dense flows (whichever threshold
+	// is crossed first rejects), and RejectQuietMinRecords guards the
+	// clock rule against near-silent flows. An interactive session's
+	// first report lands well inside the window (~49s after the first
+	// record under the calibrated profiles; a late report still
+	// rehabilitates). Zero selects the default of 150s; negative disables
+	// the clock rule, leaving count-only rejection.
+	RejectQuiet time.Duration
+	// RejectQuietMinRecords is the least number of classified client
+	// application records before RejectQuiet may reject a flow, so a
+	// conversation that has barely spoken is not condemned by the clock
+	// alone. Default 12.
+	RejectQuietMinRecords int
 	// RecheckEvery is the number of further application records between
-	// re-checks of a rejected flow. Default 64.
+	// re-checks of a rejected flow. Default 64. In-probation re-checks
+	// also fire once per RejectQuiet interval of capture clock, so a
+	// slow-drip flow's bounded probation ends in bounded time, not just
+	// in a bounded record count.
 	RecheckEvery int
 	// RecheckBudget is how many re-check rounds a rejected flow gets
 	// before terminal eviction (its reassembly stops buffering entirely).
@@ -116,6 +139,15 @@ func (w Window) withDefaults() Window {
 	}
 	if w.RejectAfterRecords <= 0 {
 		w.RejectAfterRecords = 128
+	}
+	switch {
+	case w.RejectQuiet < 0:
+		w.RejectQuiet = 0 // disabled: count-only rejection
+	case w.RejectQuiet == 0:
+		w.RejectQuiet = 150 * time.Second
+	}
+	if w.RejectQuietMinRecords <= 0 {
+		w.RejectQuietMinRecords = 12
 	}
 	if w.RecheckEvery <= 0 {
 		w.RecheckEvery = 64
@@ -283,12 +315,14 @@ type monFlow struct {
 	detected  bool
 
 	// Rolling-window state.
-	lastSeen    time.Time
-	dead        bool // non-TLS or terminally evicted: streams discarded
-	rejected    bool // zero-report probation
-	announced   bool // FlowExpired already emitted (tombstones expire once)
-	nextRecheck int  // classified-record count of the next probation check
-	rechecks    int  // probation rounds left before terminal eviction
+	lastSeen     time.Time
+	firstAppAt   time.Time // capture time of the first classified app record
+	dead         bool      // non-TLS or terminally evicted: streams discarded
+	rejected     bool      // zero-report probation
+	announced    bool      // FlowExpired already emitted (tombstones expire once)
+	nextRecheck  int       // classified-record count of the next probation check
+	nextRecheckT time.Time // capture-clock deadline of the next probation check
+	rechecks     int       // probation rounds left before terminal eviction
 
 	// Live decode state (populated only when the monitor has OnEvent).
 	anchor       time.Time
@@ -554,7 +588,14 @@ func (m *Monitor) maintainFlow(f *monFlow, dir *monDir, isClient bool) {
 	}
 	w := m.win
 	if !f.rejected {
-		if f.classified >= w.RejectAfterRecords {
+		// Two rejection triggers: the count rule (dense flows trip it in
+		// seconds) and the clock rule (a slow drip of reportless records
+		// trips it after RejectQuiet of capture time, long before its
+		// record count would).
+		quiet := w.RejectQuiet > 0 && !f.firstAppAt.IsZero() &&
+			f.classified >= w.RejectQuietMinRecords &&
+			m.clock.Sub(f.firstAppAt) >= w.RejectQuiet
+		if f.classified >= w.RejectAfterRecords || quiet {
 			// Before the descriptors go: if no session has been seen yet,
 			// this flow may still end up the batch-rule fallback target
 			// (largest conversation of a reportless capture), so its decode
@@ -569,16 +610,26 @@ func (m *Monitor) maintainFlow(f *monFlow, dir *monDir, isClient bool) {
 			m.rejectedNow++
 			f.rechecks = w.RecheckBudget
 			f.nextRecheck = f.classified + w.RecheckEvery
+			if w.RejectQuiet > 0 {
+				f.nextRecheckT = m.clock.Add(w.RejectQuiet)
+			}
 			dir.sc.ReleaseRecords(dir.taken)
 		}
 		return
 	}
 	// Rejected probation: keep descriptors drained; after the bounded
-	// re-check budget with still zero reports, evict terminally.
+	// re-check budget with still zero reports, evict terminally. Re-checks
+	// fire on whichever cadence — record count or capture clock — comes
+	// first, so slow drips cannot stretch probation indefinitely.
 	dir.sc.ReleaseRecords(dir.taken)
-	if f.classified >= f.nextRecheck {
+	recheckDue := f.classified >= f.nextRecheck ||
+		(!f.nextRecheckT.IsZero() && !m.clock.Before(f.nextRecheckT))
+	if recheckDue {
 		f.rechecks--
 		f.nextRecheck = f.classified + w.RecheckEvery
+		if w.RejectQuiet > 0 {
+			f.nextRecheckT = m.clock.Add(w.RejectQuiet)
+		}
 		if f.rechecks <= 0 {
 			f.rejected = false
 			m.rejectedNow--
@@ -762,6 +813,9 @@ func (m *Monitor) onClientRecord(f *monFlow, rec tlsrec.Record) {
 	cr := classifyRecord(rec, m.atk.Classifier, soft)
 	idx := f.classified
 	f.classified++
+	if f.firstAppAt.IsZero() {
+		f.firstAppAt = rec.Time // starts the quiet-period rejection clock
+	}
 
 	hard := cr.Class == ClassType1 || cr.Class == ClassType2
 	if hard {

@@ -487,6 +487,87 @@ func TestMonitorWindowRejectsNoiseFlows(t *testing.T) {
 	t.Logf("capture %d bytes, peak retained %d, rejected evictions %d", len(data), peak, rejectedEvictions)
 }
 
+// TestMonitorWindowRejectsSlowDripNoise pins the rate-based rejection
+// rule: a reportless flow that drips records too slowly to ever reach the
+// count threshold must still be rejected — and terminally evicted — once
+// it has been quiet for RejectQuiet of capture clock, because a deployed
+// tap reasons in reports per minute, not in record counts. The
+// bulk-streaming noise flows of an interleaved capture are exactly that
+// shape: ~1 client record every few seconds, far below RejectAfterRecords
+// over a whole session.
+func TestMonitorWindowRejectsSlowDripNoise(t *testing.T) {
+	cond := profiles.Fig2Ubuntu
+	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
+	tr := runSession(t, 564, cond) // long session: plenty of capture clock
+	var buf bytes.Buffer
+	if err := capture.WritePcapMulti(&buf, tr, capture.MultiOptions{
+		Options:    capture.Options{Seed: 41},
+		NoiseFlows: 6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// A count threshold no drip flow can reach, so any rejection observed
+	// is the clock rule's doing; one probation round keeps eviction inside
+	// the capture.
+	win := &Window{
+		RejectAfterRecords: 100000,
+		RejectQuiet:        60 * time.Second, RejectQuietMinRecords: 4,
+		RecheckBudget: 1,
+	}
+	var finals []SessionFinalized
+	var rejected []FlowExpired
+	m := NewMonitor(atk, MonitorOptions{Window: win, OnEvent: func(ev Event) {
+		switch e := ev.(type) {
+		case SessionFinalized:
+			finals = append(finals, e)
+		case FlowExpired:
+			if e.Reason == "rejected" {
+				rejected = append(rejected, e)
+			}
+		}
+	}})
+	inf := feedMonitor(t, m, data, 256<<10)
+
+	if len(rejected) == 0 {
+		t.Fatal("no slow-drip flow was rejected by the quiet-period rule")
+	}
+	for _, e := range rejected {
+		if e.Records >= win.RejectAfterRecords {
+			t.Errorf("flow %v evicted with %d records — the count rule fired, not the clock rule",
+				e.Flow, e.Records)
+		}
+	}
+	// The interactive session is unharmed: its first report lands well
+	// inside the quiet window, so it finalizes and decodes fully.
+	ep := capture.DefaultEndpoints()
+	found := false
+	for _, f := range finals {
+		if f.Flow.SrcAddr == ep.ClientAddr && f.Flow.SrcPort == ep.ClientPort {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("interactive flow never finalized as a session")
+	}
+	correct, total := ScoreDecisions(inf.Decisions, tr.GroundTruthDecisions())
+	if correct != total {
+		t.Errorf("decode under quiet-period rejection: %d/%d choices", correct, total)
+	}
+	t.Logf("%d slow-drip flows rejected (records per flow: %v)", len(rejected), recordCounts(rejected))
+}
+
+// recordCounts extracts the per-flow classified-record counts of expiry
+// events for the test log.
+func recordCounts(evs []FlowExpired) []int {
+	out := make([]int, len(evs))
+	for i, e := range evs {
+		out[i] = e.Records
+	}
+	return out
+}
+
 // otherOnlyClassifier never places a record in a report band — the view
 // an attacker trained under the wrong condition has of a capture.
 type otherOnlyClassifier struct{}
@@ -499,7 +580,9 @@ func (otherOnlyClassifier) Name() string { return "other-only" }
 // rolling-window mode: when no flow ever classifies an in-band report
 // (wrong training condition, defended traffic), Close must still attack
 // the capture's largest conversation — byte-identical to InferPcap —
-// rather than expiring everything and erroring.
+// rather than expiring everything and erroring. The quiet-period
+// rejection rule is disabled here so the flow survives to Close with its
+// full observation; the companion test below covers the rejected case.
 func TestMonitorWindowFallbackWithoutReports(t *testing.T) {
 	cond := profiles.Fig2Ubuntu
 	atk := trainedAttacker(t, cond, []uint64{101, 102, 103})
@@ -512,7 +595,7 @@ func TestMonitorWindowFallbackWithoutReports(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := NewMonitor(&blind, MonitorOptions{Window: &Window{}})
+	m := NewMonitor(&blind, MonitorOptions{Window: &Window{RejectQuiet: -1}})
 	got := feedMonitor(t, m, data, 128<<10)
 	if !reflect.DeepEqual(got, want) {
 		t.Error("windowed fallback inference differs from batch InferPcap")

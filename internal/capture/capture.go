@@ -89,6 +89,14 @@ type MultiOptions struct {
 	// NoiseFlows is the number of concurrent bulk-streaming flows mixed
 	// into the capture.
 	NoiseFlows int
+	// RecordVersion is the record layer the noise flows negotiate. The
+	// zero value inherits the interactive trace's own generation, so a
+	// TLS 1.3 household produces TLS 1.3 noise; set it explicitly to mix
+	// generations on one tap.
+	RecordVersion tlsrec.RecordVersion
+	// RecordVersionSet marks RecordVersion as explicit (needed because
+	// RecordTLS12 is the zero value).
+	RecordVersionSet bool
 }
 
 // frame is one synthesized packet awaiting interleave. Frame bytes live
@@ -241,13 +249,18 @@ func WritePcapMulti(w io.Writer, tr *session.Trace, opts MultiOptions) error {
 	start := streamStart(tr.ClientToServer)
 	end := tr.Result.EndedAt
 
+	recVer := opts.RecordVersion
+	if !opts.RecordVersionSet {
+		recVer = tr.Profile.RecordVersion()
+	}
+
 	// Synthesize the noise flows first so the arena can be sized for the
 	// whole capture.
 	noise := make([]noiseFlow, opts.NoiseFlows)
 	streamBytes := len(tr.ClientToServer.Bytes) + len(tr.ServerToClient.Bytes)
 	writes := len(tr.ClientToServer.Writes) + len(tr.ServerToClient.Writes)
 	for i := range noise {
-		noise[i] = synthNoiseFlow(opts.Seed^uint64(0xbeef+i*7919), start, end)
+		noise[i] = synthNoiseFlow(opts.Seed^uint64(0xbeef+i*7919), start, end, recVer)
 		streamBytes += len(noise[i].client.Bytes) + len(noise[i].server.Bytes)
 		writes += len(noise[i].client.Writes) + len(noise[i].server.Writes)
 	}
@@ -281,12 +294,19 @@ type noiseFlow struct {
 // paced by an emulated wired path — the traffic shape of a second
 // (non-interactive) stream sharing the household link. Client requests
 // occasionally fall inside a report-length band by accident, so finding
-// the interactive flow takes more than spotting any in-band record.
-func synthNoiseFlow(seed uint64, start, end time.Time) noiseFlow {
+// the interactive flow takes more than spotting any in-band record. The
+// flow speaks the requested record generation (a 1.3 tap carries 1.3
+// noise), unpadded — padding is the defended client's knob, not the
+// bystander's.
+func synthNoiseFlow(seed uint64, start, end time.Time, ver tlsrec.RecordVersion) noiseFlow {
 	rng := wire.NewRNG(seed)
-	suite := tlsrec.SuiteAESGCM128TLS12
-	cEnc := tlsrec.NewEncryptor(suite, tlsrec.DefaultSplitter, tlsrec.VersionTLS12, rng.Fork(1))
-	sEnc := tlsrec.NewEncryptor(suite, tlsrec.DefaultSplitter, tlsrec.VersionTLS12, nil)
+	suite, recVer := tlsrec.SuiteAESGCM128TLS12, ver.WireVersion()
+	if ver == tlsrec.RecordTLS13 {
+		suite = tlsrec.Suite13Equivalent(suite)
+	}
+	cEnc := tlsrec.NewEncryptor(suite, tlsrec.DefaultSplitter, recVer, rng.Fork(1))
+	sEnc := tlsrec.NewEncryptor(suite, tlsrec.DefaultSplitter, recVer, nil)
+	sEnc.Server = true
 	path := netem.NewPath(netem.Profile(netem.MediumWired, netem.TrafficMorning), rng.Fork(2))
 
 	var f noiseFlow

@@ -21,6 +21,7 @@ import (
 	"repro/internal/script"
 	"repro/internal/session"
 	"repro/internal/stats"
+	"repro/internal/tlsrec"
 	"repro/internal/viewer"
 	"repro/internal/wire"
 )
@@ -55,6 +56,12 @@ type Config struct {
 	// Workers bounds the session fan-out (0 = the process default:
 	// WM_WORKERS or GOMAXPROCS). Output is byte-identical at any count.
 	Workers int
+	// RecordVersion selects the TLS record layer every session speaks
+	// (zero = TLS 1.2, the paper's 2019 stack; RecordTLS13 generates a
+	// modern-stack dataset).
+	RecordVersion tlsrec.RecordVersion
+	// Padding applies an RFC 8446 record-padding policy under TLS 1.3.
+	Padding tlsrec.PaddingPolicy
 }
 
 // Generate builds a dataset of N labeled sessions. Sessions are
@@ -88,12 +95,14 @@ func Generate(cfg Config) (*Dataset, error) {
 	points, err := parallel.MapN(cfg.Workers, cfg.N, func(i int) (Point, error) {
 		cond := conds[order[i]]
 		tr, err := session.Run(session.Config{
-			Graph:     cfg.Graph,
-			Encoding:  cfg.Encoding,
-			Viewer:    pop[i],
-			Condition: cond,
-			SessionID: fmt.Sprintf("iitm-%03d", i+1),
-			Seed:      cfg.Seed*1_000_003 + uint64(i),
+			Graph:         cfg.Graph,
+			Encoding:      cfg.Encoding,
+			Viewer:        pop[i],
+			Condition:     cond,
+			SessionID:     fmt.Sprintf("iitm-%03d", i+1),
+			Seed:          cfg.Seed*1_000_003 + uint64(i),
+			RecordVersion: cfg.RecordVersion,
+			Padding:       cfg.Padding,
 		})
 		if err != nil {
 			return Point{}, fmt.Errorf("dataset: session %d: %w", i, err)

@@ -180,6 +180,31 @@ func Lookup(c Condition) Profile {
 	return p
 }
 
+// ForVersion returns the profile as negotiated under a record-layer
+// generation: RecordTLS12 returns p unchanged (the paper's 2019 stack),
+// RecordTLS13 swaps the cipher suite for its 1.3 equivalent — no explicit
+// nonce, one hidden inner content-type byte — which moves every record
+// band a handful of bytes, one more reason the attack trains per record
+// version exactly as it trains per condition. The report bodies
+// themselves do not change: the interactive application is oblivious to
+// the record layer beneath it.
+func (p Profile) ForVersion(v tlsrec.RecordVersion) Profile {
+	if v != tlsrec.RecordTLS13 {
+		return p
+	}
+	p.Suite = tlsrec.Suite13Equivalent(p.Suite)
+	return p
+}
+
+// RecordVersion reports the record generation the profile's suite speaks,
+// inferred from the suite's framing parameters.
+func (p Profile) RecordVersion() tlsrec.RecordVersion {
+	if p.Suite.InnerTypeByte > 0 {
+		return tlsrec.RecordTLS13
+	}
+	return tlsrec.RecordTLS12
+}
+
 // Type1RecordRange returns the [lo, hi] SSL record lengths a type-1
 // report can produce under p — the ground-truth band used to verify the
 // trained classifier in tests.

@@ -162,6 +162,18 @@ type Config struct {
 	// Profiling and experiment workloads that never serialize the trace to
 	// pcap set this — it removes the dominant memory cost of a session.
 	OmitServerPayload bool
+	// RecordVersion selects the TLS record-layer generation both
+	// directions speak. The zero value is RecordTLS12 — the stack the
+	// paper measured in 2019. RecordTLS13 swaps the condition profile's
+	// suite for its 1.3 equivalent (profiles.Profile.ForVersion) and
+	// synthesizes RFC 8446 framing: hellos in the clear, a dummy
+	// ChangeCipherSpec, and every later record as outer application_data.
+	RecordVersion tlsrec.RecordVersion
+	// Padding applies an RFC 8446 record-padding policy to every
+	// protected record in both directions (TLS 1.3 only; 1.2 has no such
+	// mechanism and ignores it). Random policies draw from dedicated
+	// seeded streams, so lean and full runs stay byte-identical.
+	Padding tlsrec.PaddingPolicy
 }
 
 // Run simulates one session.
@@ -178,7 +190,8 @@ func Run(cfg Config) (*Trace, error) {
 	if cfg.Start.IsZero() {
 		cfg.Start = time.Unix(1735689600, 0) // 2025-01-01T00:00:00Z epoch for traces
 	}
-	prof := profiles.Lookup(cfg.Condition)
+	prof := profiles.Lookup(cfg.Condition).ForVersion(cfg.RecordVersion)
+	recVer := cfg.RecordVersion.WireVersion()
 	rng := wire.NewRNG(cfg.Seed)
 
 	// Stream buffers. The client direction is small and always pooled.
@@ -209,16 +222,23 @@ func Run(cfg Config) (*Trace, error) {
 		builder:  statejson.NewBuilder(prof, cfg.Graph.Title, cfg.SessionID, rng.Fork(1)),
 		uplink:   netem.NewPath(prof.Net, rng.Fork(2)),
 		downlink: netem.NewPath(prof.Net, rng.Fork(3)),
-		cEnc:     tlsrec.NewEncryptor(prof.Suite, prof.Splitter, tlsrec.VersionTLS12, rng.Fork(4)),
+		cEnc:     tlsrec.NewEncryptor(prof.Suite, prof.Splitter, recVer, rng.Fork(4)),
 		// The server direction carries megabytes of media; its bodies are
 		// opaque to every analysis (only lengths and timing are used), so
 		// they are zero-filled (nil rng) to keep simulation fast.
-		sEnc:    tlsrec.NewEncryptor(prof.Suite, prof.Splitter, tlsrec.VersionTLS12, nil),
+		sEnc:    tlsrec.NewEncryptor(prof.Suite, prof.Splitter, recVer, nil),
 		viewer:  cfg.Viewer,
 		decider: rng.Fork(6),
 		defense: cfg.Defense,
 		cBuf:    cBuf,
 		sBuf:    sBuf,
+	}
+	env.sEnc.Server = true
+	if cfg.RecordVersion == tlsrec.RecordTLS13 {
+		// Padding draws come from dedicated streams so the RNG consumption
+		// of the session model itself is untouched by the policy.
+		env.cEnc.SetPadding(cfg.Padding, rng.Fork(7))
+		env.sEnc.SetPadding(cfg.Padding, rng.Fork(8))
 	}
 
 	// TLS handshake opens the connection.

@@ -43,7 +43,27 @@ var (
 	SuiteAESGCM128TLS13 = CipherSuite{
 		Name: "AES_128_GCM/TLS1.3", TagLen: 16, InnerTypeByte: 1,
 	}
+	// SuiteChaChaTLS13 models TLS_CHACHA20_POLY1305_SHA256 under TLS 1.3;
+	// identical length arithmetic to the GCM suite (1.3 has no explicit
+	// nonces), kept distinct for profile descriptions.
+	SuiteChaChaTLS13 = CipherSuite{
+		Name: "CHACHA20_POLY1305/TLS1.3", TagLen: 16, InnerTypeByte: 1,
+	}
 )
+
+// Suite13Equivalent maps a TLS 1.2 suite to the suite the same peers
+// negotiate under TLS 1.3: ChaCha keeps ChaCha, and everything else —
+// including the CBC suites, which 1.3 abolished — lands on AES-GCM. A
+// suite that is already 1.3 (it has an inner type byte) maps to itself.
+func Suite13Equivalent(s CipherSuite) CipherSuite {
+	if s.InnerTypeByte > 0 {
+		return s
+	}
+	if s.Name == SuiteChaChaTLS12.Name {
+		return SuiteChaChaTLS13
+	}
+	return SuiteAESGCM128TLS13
+}
 
 // CiphertextLen returns the ciphertext fragment length produced by
 // encrypting a plaintext of n bytes.

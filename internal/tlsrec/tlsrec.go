@@ -53,9 +53,50 @@ const (
 	VersionTLS10 Version = 0x0301
 	VersionTLS12 Version = 0x0303
 	// VersionTLS13 records still carry 0x0303 on the wire; the constant
-	// exists for suite descriptions only.
+	// marks an Encryptor as speaking the 1.3 record layer and never
+	// appears in a synthesized header.
 	VersionTLS13 Version = 0x0304
 )
+
+// RecordVersion identifies the record-layer *generation* a TLS stack
+// speaks — the framing an eavesdropper observes — as opposed to the
+// Version carried in record headers (TLS 1.3 records carry the 1.2 value
+// 0x0303 for middlebox compatibility, RFC 8446 §5.1).
+type RecordVersion int
+
+// Record-layer generations.
+const (
+	// RecordTLS12 is the classic record layer: true content types visible
+	// in every header, handshake and CCS records interleaved with data.
+	RecordTLS12 RecordVersion = iota
+	// RecordTLS13 is the RFC 8446 record layer: after the hello exchange
+	// every protected record travels as outer-type application_data, the
+	// true content type hides in the encrypted TLSInnerPlaintext, and a
+	// padding policy may inflate record lengths.
+	RecordTLS13
+)
+
+// WireVersion returns the Version an Encryptor of this generation is
+// constructed with — the one place the generation→version rule lives, so
+// every producer (session, capture noise flows) frames identically.
+func (v RecordVersion) WireVersion() Version {
+	if v == RecordTLS13 {
+		return VersionTLS13
+	}
+	return VersionTLS12
+}
+
+// String names the record generation.
+func (v RecordVersion) String() string {
+	switch v {
+	case RecordTLS12:
+		return "tls1.2"
+	case RecordTLS13:
+		return "tls1.3"
+	default:
+		return fmt.Sprintf("record-version(%d)", int(v))
+	}
+}
 
 // headerLen is the record header size: type(1) + version(2) + length(2).
 const headerLen = 5
@@ -69,6 +110,14 @@ var (
 	ErrShortRecord = errors.New("tlsrec: record extends past available bytes")
 	ErrBadLength   = errors.New("tlsrec: record length exceeds protocol maximum")
 	ErrBadVersion  = errors.New("tlsrec: implausible record version")
+	// ErrMixedVersions marks a flow whose framing switches record-layer
+	// generations mid-stream — e.g. a plaintext handshake or CCS record
+	// appearing after TLS 1.3 framing was negotiated. One TCP conversation
+	// speaks one record layer; a violation means the scanner is not
+	// looking at a single well-formed TLS flow (port reuse spliced two
+	// captures together, or the stream is corrupt) and the flow is
+	// rejected rather than misread.
+	ErrMixedVersions = errors.New("tlsrec: mixed TLS 1.2/1.3 record framing in one flow")
 )
 
 // Record is one TLS record as observed on the wire.
@@ -241,6 +290,12 @@ type RecordScanner struct {
 	skip    int   // body bytes of the current record still to discard
 	off     int64 // absolute stream offset of the next input byte
 	err     error
+
+	// Version inference from framing: the first record after a
+	// ChangeCipherSpec discriminates the generations (see note).
+	ccsSeen  bool
+	verKnown bool
+	version  RecordVersion
 }
 
 // NewRecordScanner returns an empty scanner positioned at stream offset 0.
@@ -277,6 +332,10 @@ func (s *RecordScanner) Feed(ts time.Time, data []byte) {
 		ver := Version(uint16(s.hdr[1])<<8 | uint16(s.hdr[2]))
 		length := int(s.hdr[3])<<8 | int(s.hdr[4])
 		if err := validateHeader(typ, ver, length, s.released+len(s.recs) == 0); err != nil {
+			s.err = err
+			return
+		}
+		if err := s.noteFraming(typ); err != nil {
 			s.err = err
 			return
 		}
@@ -328,6 +387,40 @@ func (s *RecordScanner) ReleaseRecords(n int) {
 	}
 	s.recs = s.recs[:rest]
 	s.released = n
+}
+
+// noteFraming drives the record-generation inference. Both generations
+// put the hello exchange in the clear, so the discriminator is the first
+// record after the ChangeCipherSpec: TLS 1.2 carries its encrypted
+// Finished as a visible handshake record (type 22), while TLS 1.3 wraps
+// everything from that point in outer application_data (type 23, the CCS
+// itself being a compatibility dummy). Once 1.3 framing is established,
+// a later plaintext handshake or CCS record is a generation violation.
+func (s *RecordScanner) noteFraming(typ ContentType) error {
+	if s.verKnown && s.version == RecordTLS13 &&
+		(typ == ContentHandshake || typ == ContentChangeCipherSpec) {
+		return fmt.Errorf("%w: %s record after TLS 1.3 framing", ErrMixedVersions, typ)
+	}
+	switch {
+	case typ == ContentChangeCipherSpec:
+		s.ccsSeen = true
+	case s.ccsSeen && !s.verKnown:
+		s.verKnown = true
+		if typ == ContentApplicationData {
+			s.version = RecordTLS13
+		} else {
+			s.version = RecordTLS12
+		}
+	}
+	return nil
+}
+
+// NegotiatedVersion reports the record generation inferred from the
+// flow's framing, and whether enough of the handshake has been seen to
+// infer it (the discriminating record is the first one after the
+// ChangeCipherSpec).
+func (s *RecordScanner) NegotiatedVersion() (RecordVersion, bool) {
+	return s.version, s.verKnown
 }
 
 // Err reports a fatal framing error, after which Feed is a no-op.

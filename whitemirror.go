@@ -34,6 +34,7 @@ import (
 	"repro/internal/profiles"
 	"repro/internal/script"
 	"repro/internal/session"
+	"repro/internal/tlsrec"
 	"repro/internal/viewer"
 	"repro/internal/wire"
 )
@@ -90,7 +91,33 @@ type (
 	// ring slots and the monitor releases every span it stops
 	// referencing, so steady state allocates nothing per packet.
 	PacketRing = pcapio.PacketRing
+
+	// RecordVersion selects the TLS record-layer generation a simulated
+	// stack speaks: RecordTLS12 (the zero value — the paper's 2019 stack)
+	// or RecordTLS13 (RFC 8446 framing: content types hidden inside
+	// encrypted records, optional padding).
+	RecordVersion = tlsrec.RecordVersion
+	// PaddingPolicy is an RFC 8446 record-padding policy applied under
+	// TLS 1.3; build one with PadToMultipleOf or PadRandomUpTo.
+	PaddingPolicy = tlsrec.PaddingPolicy
 )
+
+// Record-layer generations, re-exported for SessionOptions.RecordVersion
+// and TrainingOptions.RecordVersion.
+const (
+	// RecordTLS12 is the classic record layer the paper measured.
+	RecordTLS12 = tlsrec.RecordTLS12
+	// RecordTLS13 is the RFC 8446 record layer of modern stacks.
+	RecordTLS13 = tlsrec.RecordTLS13
+)
+
+// PadToMultipleOf returns the TLS 1.3 padding policy that rounds every
+// record's inner plaintext up to a multiple of n bytes.
+func PadToMultipleOf(n int) PaddingPolicy { return tlsrec.PadToMultipleOf(n) }
+
+// PadRandomUpTo returns the TLS 1.3 padding policy that appends a
+// seeded uniform random pad of [0, n] bytes per record.
+func PadRandomUpTo(n int) PaddingPolicy { return tlsrec.PadRandomUpTo(n) }
 
 // NewMonitor returns a streaming monitor for a trained attacker. The
 // monitor accepts pcap bytes in chunks of any size (Feed) or decoded
@@ -150,6 +177,12 @@ type SessionOptions struct {
 	// workloads that never render the trace to pcap (training, bulk
 	// experiments); CapturePcap requires a non-lean trace.
 	Lean bool
+	// RecordVersion selects the TLS record layer the session speaks
+	// (default RecordTLS12; RecordTLS13 models a modern stack).
+	RecordVersion RecordVersion
+	// Padding applies an RFC 8446 record-padding policy under TLS 1.3
+	// (ignored for 1.2, which has no such mechanism).
+	Padding PaddingPolicy
 }
 
 // Simulate runs one end-to-end viewing session and returns its trace.
@@ -182,6 +215,8 @@ func Simulate(opts SessionOptions) (*Trace, error) {
 		Seed:              opts.Seed,
 		DisablePrefetch:   opts.DisablePrefetch,
 		OmitServerPayload: opts.Lean,
+		RecordVersion:     opts.RecordVersion,
+		Padding:           opts.Padding,
 	})
 }
 
@@ -239,6 +274,16 @@ type TrainingOptions struct {
 	// WM_WORKERS or GOMAXPROCS). The trained attacker is identical at any
 	// worker count.
 	Workers int
+	// RecordVersion is the record layer the profiled service speaks; the
+	// attacker trains per record version exactly as it trains per
+	// condition (the 1.3 suites move every band).
+	RecordVersion RecordVersion
+	// Padding is the record-padding policy in force during profiling.
+	// The learned bands are widened by the policy's envelope — training
+	// examples only cover the pads that happened to be drawn — and a
+	// policy wide enough to smear the report classes together fails
+	// training with a "not separable" error rather than misclassifying.
+	Padding PaddingPolicy
 }
 
 // TrainAttacker profiles the service under a condition and returns an
@@ -270,7 +315,9 @@ func TrainAttacker(opts TrainingOptions) (*Attacker, error) {
 			Encoding:  enc,
 			// Profiling only consumes client-side record lengths; skip the
 			// server media payload.
-			Lean: true,
+			Lean:          true,
+			RecordVersion: opts.RecordVersion,
+			Padding:       opts.Padding,
 		})
 	}
 	traces, err := parallel.MapN(opts.Workers, n, func(t int) (*Trace, error) {
@@ -288,7 +335,8 @@ func TrainAttacker(opts TrainingOptions) (*Attacker, error) {
 		}
 		traces = append(traces, tr)
 	}
-	return attack.NewAttacker(traces, g, script.BandersnatchMaxChoices)
+	return attack.NewAttackerWithTrainer(attack.TrainerFor(opts.RecordVersion, opts.Padding),
+		traces, g, script.BandersnatchMaxChoices)
 }
 
 // GenerateDataset builds an n-viewer synthetic IITM-Bandersnatch-style
