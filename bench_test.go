@@ -193,6 +193,39 @@ func BenchmarkPipeline_AttackThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPipeline_AttackThroughputShards4 measures the multi-core read
+// path: an interleaved multi-flow capture streamed through a Monitor
+// with four per-core shards. One flow cannot parallelize, so the input
+// is the interleaved scenario (the session plus six noise flows); the
+// event stream and inference stay byte-identical to the single-threaded
+// monitor at any shard count, so this benchmark is a pure throughput
+// figure.
+func BenchmarkPipeline_AttackThroughputShards4(b *testing.B) {
+	tr, err := Simulate(SessionOptions{Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcapBytes, err := CapturePcapMulti(tr, 21, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	atk, err := TrainAttacker(TrainingOptions{Seed: 22})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(pcapBytes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMonitor(atk, MonitorOptions{Shards: 4})
+		if err := m.Feed(pcapBytes); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPipeline_PathTableBuild measures constructing the per-graph
 // decoding table — the cost the memoization amortizes: it is paid once
 // per (graph, maxChoices) instead of once per inference, where the

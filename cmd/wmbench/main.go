@@ -179,6 +179,8 @@ func runners() []runner {
 					"finalized":           float64(v.Finalized),
 					"peak_retained_bytes": float64(v.PeakRetainedBytes),
 					"ring_blocks":         float64(v.RingBlocks),
+					"sweeps":              float64(v.Sweeps),
+					"sweep_touched":       float64(v.SweepTouched),
 				}
 			}},
 	}
@@ -359,6 +361,64 @@ func pipelineBenchEntry() (benchEntry, error) {
 	}, nil
 }
 
+// pipelineShardedBenchEntry measures the multi-core attack read path: an
+// interleaved multi-flow capture (the sharded engine's target workload —
+// one flow cannot parallelize) streamed through a Monitor with `shards`
+// per-core shards, against the single-threaded monitor on the identical
+// bytes. The speedup metric is honest about the host: on a 1-CPU runner
+// the shards time-slice one core and the ratio sits near (or below) 1.
+func pipelineShardedBenchEntry(shards int) (benchEntry, error) {
+	tr, err := whitemirror.Simulate(whitemirror.SessionOptions{Seed: 21})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	pcapBytes, err := whitemirror.CapturePcapMulti(tr, 21, shards+2)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	atk, err := whitemirror.TrainAttacker(whitemirror.TrainingOptions{Seed: 22})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	run := func(n int) error {
+		m := whitemirror.NewMonitor(atk, whitemirror.MonitorOptions{Shards: n})
+		if err := m.Feed(pcapBytes); err != nil {
+			return err
+		}
+		_, err := m.Close()
+		return err
+	}
+	single := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(pcapBytes)))
+		for i := 0; i < b.N; i++ {
+			if err := run(shards); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mbps := float64(len(pcapBytes)) * float64(res.N) /
+		res.T.Seconds() / (1 << 20)
+	return benchEntry{
+		Name:    fmt.Sprintf("pipeline_attack_throughput_shards%d", shards),
+		NsPerOp: res.NsPerOp(), BytesPerOp: res.AllocedBytesPerOp(), AllocsPerOp: res.AllocsPerOp(),
+		Metrics: map[string]float64{
+			"capture_bytes":        float64(len(pcapBytes)),
+			"mb_per_s":             mbps,
+			"shards":               float64(shards),
+			"cpus":                 float64(runtime.NumCPU()),
+			"speedup_vs_unsharded": float64(single.NsPerOp()) / float64(res.NsPerOp()),
+		},
+	}, nil
+}
+
 // loadBaseline embeds a prior BENCH file under the given label so the
 // perf trajectory stays in one file; the prior file's own baselines are
 // hoisted alongside it.
@@ -449,6 +509,11 @@ func runBenchJSON(path string, runs []runner, seed uint64, workers int, baseline
 				return fmt.Errorf("pipeline bench: %w", err)
 			}
 			out.Entries = append(out.Entries, pipe)
+			sharded, err := pipelineShardedBenchEntry(4)
+			if err != nil {
+				return fmt.Errorf("sharded pipeline bench: %w", err)
+			}
+			out.Entries = append(out.Entries, sharded)
 		}
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
@@ -497,6 +562,16 @@ func runCheck(path string, tol checkTolerances) error {
 		return fmt.Errorf("pipeline bench: %w", err)
 	}
 	current = append(current, pipe)
+	// The sharded pipeline bench joined the trail with BENCH_pr6; gate it
+	// only against baselines that carry it, so the gate still accepts the
+	// earlier files (an absent entry there is age, not a rename).
+	if _, ok := baseline["pipeline_attack_throughput_shards4"]; ok {
+		sharded, err := pipelineShardedBenchEntry(4)
+		if err != nil {
+			return fmt.Errorf("sharded pipeline bench: %w", err)
+		}
+		current = append(current, sharded)
+	}
 
 	type metric struct {
 		name string

@@ -48,6 +48,7 @@ type Monitor struct {
 	onEvent func(Event)
 	win     *Window
 	ring    *pcapio.PacketRing
+	eng     *shardEngine // non-nil when MonitorOptions.Shards > 0: all calls delegate
 
 	cr    *pcapio.ChunkReader
 	asm   *tcpreasm.Assembler
@@ -63,20 +64,46 @@ type Monitor struct {
 	expired     int       // FlowExpired emitted (window mode)
 	rejectedNow int       // flows currently in rejected probation
 
+	wheel      *timeWheel // idle-expiry deadlines (window mode)
+	sweeps     int64      // idle sweeps run
+	sweepTouch int64      // wheel entries examined across all sweeps
+
+	// Event sequencing. seqCtx is the global ingest sequence of the packet
+	// (or sweep barrier, or close phase) being processed; evKey is the
+	// flow-level sort key within that sequence step (0 for packet events —
+	// one flow per packet — and the flow's first-seen sequence for sweep
+	// and close events, so a merged multi-shard stream orders expirations
+	// exactly as the single-threaded table scan did). tagSink, when set by
+	// the shard engine, receives every event tagged for the merge instead
+	// of the user callback.
+	seqCtx  uint64
+	evKey   uint64
+	tagSink func(Event)
+
 	// Best finalized inference so far (window mode), by the same
-	// (matched, score) rule selectFlow applies at batch Close.
+	// (matched, score) rule selectFlow applies at batch Close. The stamp
+	// of the first noteFinal and of the best one let the shard engine
+	// replay the "first final wins ties" chronology across shards.
 	bestFinal   *Inference
 	bestMatched int
 	bestScore   float64
+	bestStamp   evStamp
+	firstFinal  *evStamp
 
 	// Largest-flow fallback (window mode): until a session finalizes, the
 	// largest viable flow to expire keeps its inference, preserving the
 	// batch rule that a capture with no classified reports still attacks
 	// its biggest conversation. Costs one Infer per new-largest expiry and
-	// nothing once a real session has been seen.
-	fallback      *Inference
-	fallbackFlow  layers.FlowKey
-	fallbackBytes int64
+	// nothing once a real session has been seen. The slice is strictly
+	// increasing in bytes; single-threaded readers use only the last
+	// element, the shard engine filters the history by stamp to
+	// reconstruct the global chronology.
+	fallbacks []fallbackCand
+
+	// suppressFallback gates fallback stashing during the sharded close:
+	// a shard whose local bestFinal is nil must not stash when another
+	// shard has already finalized a session.
+	suppressFallback bool
 
 	table      *PathTable // lazily built when the attacker has a graph
 	tableTried bool       // one-shot: a failed build is not retried per record
@@ -84,6 +111,25 @@ type Monitor struct {
 
 	closed bool
 	err    error
+}
+
+// evStamp is a point in the global ingest chronology: the packet (or
+// barrier) sequence plus the flow-level key within it. Stamps order
+// cross-shard state updates the way a single-threaded run ordered them.
+type evStamp struct {
+	seq, key uint64
+}
+
+func (a evStamp) less(b evStamp) bool {
+	return a.seq < b.seq || (a.seq == b.seq && a.key < b.key)
+}
+
+// fallbackCand is one stashed largest-flow fallback inference.
+type fallbackCand struct {
+	inf   *Inference
+	flow  layers.FlowKey
+	bytes int64
+	at    evStamp
 }
 
 // Window configures the monitor's rolling-window mode: bounded-memory
@@ -130,6 +176,14 @@ type Window struct {
 	// A flow that produces an in-band report during probation is
 	// rehabilitated immediately, outside the re-check cadence. Default 4.
 	RecheckBudget int
+	// SweepInterval is how many ingested packets pass between idle
+	// sweeps. Default 256. A sweep also fires early whenever the capture
+	// clock jumps by a quarter of IdleTimeout since the last sweep — the
+	// packet-count cadence alone would let a sparse tap (one packet after
+	// a long silence) keep idle flows alive arbitrarily long, so the
+	// clock-jump rule is what actually bounds expiry latency; lowering
+	// SweepInterval only tightens the dense-traffic cadence.
+	SweepInterval int
 }
 
 // withDefaults resolves zero fields.
@@ -155,11 +209,15 @@ func (w Window) withDefaults() Window {
 	if w.RecheckBudget <= 0 {
 		w.RecheckBudget = 4
 	}
+	if w.SweepInterval <= 0 {
+		w.SweepInterval = defaultSweepInterval
+	}
 	return w
 }
 
-// sweepInterval is how many ingested packets pass between idle sweeps.
-const sweepInterval = 256
+// defaultSweepInterval is the default packet count between idle sweeps
+// (Window.SweepInterval).
+const defaultSweepInterval = 256
 
 // minSessionHards is the least in-band report count for a finalizing flow
 // to be inferred as an interactive session rather than expired as noise —
@@ -200,6 +258,16 @@ type MonitorOptions struct {
 	// capture loop reading frames into ring slots makes no per-packet
 	// copy and recycles slot memory in steady state.
 	FrameRing *pcapio.PacketRing
+	// Shards, when > 0, runs the monitor sharded across that many
+	// worker goroutines: flows are distributed by canonical-key hash
+	// (RSS-style), each shard owns its own reassembly, scanners and
+	// window state, and per-shard events are merged back into one
+	// deterministic stream. The event stream, the Close inference and
+	// the error behavior are byte-identical at every shard count,
+	// including Shards == 0 (the single-threaded path); OnEvent still
+	// runs on the feeding goroutine. Feeding calls remain
+	// single-caller: a Monitor is one tap's state at any shard count.
+	Shards int
 }
 
 // Event is a typed notification emitted by a Monitor.
@@ -295,6 +363,31 @@ type MonitorStats struct {
 	// reassembly chunks and pending segments, record descriptors, and the
 	// unconsumed tail of the pcap feed buffer.
 	RetainedBytes int64
+	// Sweeps counts idle sweeps run so far (window mode).
+	Sweeps int64
+	// SweepTouched counts timing-wheel entries examined across all
+	// sweeps. With the wheel this grows O(expired + re-armed), not
+	// O(flows × sweeps) — the soak asserts the gap.
+	SweepTouched int64
+	// Shards holds one entry per shard when the monitor runs sharded
+	// (MonitorOptions.Shards > 0); nil on the single-threaded path. The
+	// top-level fields aggregate across shards either way.
+	Shards []ShardStats
+}
+
+// ShardStats is one shard's slice of a sharded monitor's footprint.
+type ShardStats struct {
+	// Flows is the shard's tracked conversation count.
+	Flows int
+	// LiveFlows are the shard's flows that can still finalize.
+	LiveFlows int
+	// RejectedFlows are the shard's flows in rejected probation.
+	RejectedFlows int
+	// RetainedBytes is the shard's retained buffer memory.
+	RetainedBytes int64
+	// RingPending is the byte volume of ring spans the shard has
+	// released but the dispatcher has not yet recycled.
+	RingPending int64
 }
 
 // monDir is one direction of a monitored conversation: the reassembly
@@ -313,6 +406,8 @@ type monFlow struct {
 	client    monDir
 	server    monDir
 	detected  bool
+	firstSeq  uint64   // global ingest sequence of the flow's first packet
+	ent       *twEntry // idle-expiry wheel entry (window mode)
 
 	// Rolling-window state.
 	lastSeen     time.Time
@@ -334,6 +429,9 @@ type monFlow struct {
 
 // NewMonitor returns a streaming monitor for a trained attacker.
 func NewMonitor(a *Attacker, opts MonitorOptions) *Monitor {
+	if opts.Shards > 0 {
+		return &Monitor{atk: a, eng: newShardEngine(a, opts)}
+	}
 	asm := tcpreasm.NewAssembler()
 	// Every feed path hands the assembler stable memory: pcap chunks live
 	// in the ChunkReader's grow-only buffer, FeedPacket copies frames
@@ -366,8 +464,13 @@ func (a *Attacker) NewMonitor(opts MonitorOptions) *Monitor {
 	return NewMonitor(a, opts)
 }
 
-// emit delivers one event to the callback, if any.
+// emit delivers one event: tagged into the shard engine's merge when the
+// monitor is a shard core, straight to the callback otherwise.
 func (m *Monitor) emit(ev Event) {
+	if m.tagSink != nil {
+		m.tagSink(ev)
+		return
+	}
 	if m.onEvent != nil {
 		m.onEvent(ev)
 	}
@@ -378,12 +481,18 @@ func (m *Monitor) emit(ev Event) {
 // Complete packets are processed as soon as their last byte arrives. The
 // chunk is copied; the caller may reuse its buffer.
 func (m *Monitor) Feed(chunk []byte) error {
+	if m.eng != nil {
+		return m.eng.feed(chunk, false)
+	}
 	return m.feed(chunk, false)
 }
 
 // feedOwned is the whole-capture fast path: the one-shot wrapper owns its
 // bytes outright, so the reader adopts them with no copy.
 func (m *Monitor) feedOwned(chunk []byte) error {
+	if m.eng != nil {
+		return m.eng.feed(chunk, true)
+	}
 	return m.feed(chunk, true)
 }
 
@@ -419,6 +528,9 @@ func (m *Monitor) feed(chunk []byte, owned bool) error {
 // already demultiplex packets, e.g. a live capture loop). The frame is
 // copied; the caller may reuse its buffer.
 func (m *Monitor) FeedPacket(ts time.Time, frame []byte) error {
+	if m.eng != nil {
+		return m.eng.feedPacket(ts, frame)
+	}
 	if m.closed {
 		return errors.New("attack: monitor is closed")
 	}
@@ -449,6 +561,9 @@ func (m *Monitor) FeedPacket(ts time.Time, frame []byte) error {
 // Without a ring the frames are simply garbage-collected once the rolling
 // window drops them.
 func (m *Monitor) FeedPacketOwned(ts time.Time, frame []byte) error {
+	if m.eng != nil {
+		return m.eng.feedPacketOwned(ts, frame)
+	}
 	if m.closed || m.err != nil {
 		// The frame will never be referenced; hand the slot straight back
 		// so a capture loop feeding a dead monitor cannot leak its ring.
@@ -493,13 +608,41 @@ func (m *Monitor) ingestFrame(ts time.Time, frame []byte, ringOwned bool) {
 		// link/network/transport headers go straight back to the ring.
 		m.ring.ReleaseExcept(frame, p.Payload)
 	}
+	m.seqCtx++
+	if m.win != nil && m.sweepDue() {
+		// Sweep BEFORE the packet's own events so a clock jump expires
+		// idle flows ahead of whatever this packet emits — the event
+		// stream stays monotone in capture time. The triggering packet's
+		// own flow is exempt: its arrival is the traffic that disproves
+		// idleness, even if the timestamp gap alone says otherwise.
+		canon, _ := p.Flow().Canonical()
+		m.seqCtx++ // the sweep consumed the previous sequence slot
+		m.sweepNow(canon, true)
+	}
+	m.ingestDecoded(p)
+}
+
+// ingestDecoded runs one decoded packet through reassembly, scanning and
+// window maintenance. The capture clock and the idle sweep have already
+// been handled by the caller (ingestFrame single-threaded, the shard
+// dispatcher when sharded).
+func (m *Monitor) ingestDecoded(p *layers.Packet) {
+	m.evKey = 0
+	ts := p.Timestamp
 	st := m.asm.Feed(p)
 	canon, _ := p.Flow().Canonical()
 	f, ok := m.flows[canon]
 	if !ok {
-		f = &monFlow{canonical: canon}
+		f = &monFlow{canonical: canon, firstSeq: m.seqCtx}
 		m.flows[canon] = f
 		m.order = append(m.order, canon)
+		if m.win != nil {
+			if m.wheel == nil {
+				m.wheel = newTimeWheel(ts, m.win.IdleTimeout)
+			}
+			f.ent = &twEntry{deadline: ts.Add(m.win.IdleTimeout), ord: f.firstSeq, flow: f}
+			m.wheel.schedule(f.ent)
+		}
 	}
 	f.lastSeen = ts
 	dir, isClient := f.direction(st.Key)
@@ -537,7 +680,6 @@ func (m *Monitor) ingestFrame(ts time.Time, frame []byte, ringOwned bool) {
 	if m.win != nil {
 		m.maintainFlow(f, dir, isClient)
 		m.maybeFinalize(f, ts)
-		m.maybeSweep()
 	}
 }
 
@@ -601,10 +743,8 @@ func (m *Monitor) maintainFlow(f *monFlow, dir *monDir, isClient bool) {
 			// (largest conversation of a reportless capture), so its decode
 			// over the pre-rejection prefix is stashed now — rejection must
 			// never turn a zero-report capture into an error.
-			if m.bestFinal == nil && f.viable() && f.totalBytes() > m.fallbackBytes {
-				if inf, err := m.atk.Infer(f.observation()); err == nil {
-					m.fallback, m.fallbackFlow, m.fallbackBytes = inf, f.clientKey, f.totalBytes()
-				}
+			if m.bestFinal == nil && !m.suppressFallback && f.viable() && f.totalBytes() > m.fallbackHigh() {
+				m.stashFallback(f)
 			}
 			f.rejected = true
 			m.rejectedNow++
@@ -657,33 +797,64 @@ func (m *Monitor) maybeFinalize(f *monFlow, at time.Time) {
 	}
 }
 
-// maybeSweep runs the idle sweep every sweepInterval packets — or sooner
-// when the capture clock has jumped a quarter of the idle timeout, so a
-// sparse tap (one packet after a long silence) still ages flows out
-// promptly. Flows with no traffic for IdleTimeout on the capture clock
-// finalize, which is how conversations that vanish without a close (a
-// device leaving the network) still leave the window.
-func (m *Monitor) maybeSweep() {
+// sweepDue advances the sweep cadence by one packet and reports whether
+// an idle sweep should run now: every Window.SweepInterval packets, or
+// sooner when the capture clock has jumped a quarter of the idle timeout
+// since the last sweep, so a sparse tap (one packet after a long
+// silence) still ages flows out promptly.
+func (m *Monitor) sweepDue() bool {
 	m.sinceSweep++
 	if m.sweptAt.IsZero() {
 		m.sweptAt = m.clock
 	}
-	if m.sinceSweep < sweepInterval &&
-		m.clock.Sub(m.sweptAt) < m.win.IdleTimeout/4 {
-		return
-	}
+	return m.sinceSweep >= m.win.SweepInterval ||
+		m.clock.Sub(m.sweptAt) >= m.win.IdleTimeout/4
+}
+
+// sweepNow runs the idle sweep: flows with no traffic for IdleTimeout on
+// the capture clock finalize, which is how conversations that vanish
+// without a close (a device leaving the network) still leave the window.
+// The timing wheel makes this O(expired + re-armed) — only entries whose
+// deadline slot the clock crossed are examined, never the whole table.
+// Popped entries whose flow saw traffic since scheduling re-arm at the
+// refreshed deadline; entries whose flow is already gone are dropped
+// (dropFlow leaves them in the wheel for exactly this lazy check).
+//
+// exempt (when haveExempt) is the canonical key of the packet that
+// triggered the sweep: its own flow is never expired by it, even when
+// the packet's timestamp jump exceeds the idle timeout — the flow is
+// provably not idle, its next packet is already in hand. Expiry order is
+// the flow's first-seen order (twEntry.ord), matching the former linear
+// table scan.
+func (m *Monitor) sweepNow(exempt layers.FlowKey, haveExempt bool) {
 	m.sinceSweep = 0
 	m.sweptAt = m.clock
+	m.sweeps++
 	m.compactOrder()
-	for _, k := range m.order {
-		f, ok := m.flows[k]
-		if !ok {
+	if m.wheel == nil {
+		return
+	}
+	for _, e := range m.wheel.advance(m.clock) {
+		m.sweepTouch++
+		f := e.flow
+		if m.flows[f.canonical] != f {
+			continue // dropped since scheduling; stale entry
+		}
+		alive := f.lastSeen.IsZero() || f.lastSeen.Add(m.win.IdleTimeout).After(m.clock) ||
+			(haveExempt && f.canonical == exempt)
+		if alive {
+			// Re-arm at the refreshed deadline. For the exempt flow this
+			// may still be in the past (its packet has not landed yet);
+			// schedule clamps past deadlines one tick out, and the next
+			// pop re-checks against the then-updated lastSeen.
+			e.deadline = f.lastSeen.Add(m.win.IdleTimeout)
+			m.wheel.schedule(e)
 			continue
 		}
-		if !f.lastSeen.IsZero() && !f.lastSeen.Add(m.win.IdleTimeout).After(m.clock) {
-			m.finalizeFlow(f, m.clock, "idle")
-		}
+		m.evKey = f.firstSeq
+		m.finalizeFlow(f, m.clock, "idle")
 	}
+	m.evKey = 0
 }
 
 // compactOrder rebuilds the first-seen order without dropped flows.
@@ -722,10 +893,9 @@ func (m *Monitor) finalizeFlow(f *monFlow, at time.Time, reason string) {
 	// A currently-rejected flow's retained records are the post-rejection
 	// tail; its richer pre-rejection prefix was already stashed when the
 	// rejection hit, so don't overwrite that with a worse observation.
-	if m.bestFinal == nil && !f.dead && !f.rejected && f.viable() && f.totalBytes() > m.fallbackBytes {
-		if inf, err := m.atk.Infer(f.observation()); err == nil {
-			m.fallback, m.fallbackFlow, m.fallbackBytes = inf, f.clientKey, f.totalBytes()
-		}
+	if m.bestFinal == nil && !m.suppressFallback && !f.dead && !f.rejected &&
+		f.viable() && f.totalBytes() > m.fallbackHigh() {
+		m.stashFallback(f)
 	}
 	if !f.announced {
 		m.expired++
@@ -736,11 +906,40 @@ func (m *Monitor) finalizeFlow(f *monFlow, at time.Time, reason string) {
 }
 
 // noteFinal keeps the best finalized inference by the same
-// (matched, score) rule the batch selectFlow applies.
+// (matched, score) rule selectFlow applies at batch Close: strictly
+// better wins, the first of equals stays. Each call is stamped so the
+// shard engine can reconstruct the single-threaded chronology.
 func (m *Monitor) noteFinal(inf *Inference, matched int, score float64) {
+	st := evStamp{m.seqCtx, m.evKey}
+	if m.firstFinal == nil {
+		s := st
+		m.firstFinal = &s
+	}
 	if m.bestFinal == nil || matched > m.bestMatched ||
 		(matched == m.bestMatched && score > m.bestScore) {
-		m.bestFinal, m.bestMatched, m.bestScore = inf, matched, score
+		m.bestFinal, m.bestMatched, m.bestScore, m.bestStamp = inf, matched, score, st
+	}
+}
+
+// fallbackHigh is the byte size of the best fallback stashed so far —
+// the threshold a flow must beat to become the new fallback target.
+func (m *Monitor) fallbackHigh() int64 {
+	if n := len(m.fallbacks); n > 0 {
+		return m.fallbacks[n-1].bytes
+	}
+	return 0
+}
+
+// stashFallback records a flow's inference as the current largest-flow
+// fallback. Callers gate on fallbackHigh, so the slice stays strictly
+// increasing in bytes; the stamp history lets the shard engine replay
+// which candidate a single-threaded run would have held at any point.
+func (m *Monitor) stashFallback(f *monFlow) {
+	if inf, err := m.atk.Infer(f.observation()); err == nil {
+		m.fallbacks = append(m.fallbacks, fallbackCand{
+			inf: inf, flow: f.clientKey, bytes: f.totalBytes(),
+			at: evStamp{m.seqCtx, m.evKey},
+		})
 	}
 }
 
@@ -921,11 +1120,16 @@ func (f *monFlow) viable() bool {
 
 // Stats snapshots the monitor's flow table and retained memory.
 func (m *Monitor) Stats() MonitorStats {
+	if m.eng != nil {
+		return m.eng.stats()
+	}
 	st := MonitorStats{
 		Flows:             len(m.flows),
 		RejectedFlows:     m.rejectedNow,
 		FinalizedSessions: m.finalized,
 		ExpiredFlows:      m.expired,
+		Sweeps:            m.sweeps,
+		SweepTouched:      m.sweepTouch,
 	}
 	if m.cr != nil {
 		st.RetainedBytes += int64(m.cr.Buffered())
@@ -956,6 +1160,9 @@ func (m *Monitor) Stats() MonitorStats {
 // flow finalizes first — emitting its own SessionFinalized or FlowExpired
 // — and the best inference across the whole run is returned.
 func (m *Monitor) Close() (*Inference, error) {
+	if m.eng != nil {
+		return m.eng.close()
+	}
 	if m.closed {
 		return nil, errors.New("attack: monitor already closed")
 	}
@@ -999,11 +1206,39 @@ func (m *Monitor) Close() (*Inference, error) {
 // finalize (in deterministic first-seen order), and if no session was
 // ever finalized the largest still-viable conversation is attacked — the
 // batch fallback for captures whose reports never classified. Everything
-// else expires with reason "close".
+// else expires with reason "close". The phases are separate methods so
+// the shard engine can run each across all shards with a global reduce
+// between them.
 func (m *Monitor) closeWindowed() (*Inference, error) {
+	m.closeFinalizeSessions()
+	if m.bestFinal == nil {
+		// The batch rule attacks the capture's biggest conversation; an
+		// already-expired flow (tracked by the fallback) may outweigh
+		// everything still open.
+		if canon, bytes, _, ok := m.largestOpen(); ok && bytes > m.fallbackHigh() {
+			m.finalizeLargest(canon)
+		}
+	}
+	m.closeExpireRest()
+	if m.bestFinal == nil && len(m.fallbacks) > 0 {
+		// Nothing ever classified as a session; the largest expired viable
+		// flow is the attack target, as in the batch path.
+		fb := m.fallbacks[len(m.fallbacks)-1]
+		m.finalized++
+		m.emit(SessionFinalized{Flow: fb.flow, Inference: fb.inf})
+		return fb.inf, nil
+	}
+	if m.bestFinal == nil {
+		return nil, ErrNoTLSConversation
+	}
+	return m.bestFinal, nil
+}
+
+// remainingFlows returns the still-open flows in first-seen order.
+// m.order can hold a key twice when a finalized flow's 5-tuple was
+// reused; dedupe so no flow finalizes more than once.
+func (m *Monitor) remainingFlows() []*monFlow {
 	m.compactOrder()
-	// m.order can hold a key twice when a finalized flow's 5-tuple was
-	// reused; dedupe so no flow finalizes more than once.
 	var remaining []*monFlow
 	seen := make(map[layers.FlowKey]bool, len(m.order))
 	for _, k := range m.order {
@@ -1015,52 +1250,70 @@ func (m *Monitor) closeWindowed() (*Inference, error) {
 			remaining = append(remaining, f)
 		}
 	}
-	for _, f := range remaining {
+	return remaining
+}
+
+// closeFinalizeSessions is the first close phase: every flow with enough
+// in-band evidence finalizes as a session, in first-seen order.
+func (m *Monitor) closeFinalizeSessions() {
+	for _, f := range m.remainingFlows() {
 		if _, ok := m.flows[f.canonical]; !ok {
 			continue
 		}
 		if !f.dead && f.viable() && m.hardCount(f) >= minSessionHards {
+			m.evKey = f.firstSeq
 			m.finalizeFlow(f, m.clock, "close")
 		}
 	}
-	if m.bestFinal == nil {
-		var largest *monFlow
-		for _, f := range remaining {
-			if _, ok := m.flows[f.canonical]; !ok || f.dead || !f.viable() {
-				continue
-			}
-			if largest == nil || f.totalBytes() > largest.totalBytes() {
-				largest = f
-			}
+	m.evKey = 0
+}
+
+// largestOpen finds the largest still-open viable flow — the candidate
+// for the batch largest-conversation fallback at close.
+func (m *Monitor) largestOpen() (canon layers.FlowKey, bytes int64, firstSeq uint64, ok bool) {
+	var largest *monFlow
+	for _, f := range m.remainingFlows() {
+		if f.dead || !f.viable() {
+			continue
 		}
-		// The batch rule attacks the capture's biggest conversation; an
-		// already-expired flow (tracked by the fallback) may outweigh
-		// everything still open.
-		if largest != nil && largest.totalBytes() > m.fallbackBytes {
-			if inf, err := m.atk.Infer(largest.observation()); err == nil {
-				m.noteFinal(inf, 0, 0)
-				m.finalized++
-				m.emit(SessionFinalized{Flow: largest.clientKey, Inference: inf})
-				m.dropFlow(largest)
-			}
+		if largest == nil || f.totalBytes() > largest.totalBytes() {
+			largest = f
 		}
 	}
-	for _, f := range remaining {
-		if _, ok := m.flows[f.canonical]; ok {
-			m.finalizeFlow(f, m.clock, "close")
-		}
+	if largest == nil {
+		return layers.FlowKey{}, 0, 0, false
 	}
-	if m.bestFinal == nil && m.fallback != nil {
-		// Nothing ever classified as a session; the largest expired viable
-		// flow is the attack target, as in the batch path.
+	return largest.canonical, largest.totalBytes(), largest.firstSeq, true
+}
+
+// finalizeLargest runs the largest-conversation attack on one still-open
+// flow and finalizes it. A failed Infer leaves the flow for
+// closeExpireRest.
+func (m *Monitor) finalizeLargest(canon layers.FlowKey) {
+	f, ok := m.flows[canon]
+	if !ok {
+		return
+	}
+	if inf, err := m.atk.Infer(f.observation()); err == nil {
+		m.evKey = f.firstSeq
+		m.noteFinal(inf, 0, 0)
 		m.finalized++
-		m.emit(SessionFinalized{Flow: m.fallbackFlow, Inference: m.fallback})
-		return m.fallback, nil
+		m.emit(SessionFinalized{Flow: f.clientKey, Inference: inf})
+		m.dropFlow(f)
+		m.evKey = 0
 	}
-	if m.bestFinal == nil {
-		return nil, ErrNoTLSConversation
+}
+
+// closeExpireRest is the final close phase: whatever is still open
+// expires with reason "close", in first-seen order.
+func (m *Monitor) closeExpireRest() {
+	for _, f := range m.remainingFlows() {
+		if _, ok := m.flows[f.canonical]; ok {
+			m.evKey = f.firstSeq
+			m.finalizeFlow(f, m.clock, "close")
+		}
 	}
-	return m.bestFinal, nil
+	m.evKey = 0
 }
 
 // selectFlow picks the conversation to attack. With a single candidate —

@@ -1,0 +1,158 @@
+package attack
+
+import (
+	"sort"
+	"time"
+)
+
+// Timing-wheel idle expiry. The rolling-window Monitor used to find idle
+// flows by scanning the whole flow table every sweep — O(flows) per sweep
+// no matter how few flows actually expired, which is hopeless at
+// core-link scale (tens of thousands of concurrent flows, most of them
+// healthy). The hierarchical wheel below makes a sweep O(expired +
+// cascaded): each flow holds exactly one wheel entry keyed by its idle
+// deadline on the capture clock, and advancing the wheel pops only the
+// slots the clock actually crossed.
+//
+// Layout: twLevels levels of twSlots slots. Level 0 slots span one tick,
+// level L slots span twSlots^L ticks, so the wheel covers
+// twSlots^twLevels ticks before the top level saturates (deadlines past
+// the horizon are clamped to the last representable tick and re-examined
+// when popped — re-scheduling on pop is the standard cascade). With the
+// Monitor's tick of IdleTimeout/twSlots, one level-0 revolution is one
+// idle timeout, and the horizon is ~64^3 timeouts — unreachable in
+// practice, but still correct if reached.
+//
+// Entries are lazily invalidated rather than removed: dropFlow leaves the
+// entry in place and expiry re-checks flow identity on pop, and a flow
+// that saw traffic after its entry was scheduled is re-armed (re-inserted
+// at its new deadline) instead of expired. Equal deadlines pop in a
+// deterministic order: advance sorts due entries by ord, the flow's
+// first-seen sequence number, which is exactly the first-seen table order
+// the linear scan used.
+
+const (
+	twSlotBits = 6
+	twSlots    = 1 << twSlotBits // 64 slots per level
+	twLevels   = 4
+)
+
+// twEntry is one scheduled deadline. Entries chain into their slot as a
+// singly-linked list; next is owned by the wheel between schedule and
+// pop.
+type twEntry struct {
+	deadline time.Time // expire when the capture clock passes this
+	ord      uint64    // tie-break: first-seen sequence of the flow
+	flow     *monFlow  // back-pointer for the expiry check (nil in tests)
+	next     *twEntry
+}
+
+// timeWheel is a hierarchical timing wheel over the capture clock.
+// Absolute tick numbers are time since epoch divided by tick; the wheel
+// never runs backward (advance clamps to the high-water tick).
+type timeWheel struct {
+	tick  time.Duration
+	epoch time.Time
+	cur   int64 // absolute tick the wheel has advanced through
+	slots [twLevels][twSlots]*twEntry
+	size  int
+}
+
+// newTimeWheel sizes a wheel so one level-0 revolution spans roughly one
+// idle timeout. The tick floor keeps degenerate timeouts from creating a
+// zero-duration tick.
+func newTimeWheel(epoch time.Time, idle time.Duration) *timeWheel {
+	tick := idle / twSlots
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	return &timeWheel{tick: tick, epoch: epoch}
+}
+
+// tickOf maps an absolute time to its tick number. Times at or before
+// the epoch land on tick 0.
+func (w *timeWheel) tickOf(t time.Time) int64 {
+	d := t.Sub(w.epoch)
+	if d <= 0 {
+		return 0
+	}
+	return int64(d / w.tick)
+}
+
+// levelSpan returns the tick span of one slot at the given level.
+func levelSpan(level int) int64 {
+	return 1 << (twSlotBits * level)
+}
+
+// schedule inserts e at the slot covering its deadline. Deadlines in the
+// past (or the present tick) go one tick ahead so the next advance pops
+// them; deadlines past the wheel horizon clamp to the outermost slot.
+func (w *timeWheel) schedule(e *twEntry) {
+	t := w.tickOf(e.deadline)
+	if t <= w.cur {
+		t = w.cur + 1
+	}
+	if max := w.cur + levelSpan(twLevels) - 1; t > max {
+		t = max
+	}
+	delta := t - w.cur
+	level := 0
+	for level < twLevels-1 && delta >= levelSpan(level+1) {
+		level++
+	}
+	idx := (t >> (twSlotBits * level)) % twSlots
+	e.next = w.slots[level][idx]
+	w.slots[level][idx] = e
+	w.size++
+}
+
+// advance moves the wheel to now and returns every entry whose deadline
+// has passed, sorted by ord (deterministic under identical deadlines).
+// Entries popped by slot rotation whose deadline is still in the future
+// — cascades from outer levels, and clamped far-horizon entries — are
+// re-scheduled relative to the new position, not returned.
+func (w *timeWheel) advance(now time.Time) []*twEntry {
+	to := w.tickOf(now)
+	if to <= w.cur {
+		return nil
+	}
+	var popped *twEntry
+	for level := 0; level < twLevels; level++ {
+		shift := uint(twSlotBits * level)
+		from, upto := w.cur>>shift, to>>shift
+		n := upto - from
+		if n <= 0 {
+			break // outer levels have not rotated either
+		}
+		if n > twSlots {
+			n = twSlots // a full revolution drains every slot once
+		}
+		for i := int64(1); i <= n; i++ {
+			idx := (from + i) % twSlots
+			for e := w.slots[level][idx]; e != nil; {
+				next := e.next
+				e.next = popped
+				popped = e
+				e = next
+			}
+			w.slots[level][idx] = nil
+		}
+	}
+	w.cur = to
+
+	var due []*twEntry
+	for e := popped; e != nil; {
+		next := e.next
+		e.next = nil
+		if w.tickOf(e.deadline) <= to {
+			w.size--
+			due = append(due, e)
+		} else {
+			w.size-- // schedule re-counts it
+			w.schedule(e)
+		}
+		e = next
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].ord < due[j].ord })
+	return due
+}

@@ -30,6 +30,8 @@ type SoakResult struct {
 	Sessions int
 	// NoiseFlows is the concurrent bulk-streaming flows per session.
 	NoiseFlows int
+	// Shards is the monitor's shard count (0 = single-threaded).
+	Shards int
 	// Decoded counts sessions whose windowed per-flow inference is
 	// byte-identical (reflect.DeepEqual) to the one-shot InferPcap run on
 	// the same capture in isolation — the batch-equivalence bar.
@@ -55,7 +57,21 @@ type SoakResult struct {
 	RingBlocks int
 	// RingInUseEnd is the ring bytes still referenced after Close.
 	RingInUseEnd int64
-	Report       string
+	// Sweeps and SweepTouched are the monitor's idle-sweep counters at the
+	// end of the run: SweepTouched stays O(expired flows), not
+	// O(flows × sweeps), now that expiry rides the timing wheel.
+	Sweeps       int64
+	SweepTouched int64
+	// ShardRetainedBySession samples each shard's RetainedBytes after each
+	// session (sharded runs only): every per-shard series must stay as
+	// flat as the aggregate — no shard may accumulate what the others
+	// release.
+	ShardRetainedBySession [][]int64
+	// Events is the monitor's full ordered event stream, recorded so a
+	// sharded soak can be checked byte-identical against the
+	// single-threaded run.
+	Events []attack.Event
+	Report string
 }
 
 // Soak is the bounded-memory proof for the rolling-window monitor: it
@@ -67,6 +83,22 @@ type SoakResult struct {
 // InferPcap baseline for that capture while the monitor's retained memory
 // stays O(window), not O(sessions).
 func Soak(sessions, noiseFlows int, seed uint64) (*SoakResult, error) {
+	return soakRun(sessions, noiseFlows, seed, 0)
+}
+
+// SoakSharded is Soak on the multi-core monitor: the same continuous tap
+// streams through `shards` per-core monitor shards, and the result must
+// be indistinguishable — the recorded Events stream is byte-identical to
+// the single-threaded soak's, and every shard's retained footprint stays
+// flat in the session count.
+func SoakSharded(sessions, noiseFlows int, seed uint64, shards int) (*SoakResult, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	return soakRun(sessions, noiseFlows, seed, shards)
+}
+
+func soakRun(sessions, noiseFlows int, seed uint64, shards int) (*SoakResult, error) {
 	if sessions <= 0 {
 		sessions = 20
 	}
@@ -92,7 +124,7 @@ func Soak(sessions, noiseFlows int, seed uint64) (*SoakResult, error) {
 	}
 
 	res := &SoakResult{
-		Sessions: sessions, NoiseFlows: noiseFlows,
+		Sessions: sessions, NoiseFlows: noiseFlows, Shards: shards,
 		ExpiredByReason: map[string]int{},
 	}
 	ring := pcapio.NewPacketRing(0)
@@ -101,8 +133,10 @@ func Soak(sessions, noiseFlows int, seed uint64) (*SoakResult, error) {
 	finals := map[layers.FlowKey]*attack.Inference{}
 	m := attack.NewMonitor(atk, attack.MonitorOptions{
 		FrameRing: ring,
+		Shards:    shards,
 		Window:    &attack.Window{IdleTimeout: 60 * time.Second},
 		OnEvent: func(ev attack.Event) {
+			res.Events = append(res.Events, ev)
 			switch e := ev.(type) {
 			case attack.SessionFinalized:
 				res.Finalized++
@@ -186,8 +220,16 @@ func Soak(sessions, noiseFlows int, seed uint64) (*SoakResult, error) {
 
 		// Sample the monitor's footprint with the capture dropped — the
 		// series a bounded-memory monitor keeps flat.
-		retained := m.Stats().RetainedBytes + ring.InUse()
+		st := m.Stats()
+		retained := st.RetainedBytes + ring.InUse()
 		res.RetainedBySession = append(res.RetainedBySession, retained)
+		if len(st.Shards) > 0 {
+			perShard := make([]int64, len(st.Shards))
+			for i, sh := range st.Shards {
+				perShard[i] = sh.RetainedBytes
+			}
+			res.ShardRetainedBySession = append(res.ShardRetainedBySession, perShard)
+		}
 		if retained > res.PeakRetainedBytes {
 			res.PeakRetainedBytes = retained
 		}
@@ -201,6 +243,8 @@ func Soak(sessions, noiseFlows int, seed uint64) (*SoakResult, error) {
 	if _, err := m.Close(); err != nil {
 		return nil, err
 	}
+	end := m.Stats()
+	res.Sweeps, res.SweepTouched = end.Sweeps, end.SweepTouched
 	res.RingBlocks = ring.Blocks()
 	res.RingInUseEnd = ring.InUse()
 
@@ -224,6 +268,9 @@ func renderSoak(res *SoakResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Rolling-window soak: %d back-to-back sessions + %d noise flows each through ONE monitor\n",
 		res.Sessions, res.NoiseFlows)
+	if res.Shards > 0 {
+		fmt.Fprintf(&b, "(sharded engine: %d per-core monitor shards behind the same API)\n", res.Shards)
+	}
 	fmt.Fprintf(&b, "(zero-copy FeedPacketOwned via PacketRing; per-flow FIN/idle finalization)\n")
 	rows := [][]string{
 		{"sessions decoded byte-identical to one-shot InferPcap",
@@ -233,6 +280,16 @@ func renderSoak(res *SoakResult) string {
 		{"SessionFinalized events", fmt.Sprintf("%d", res.Finalized)},
 		{"peak retained (monitor + ring)", fmt.Sprintf("%.1f KiB", float64(res.PeakRetainedBytes)/1024)},
 		{"ring blocks at end / bytes in use", fmt.Sprintf("%d / %d", res.RingBlocks, res.RingInUseEnd)},
+		{"idle sweeps / wheel entries touched", fmt.Sprintf("%d / %d", res.Sweeps, res.SweepTouched)},
+	}
+	if n := len(res.ShardRetainedBySession); n > 0 {
+		lastRow := res.ShardRetainedBySession[n-1]
+		parts := make([]string, len(lastRow))
+		for i, v := range lastRow {
+			parts[i] = fmt.Sprintf("%.1f", float64(v)/1024)
+		}
+		rows = append(rows, []string{"per-shard retained after last session (KiB)",
+			strings.Join(parts, " / ")})
 	}
 	if n := len(res.RetainedBySession); n > 0 {
 		rows = append(rows, []string{"retained after first/last session",

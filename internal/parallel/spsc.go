@@ -1,0 +1,133 @@
+package parallel
+
+import "sync/atomic"
+
+// SPSC is a bounded single-producer/single-consumer queue: one goroutine
+// Pushes, one goroutine Pops, and the ring buffer between them is
+// coordinated by two atomic cursors — no mutex on the hot path. Both
+// ends block when they must (Push on a full ring, Pop on an empty one),
+// parking on a notification channel only after publishing a waiting
+// flag, so the steady-state cost is two atomic loads and one store per
+// operation.
+//
+// The bounded capacity is the backpressure mechanism in a fan-out
+// pipeline: a producer that outruns a consumer fills the ring and
+// blocks, rather than growing an unbounded backlog.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	head atomic.Uint64 // next slot to Pop (owned by the consumer)
+	tail atomic.Uint64 // next slot to Push (owned by the producer)
+
+	closed   atomic.Bool
+	prodWait atomic.Bool   // producer is parking on prodPark
+	consWait atomic.Bool   // consumer is parking on consPark
+	prodPark chan struct{} // capacity 1: a wakeup is never lost
+	consPark chan struct{}
+}
+
+// NewSPSC returns a queue holding at least capacity elements (rounded up
+// to a power of two, minimum 2).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{
+		buf:      make([]T, n),
+		mask:     uint64(n - 1),
+		prodPark: make(chan struct{}, 1),
+		consPark: make(chan struct{}, 1),
+	}
+}
+
+// Push appends v, blocking while the ring is full. It returns false —
+// without enqueueing — once the queue is closed. Only the producer
+// goroutine may call Push.
+func (q *SPSC[T]) Push(v T) bool {
+	for {
+		if q.closed.Load() {
+			return false
+		}
+		t := q.tail.Load()
+		if t-q.head.Load() < uint64(len(q.buf)) {
+			q.buf[t&q.mask] = v
+			q.tail.Store(t + 1) // publishes the slot write
+			if q.consWait.Load() {
+				select {
+				case q.consPark <- struct{}{}:
+				default:
+				}
+			}
+			return true
+		}
+		// Full: publish intent to sleep, re-check (the consumer may have
+		// drained between the check and the flag — its wakeup send only
+		// happens after it sees the flag), then park.
+		q.prodWait.Store(true)
+		if t-q.head.Load() < uint64(len(q.buf)) || q.closed.Load() {
+			q.prodWait.Store(false)
+			continue
+		}
+		<-q.prodPark
+		q.prodWait.Store(false)
+	}
+}
+
+// Pop removes the oldest element, blocking while the ring is empty. It
+// returns ok == false once the queue is closed and drained. Only the
+// consumer goroutine may call Pop.
+func (q *SPSC[T]) Pop() (v T, ok bool) {
+	for {
+		h := q.head.Load()
+		if h < q.tail.Load() {
+			v = q.buf[h&q.mask]
+			var zero T
+			q.buf[h&q.mask] = zero // drop the queue's reference
+			q.head.Store(h + 1)    // publishes the slot release
+			if q.prodWait.Load() {
+				select {
+				case q.prodPark <- struct{}{}:
+				default:
+				}
+			}
+			return v, true
+		}
+		if q.closed.Load() {
+			if q.head.Load() >= q.tail.Load() {
+				var zero T
+				return zero, false
+			}
+			continue
+		}
+		q.consWait.Store(true)
+		if q.head.Load() < q.tail.Load() || q.closed.Load() {
+			q.consWait.Store(false)
+			continue
+		}
+		<-q.consPark
+		q.consWait.Store(false)
+	}
+}
+
+// Len is the number of queued elements (racy by nature; exact only when
+// both ends are quiescent).
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Close marks the queue closed and wakes both ends: a blocked Push
+// returns false, a blocked Pop drains what remains and then reports
+// done. Elements already queued stay poppable.
+func (q *SPSC[T]) Close() {
+	q.closed.Store(true)
+	select {
+	case q.prodPark <- struct{}{}:
+	default:
+	}
+	select {
+	case q.consPark <- struct{}{}:
+	default:
+	}
+}

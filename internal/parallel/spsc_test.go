@@ -1,0 +1,142 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSPSCOrdering pushes a long sequence through a small ring (forcing
+// both ends to block repeatedly) and checks FIFO delivery, exactly once.
+func TestSPSCOrdering(t *testing.T) {
+	q := NewSPSC[int](8)
+	const n = 100000
+	done := make(chan []int, 1)
+	go func() {
+		var got []int
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				done <- got
+				return
+			}
+			got = append(got, v)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) refused before Close", i)
+		}
+	}
+	q.Close()
+	got := <-done
+	if len(got) != n {
+		t.Fatalf("popped %d values, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, out of order", i, v)
+		}
+	}
+}
+
+// TestSPSCBlockingBackpressure checks a producer actually blocks on a
+// full ring and resumes when the consumer drains.
+func TestSPSCBlockingBackpressure(t *testing.T) {
+	q := NewSPSC[int](2)
+	for i := 0; i < 2; i++ {
+		q.Push(i)
+	}
+	pushed := make(chan struct{})
+	go func() {
+		q.Push(2) // must block until a Pop frees a slot
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("Push on a full ring did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := q.Pop(); !ok || v != 0 {
+		t.Fatalf("Pop = (%d, %v), want (0, true)", v, ok)
+	}
+	select {
+	case <-pushed:
+	case <-time.After(time.Second):
+		t.Fatal("Push did not resume after Pop freed a slot")
+	}
+}
+
+// TestSPSCCloseDrains checks Close wakes a blocked consumer, queued
+// elements stay poppable after Close, and both ends then report done.
+func TestSPSCCloseDrains(t *testing.T) {
+	q := NewSPSC[string](4)
+	q.Push("a")
+	q.Push("b")
+	q.Close()
+	if v, ok := q.Pop(); !ok || v != "a" {
+		t.Fatalf("Pop = (%q, %v), want (a, true)", v, ok)
+	}
+	if v, ok := q.Pop(); !ok || v != "b" {
+		t.Fatalf("Pop = (%q, %v), want (b, true)", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on a closed drained queue reported ok")
+	}
+	if q.Push("c") {
+		t.Fatal("Push after Close reported ok")
+	}
+
+	// A consumer blocked on an empty queue must wake on Close.
+	q2 := NewSPSC[int](4)
+	woke := make(chan struct{})
+	go func() {
+		if _, ok := q2.Pop(); ok {
+			t.Error("blocked Pop returned ok after Close")
+		}
+		close(woke)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q2.Close()
+	select {
+	case <-woke:
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake the blocked consumer")
+	}
+}
+
+// TestSPSCConcurrentStress hammers several queues at once under the race
+// detector: distinct payloads, tiny rings, producers and consumers
+// racing against Close-driven shutdown.
+func TestSPSCConcurrentStress(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		q := NewSPSC[uint64](4)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 20000; i++ {
+				if !q.Push(i) {
+					return
+				}
+			}
+			q.Close()
+		}()
+		go func() {
+			defer wg.Done()
+			var want uint64
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				if v != want {
+					t.Errorf("popped %d, want %d", v, want)
+					return
+				}
+				want++
+			}
+		}()
+	}
+	wg.Wait()
+}

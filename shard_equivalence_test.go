@@ -1,0 +1,102 @@
+package whitemirror
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// runMonitorShards drives one capture through a Monitor at the given
+// shard count (0 = the single-threaded path) and returns the full event
+// stream plus the Close result. Chunked feeding exercises the pcap
+// framing path; the chunk size is deliberately not a packet boundary.
+func runMonitorShards(t *testing.T, atk *Attacker, data []byte, shards int, win *MonitorWindow) ([]MonitorEvent, *Inference, error) {
+	t.Helper()
+	var events []MonitorEvent
+	m := NewMonitor(atk, MonitorOptions{
+		Shards:  shards,
+		Window:  win,
+		OnEvent: func(ev MonitorEvent) { events = append(events, ev) },
+	})
+	const chunk = 63 << 10
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := m.Feed(data[off:end]); err != nil {
+			return events, nil, err
+		}
+	}
+	inf, err := m.Close()
+	return events, inf, err
+}
+
+// TestShardEquivalence is the tentpole's pinning test: at every shard
+// count the monitor must produce the byte-identical event stream and
+// Close inference the single-threaded monitor produces — on clean
+// single-session captures and on interleaved multi-flow captures, in
+// both batch and rolling-window modes.
+func TestShardEquivalence(t *testing.T) {
+	ds, err := GenerateDataset(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := TrainAttacker(TrainingOptions{Condition: ConditionUbuntu, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type capCase struct {
+		name string
+		data []byte
+	}
+	var cases []capCase
+	for _, p := range ds.Points {
+		data, err := CapturePcap(p.Trace, uint64(p.Index))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, capCase{fmt.Sprintf("session%03d", p.Index+1), data})
+	}
+	for seed := uint64(1); seed <= 2; seed++ {
+		tr, err := Simulate(SessionOptions{Seed: seed, Condition: ConditionUbuntu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := CapturePcapMulti(tr, seed, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, capCase{fmt.Sprintf("interleaved%d", seed), multi})
+	}
+
+	windows := map[string]*MonitorWindow{"batch": nil, "window": {}}
+	for _, tc := range cases {
+		for wname, win := range windows {
+			wantEvents, wantInf, wantErr := runMonitorShards(t, atk, tc.data, 0, win)
+			for _, shards := range []int{1, 2, 4, 8} {
+				gotEvents, gotInf, gotErr := runMonitorShards(t, atk, tc.data, shards, win)
+				if (gotErr == nil) != (wantErr == nil) ||
+					(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+					t.Errorf("%s/%s shards=%d: Close error %v, want %v", tc.name, wname, shards, gotErr, wantErr)
+					continue
+				}
+				if !reflect.DeepEqual(gotInf, wantInf) {
+					t.Errorf("%s/%s shards=%d: inference diverged from single-threaded", tc.name, wname, shards)
+				}
+				if len(gotEvents) != len(wantEvents) {
+					t.Errorf("%s/%s shards=%d: %d events, want %d", tc.name, wname, shards, len(gotEvents), len(wantEvents))
+					continue
+				}
+				for i := range wantEvents {
+					if !reflect.DeepEqual(gotEvents[i], wantEvents[i]) {
+						t.Errorf("%s/%s shards=%d: event %d = %#v, want %#v",
+							tc.name, wname, shards, i, gotEvents[i], wantEvents[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}

@@ -68,8 +68,12 @@ type (
 	// operation over an indefinite link tap, with per-flow FIN/RST/idle
 	// finalization and noise-flow eviction.
 	MonitorWindow = attack.Window
-	// MonitorStats snapshots a monitor's flow table and retained memory.
+	// MonitorStats snapshots a monitor's flow table and retained memory;
+	// with MonitorOptions.Shards > 0 its Shards slice breaks the figures
+	// down per monitor shard.
 	MonitorStats = attack.MonitorStats
+	// ShardStats is one shard's slice of a sharded monitor's MonitorStats.
+	ShardStats = attack.ShardStats
 	// MonitorEvent is a typed Monitor notification; the concrete types are
 	// FlowDetected, ChoiceInferred, SessionFinalized and FlowExpired.
 	MonitorEvent = attack.Event
@@ -126,7 +130,9 @@ func PadRandomUpTo(n int) PaddingPolicy { return tlsrec.PadRandomUpTo(n) }
 // candidate flow — byte-identical to Attacker.InferPcap for
 // single-conversation captures. Set opts.Window for the rolling-window
 // link-tap regime: bounded memory over an indefinite feed, with flows
-// finalizing individually on FIN/RST or idle.
+// finalizing individually on FIN/RST or idle. Set opts.Shards > 0 to fan
+// flows out across that many per-core monitor shards; the event stream
+// and Close inference are byte-identical at every shard count.
 func NewMonitor(a *Attacker, opts MonitorOptions) *Monitor {
 	return attack.NewMonitor(a, opts)
 }
