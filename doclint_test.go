@@ -1,134 +1,55 @@
 package whitemirror
 
-// A doc-comment lint for the packages ARCHITECTURE.md documents as the
-// exported surface of the attack pipeline: the facade plus the four core
-// internal packages. Every exported top-level identifier — types, funcs,
-// methods, consts and vars — must carry a doc comment, and every package
-// must have a package comment. This is the enforceable form of the godoc
-// pass: an undocumented export fails CI by name instead of rotting.
+// The doc-comment lint is now the doccheck analyzer in
+// internal/lint/doccheck, run by wmlint and CI's lint-invariants job.
+// This test is the thin compatibility wrapper: it runs just doccheck
+// over the documented surface so `go test .` keeps failing by name when
+// an export loses its doc comment, even if wmlint is skipped.
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"strings"
 	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/doccheck"
+	"repro/internal/lint/loader"
 )
 
-// doclintPackages is the checked surface (directories relative to the
-// repository root).
-var doclintPackages = []string{
-	".",
-	"internal/attack",
-	"internal/tcpreasm",
-	"internal/tlsrec",
-	"internal/pcapio",
-}
-
 func TestExportedIdentifiersDocumented(t *testing.T) {
-	for _, dir := range doclintPackages {
-		fset := token.NewFileSet()
-		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
-			return !strings.HasSuffix(fi.Name(), "_test.go")
-		}, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("%s: %v", dir, err)
-		}
-		for name, pkg := range pkgs {
-			if strings.HasSuffix(name, "_test") {
-				continue
-			}
-			lintPackage(t, fset, dir, pkg)
-		}
+	if testing.Short() {
+		t.Skip("loads and type-checks the documented surface")
 	}
-}
-
-// lintPackage walks one package's files.
-func lintPackage(t *testing.T, fset *token.FileSet, dir string, pkg *ast.Package) {
-	t.Helper()
-	hasPkgDoc := false
-	for _, f := range pkg.Files {
-		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
-			hasPkgDoc = true
-		}
-		for _, decl := range f.Decls {
-			lintDecl(t, fset, decl)
-		}
+	pkgs, err := loader.LoadModule(".",
+		".", "./internal/attack", "./internal/tcpreasm", "./internal/tlsrec", "./internal/pcapio")
+	if err != nil {
+		t.Fatalf("load: %v", err)
 	}
-	if !hasPkgDoc {
-		t.Errorf("%s: package %s has no package doc comment", dir, pkg.Name)
-	}
-}
-
-// lintDecl reports every undocumented exported declaration.
-func lintDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) {
-	t.Helper()
-	switch d := decl.(type) {
-	case *ast.FuncDecl:
-		if !d.Name.IsExported() || !exportedRecv(d) {
-			return
+	checked := 0
+	for _, pkg := range pkgs {
+		if !doccheck.SurfacePackages[pkg.Path] {
+			t.Errorf("loaded %s, which is not in doccheck.SurfacePackages", pkg.Path)
+			continue
 		}
-		if d.Doc == nil {
-			t.Errorf("%s: exported func %s has no doc comment",
-				fset.Position(d.Pos()), funcName(d))
+		checked++
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  doccheck.Analyzer,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Path:      pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
-	case *ast.GenDecl:
-		// A documented const/var/type block covers its members the way
-		// godoc renders them; individually documented members also pass.
-		blockDoc := d.Doc != nil
-		for _, spec := range d.Specs {
-			switch s := spec.(type) {
-			case *ast.TypeSpec:
-				if s.Name.IsExported() && !blockDoc && s.Doc == nil && s.Comment == nil {
-					t.Errorf("%s: exported type %s has no doc comment",
-						fset.Position(s.Pos()), s.Name.Name)
-				}
-			case *ast.ValueSpec:
-				for _, n := range s.Names {
-					if n.IsExported() && !blockDoc && s.Doc == nil && s.Comment == nil {
-						t.Errorf("%s: exported %s has no doc comment",
-							fset.Position(s.Pos()), n.Name)
-					}
-				}
-			}
+		if err := doccheck.Analyzer.Run(pass); err != nil {
+			t.Fatalf("doccheck on %s: %v", pkg.Path, err)
+		}
+		allows, _ := analysis.CollectAllows(pkg.Fset, pkg.Files)
+		kept, _, _ := analysis.FilterAllowed(pkg.Fset, diags, allows)
+		for _, d := range kept {
+			t.Errorf("%s: %s", pkg.Fset.Position(d.Pos), d.Message)
 		}
 	}
-}
-
-// exportedRecv reports whether a method's receiver type is exported
-// (methods on unexported types are not part of the surface).
-func exportedRecv(d *ast.FuncDecl) bool {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return true
+	if want := len(doccheck.SurfacePackages); checked != want {
+		t.Errorf("checked %d packages, want the %d in doccheck.SurfacePackages", checked, want)
 	}
-	name := recvTypeName(d.Recv.List[0].Type)
-	return name == "" || ast.IsExported(name)
-}
-
-// recvTypeName unwraps a receiver type expression to its type name.
-func recvTypeName(expr ast.Expr) string {
-	for {
-		switch e := expr.(type) {
-		case *ast.StarExpr:
-			expr = e.X
-		case *ast.IndexExpr:
-			expr = e.X
-		case *ast.Ident:
-			return e.Name
-		default:
-			return ""
-		}
-	}
-}
-
-// funcName renders Recv.Method or Func for the failure message.
-func funcName(d *ast.FuncDecl) string {
-	if d.Recv == nil || len(d.Recv.List) == 0 {
-		return d.Name.Name
-	}
-	if n := recvTypeName(d.Recv.List[0].Type); n != "" {
-		return n + "." + d.Name.Name
-	}
-	return d.Name.Name
 }

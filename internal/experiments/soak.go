@@ -138,6 +138,9 @@ func soakRun(sessions, noiseFlows int, seed uint64, shards int) (*SoakResult, er
 		OnEvent: func(ev attack.Event) {
 			res.Events = append(res.Events, ev)
 			switch e := ev.(type) {
+			case attack.FlowDetected, attack.ChoiceInferred:
+				// Counted via res.Events above; the soak only tallies
+				// terminal outcomes per flow.
 			case attack.SessionFinalized:
 				res.Finalized++
 				finals[e.Flow] = e.Inference

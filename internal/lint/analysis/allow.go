@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowPrefix is the marker comment that suppresses one diagnostic:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The marker covers its own source line and, when it stands alone on a
+// line, the line immediately below it. The reason is mandatory — an
+// exception with no recorded rationale is itself a diagnostic.
+const allowPrefix = "//lint:allow"
+
+// Allow is one parsed //lint:allow marker.
+type Allow struct {
+	// File and Line locate the marker.
+	File string
+	Line int
+	// Analyzer is the checker the marker silences.
+	Analyzer string
+	// Reason is the recorded rationale (never empty for a valid marker).
+	Reason string
+	// standalone reports that the marker owns its line, so it also
+	// covers the next line.
+	standalone bool
+}
+
+// Covers reports whether the marker suppresses a diagnostic of the
+// given analyzer at file:line.
+func (a Allow) Covers(analyzer, file string, line int) bool {
+	if a.Analyzer != analyzer || a.File != file {
+		return false
+	}
+	return line == a.Line || (a.standalone && line == a.Line+1)
+}
+
+// CollectAllows extracts every //lint:allow marker from the files.
+// Malformed markers (missing analyzer or reason) come back as
+// diagnostics attributed to the pseudo-analyzer "allow".
+func CollectAllows(fset *token.FileSet, files []*ast.File) ([]Allow, []Diagnostic) {
+	var allows []Allow
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: "allow",
+						Message: "malformed lint:allow marker: want //lint:allow <analyzer> <reason>"})
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(
+					strings.TrimSpace(rest), fields[0]))
+				allows = append(allows, Allow{
+					File:       pos.Filename,
+					Line:       pos.Line,
+					Analyzer:   fields[0],
+					Reason:     reason,
+					standalone: standaloneComment(fset, f, c),
+				})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// standaloneComment reports whether c is the only thing on its line (a
+// marker above the flagged line, rather than trailing it).
+func standaloneComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	standalone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !standalone {
+			return false
+		}
+		if fset.Position(n.Pos()).Line <= line && fset.Position(n.End()).Line >= line {
+			switch n.(type) {
+			case *ast.File, *ast.GenDecl, *ast.FuncDecl, *ast.BlockStmt,
+				*ast.StructType, *ast.InterfaceType, *ast.FieldList,
+				*ast.CaseClause, *ast.CommClause, *ast.CompositeLit:
+				return true // containers may span the line; look inside
+			case *ast.Comment, *ast.CommentGroup:
+				return false // comments (the marker itself included) don't count
+			}
+			if fset.Position(n.Pos()).Line == line || fset.Position(n.End()).Line == line {
+				standalone = false
+			}
+			return false
+		}
+		return true
+	})
+	return standalone
+}
+
+// FilterAllowed splits diagnostics into kept and suppressed according
+// to the markers, and reports markers that suppressed nothing (an
+// unused exception is stale and should be deleted).
+func FilterAllowed(fset *token.FileSet, diags []Diagnostic, allows []Allow) (kept, suppressed []Diagnostic, unused []Allow) {
+	usedMarker := make([]bool, len(allows))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		hit := -1
+		for i, a := range allows {
+			if a.Covers(d.Analyzer, pos.Filename, pos.Line) {
+				hit = i
+				break
+			}
+		}
+		if hit >= 0 {
+			usedMarker[hit] = true
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for i, a := range allows {
+		if !usedMarker[i] {
+			unused = append(unused, a)
+		}
+	}
+	SortDiagnostics(fset, kept)
+	SortDiagnostics(fset, suppressed)
+	return kept, suppressed, unused
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer —
+// the stable presentation order every driver uses.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func trailing() {
+	bad() //lint:allow detrand trailing marker covers its own line
+}
+
+func standalone() {
+	//lint:allow spanown standalone marker covers the next line
+	alsoBad()
+}
+
+func malformed() {
+	oops() //lint:allow detrand
+}
+
+//lint:allow eventcase this one suppresses nothing and is stale
+func clean() {}
+`
+
+func parseAllowSrc(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_src.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// lineStart returns a Pos on the given 1-based line of the parsed file.
+func lineStart(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	return fset.File(f.Pos()).LineStart(line)
+}
+
+func TestCollectAllows(t *testing.T) {
+	fset, f := parseAllowSrc(t)
+	allows, bad := CollectAllows(fset, []*ast.File{f})
+	if len(allows) != 3 {
+		t.Fatalf("got %d allows, want 3: %+v", len(allows), allows)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("got %d malformed markers, want 1: %+v", len(bad), bad)
+	}
+	trailing, standalone, stale := allows[0], allows[1], allows[2]
+	if trailing.Analyzer != "detrand" || trailing.standalone {
+		t.Errorf("trailing marker parsed as %+v", trailing)
+	}
+	if trailing.Reason != "trailing marker covers its own line" {
+		t.Errorf("trailing reason = %q", trailing.Reason)
+	}
+	if standalone.Analyzer != "spanown" || !standalone.standalone {
+		t.Errorf("standalone marker parsed as %+v", standalone)
+	}
+	if stale.Analyzer != "eventcase" || !stale.standalone {
+		t.Errorf("stale marker parsed as %+v", stale)
+	}
+	if bad[0].Analyzer != "allow" {
+		t.Errorf("malformed marker attributed to %q, want pseudo-analyzer allow", bad[0].Analyzer)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	fset, f := parseAllowSrc(t)
+	allows, _ := CollectAllows(fset, []*ast.File{f})
+	trailing, standalone := allows[0], allows[1]
+
+	if !trailing.Covers("detrand", "allow_src.go", trailing.Line) {
+		t.Error("trailing marker must cover its own line")
+	}
+	if trailing.Covers("detrand", "allow_src.go", trailing.Line+1) {
+		t.Error("trailing marker must not cover the next line")
+	}
+	if trailing.Covers("spanown", "allow_src.go", trailing.Line) {
+		t.Error("marker must be analyzer-specific")
+	}
+	if trailing.Covers("detrand", "other.go", trailing.Line) {
+		t.Error("marker must be file-specific")
+	}
+	if !standalone.Covers("spanown", "allow_src.go", standalone.Line+1) {
+		t.Error("standalone marker must cover the line below it")
+	}
+}
+
+func TestFilterAllowed(t *testing.T) {
+	fset, f := parseAllowSrc(t)
+	allows, _ := CollectAllows(fset, []*ast.File{f})
+	trailing, standalone := allows[0], allows[1]
+
+	diags := []Diagnostic{
+		{Pos: lineStart(fset, f, standalone.Line+1), Analyzer: "spanown", Message: "covered by standalone"},
+		{Pos: lineStart(fset, f, trailing.Line), Analyzer: "spanown", Message: "wrong analyzer, kept"},
+		{Pos: lineStart(fset, f, trailing.Line), Analyzer: "detrand", Message: "covered by trailing"},
+	}
+	kept, suppressed, unused := FilterAllowed(fset, diags, allows)
+	if len(kept) != 1 || kept[0].Message != "wrong analyzer, kept" {
+		t.Errorf("kept = %+v, want exactly the wrong-analyzer diagnostic", kept)
+	}
+	if len(suppressed) != 2 {
+		t.Errorf("suppressed = %+v, want both covered diagnostics", suppressed)
+	}
+	if len(unused) != 1 || unused[0].Analyzer != "eventcase" {
+		t.Errorf("unused = %+v, want exactly the stale eventcase marker", unused)
+	}
+}

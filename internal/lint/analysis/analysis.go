@@ -1,0 +1,70 @@
+// Package analysis is the stdlib-only core of the wmlint static-analysis
+// suite: the Analyzer/Pass/Diagnostic contract the repo's invariant
+// checkers are written against.
+//
+// The shape deliberately mirrors golang.org/x/tools/go/analysis — an
+// Analyzer owns a Run function that inspects one type-checked package
+// through a Pass and reports Diagnostics — so the checkers could migrate
+// to the upstream framework mechanically if the dependency ever lands.
+// This module vendors nothing and the build environment is offline, so
+// the drivers (cmd/wmlint, the analysistest harness) are local too.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one invariant checker: a name diagnostics are attributed
+// to (and that //lint:allow markers reference), documentation, and the
+// per-package Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow markers.
+	Name string
+	// Doc states the invariant the analyzer proves and the sanctioned
+	// alternatives its diagnostics point to.
+	Doc string
+	// AppliesTo, when non-nil, restricts which packages the driver runs
+	// the analyzer on (by import path). Analyzers that gate on package
+	// identity themselves leave it nil. Test harnesses bypass it.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.Run call.
+type Pass struct {
+	// Analyzer is the checker this pass runs.
+	Analyzer *Analyzer
+	// Fset maps token positions for every file in the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (no test files).
+	Files []*ast.File
+	// Path is the package's import path.
+	Path string
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression/object maps.
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a message naming the broken invariant and the sanctioned fix.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Analyzer names the producing checker (the allow-marker key).
+	Analyzer string
+	// Message states the invariant violation and what to do instead.
+	Message string
+}

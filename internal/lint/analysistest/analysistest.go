@@ -1,0 +1,131 @@
+// Package analysistest runs a wmlint analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract: a fixture line
+// that should be flagged carries a comment like
+//
+//	x := time.Now() // want `time\.Now`
+//
+// where each backquoted (or double-quoted) string is a regular
+// expression that must match exactly one diagnostic reported on that
+// line, and every diagnostic must be matched by exactly one want.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// wantRx extracts the quoted expectations from a want comment.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one want regexp awaiting a diagnostic.
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the packages below srcRoot (GOPATH-style: srcRoot/<path>),
+// runs the analyzer on each, and reports every mismatch between wants
+// and diagnostics as a test error.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := loader.LoadTree(srcRoot, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		runPackage(t, a, pkg)
+	}
+}
+
+// runPackage checks one fixture package.
+func runPackage(t *testing.T, a *analysis.Analyzer, pkg *loader.Package) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Path:      pkg.Path,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkg.Path, a.Name, err)
+	}
+	analysis.SortDiagnostics(pkg.Fset, diags)
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := posKey(pos)
+		exps := wants[key]
+		hit := false
+		for _, e := range exps {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				e.matched, hit = true, true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: want %q matched no diagnostic", key, e.rx)
+			}
+		}
+	}
+}
+
+// collectWants parses every want comment in the package.
+func collectWants(t *testing.T, pkg *loader.Package) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "/*"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRx.FindAllString(text[len("want "):], -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+						}
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					key := posKey(pos)
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// posKey renders a file:line key.
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

@@ -1,0 +1,12 @@
+package atomiccursor_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/atomiccursor"
+)
+
+func TestAtomicCursor(t *testing.T) {
+	analysistest.Run(t, "testdata/src", atomiccursor.Analyzer, "cursor")
+}

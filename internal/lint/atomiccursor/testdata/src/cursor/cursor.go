@@ -1,0 +1,47 @@
+// Package cursor exercises atomiccursor: fields accessed via
+// sync/atomic anywhere in the package must be accessed atomically
+// everywhere.
+package cursor
+
+import "sync/atomic"
+
+// ring is an SPSC-style ring with old-style atomic cursor fields.
+type ring struct {
+	head uint64
+	tail uint64
+	name string
+}
+
+// push advances the tail atomically (this is what marks the fields).
+func (r *ring) push() {
+	t := atomic.LoadUint64(&r.tail)
+	atomic.StoreUint64(&r.tail, t+1)
+	_ = atomic.LoadUint64(&r.head)
+}
+
+// lenRacy mixes a plain read of tail with an atomic read of head — the
+// Dekker-parking bug class.
+func (r *ring) lenRacy() uint64 {
+	return r.tail - atomic.LoadUint64(&r.head) // want `atomiccursor: plain access to field ring\.tail`
+}
+
+// reset writes both cursors plainly.
+func (r *ring) reset() {
+	r.head = 0 // want `atomiccursor: plain access to field ring\.head`
+	r.tail = 0 // want `atomiccursor: plain access to field ring\.tail`
+}
+
+// label reads an unrelated plain field — fine.
+func (r *ring) label() string { return r.name }
+
+// plainCounter never sees sync/atomic, so plain access everywhere is
+// fine.
+type plainCounter struct {
+	n int64
+}
+
+// bump increments plainly.
+func (c *plainCounter) bump() { c.n++ }
+
+// value reads plainly.
+func (c *plainCounter) value() int64 { return c.n }

@@ -1,0 +1,23 @@
+// Package other is a detrand fixture for a package OUTSIDE the
+// determinism-critical set: the same constructs draw no diagnostics.
+package other
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Free reads clocks, global randomness and the environment — all fine
+// in a non-critical package (CLIs report wall time, for example).
+func Free() (time.Time, int, string) {
+	return time.Now(), rand.Intn(8), os.Getenv("WM_DEBUG")
+}
+
+// Emit leaks map order — also fine outside the critical set.
+func Emit(m map[string]int, out []string) []string {
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+// Package session is a detrand fixture shaped like a determinism-
+// critical package (the final path segment gates the analyzer).
+package session
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// wallClock reads the wall clock two ways.
+func wallClock(start time.Time) time.Duration {
+	_ = time.Now()           // want `detrand: time\.Now reads the wall clock`
+	return time.Since(start) // want `detrand: time\.Since reads the wall clock`
+}
+
+// clockValue passes the clock as a function value.
+func clockValue() func() time.Time {
+	return time.Now // want `detrand: time\.Now reads the wall clock`
+}
+
+// okClock derives time from an explicit input — sanctioned.
+func okClock(captureTS time.Time) time.Time {
+	return captureTS.Add(3 * time.Second)
+}
+
+// globalRand draws from the process-global source.
+func globalRand() int {
+	rand.Shuffle(4, func(i, j int) {}) // want `detrand: math/rand\.Shuffle draws from the process-global source`
+	return rand.Intn(8)                // want `detrand: math/rand\.Intn draws from the process-global source`
+}
+
+// seededRand forks an explicit source — sanctioned.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// envKnobs reads the environment.
+func envKnobs() (string, string) {
+	ok := os.Getenv("WM_WORKERS") // documented knob — sanctioned
+	bad := os.Getenv("WM_DEBUG")  // want `detrand: os\.Getenv outside the documented knobs`
+	return ok, bad
+}
+
+// envLookup uses the two-value form on an undocumented key.
+func envLookup() bool {
+	_, found := os.LookupEnv("HOME") // want `detrand: os\.LookupEnv outside the documented knobs`
+	return found
+}
+
+// emitUnsorted appends map keys straight into ordered output.
+func emitUnsorted(m map[string]int, out []string) []string {
+	for k := range m {
+		out = append(out, k) // want `detrand: range over map appends to an ordered output`
+	}
+	return out
+}
+
+// emitSorted collects then sorts — the sanctioned idiom.
+func emitSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// localAppend appends into a slice scoped inside the loop — no escape.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := []int{}
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// sendUnsorted leaks iteration order over a channel.
+func sendUnsorted(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `detrand: channel send inside a range over a map`
+	}
+}
+
+// emitter mimics the monitor's event sink.
+type emitter struct{}
+
+// emit delivers one event.
+func (emitter) emit(v int) {}
+
+// emitInRange calls an emit-shaped sink in iteration order.
+func emitInRange(m map[int]int, e emitter) {
+	for _, v := range m {
+		e.emit(v) // want `detrand: emit inside a range over a map`
+	}
+}
+
+// counters accumulate commutatively — sanctioned.
+func counters(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,134 @@
+// Package doccheck is the analyzer form of the repo's doc-comment lint:
+// every exported top-level identifier — types, funcs, methods, consts
+// and vars — must carry a doc comment, and every package must have a
+// package comment. It encodes the same rules doclint_test.go enforced
+// with a hand-rolled go/ast walk (PR 5), so an undocumented export
+// fails wmlint and CI by name instead of rotting.
+//
+// Which packages constitute the documented surface is the driver's
+// decision (wmlint runs doccheck on the facade and the four core attack
+// packages ARCHITECTURE.md documents); the analyzer itself checks
+// whatever package it is handed.
+package doccheck
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// SurfacePackages is the documented surface: the facade plus the four
+// core internal packages ARCHITECTURE.md maps (the same set
+// doclint_test.go checked). The driver consults this via AppliesTo.
+var SurfacePackages = map[string]bool{
+	"repro":                   true,
+	"repro/internal/attack":   true,
+	"repro/internal/tcpreasm": true,
+	"repro/internal/tlsrec":   true,
+	"repro/internal/pcapio":   true,
+}
+
+// Analyzer is the doccheck checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "doccheck",
+	Doc: "exported identifiers and packages in the documented surface " +
+		"must carry doc comments",
+	AppliesTo: func(pkgPath string) bool { return SurfacePackages[pkgPath] },
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	hasPkgDoc := false
+	for _, f := range pass.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			hasPkgDoc = true
+		}
+		for _, decl := range f.Decls {
+			checkDecl(pass, decl)
+		}
+	}
+	if !hasPkgDoc && len(pass.Files) > 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"doccheck: package %s has no package doc comment", pass.Pkg.Name())
+	}
+	return nil
+}
+
+// checkDecl reports every undocumented exported declaration.
+func checkDecl(pass *analysis.Pass, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d) {
+			return
+		}
+		if d.Doc == nil {
+			pass.Reportf(d.Pos(), "doccheck: exported func %s has no doc comment",
+				funcName(d))
+		}
+	case *ast.GenDecl:
+		// A documented const/var/type block covers its members the way
+		// godoc renders them; individually documented members also pass.
+		// Inside a parenthesized group an end-of-line comment counts too
+		// (the `TightConst = 3 // meaning` idiom godoc renders beside the
+		// value); for standalone declarations godoc ignores trailing
+		// comments, so only a leading doc comment documents them.
+		blockDoc := d.Doc != nil
+		grouped := d.Lparen.IsValid()
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !blockDoc && s.Doc == nil &&
+					!(grouped && s.Comment != nil) {
+					pass.Reportf(s.Pos(), "doccheck: exported type %s has no doc comment",
+						s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if n.IsExported() && !blockDoc && s.Doc == nil &&
+						!(grouped && s.Comment != nil) {
+						pass.Reportf(s.Pos(), "doccheck: exported %s has no doc comment",
+							n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the surface).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	name := recvTypeName(d.Recv.List[0].Type)
+	return name == "" || ast.IsExported(name)
+}
+
+// recvTypeName unwraps a receiver type expression to its type name.
+func recvTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// funcName renders Recv.Method or Func for the diagnostic.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	if n := recvTypeName(d.Recv.List[0].Type); n != "" {
+		return n + "." + d.Name.Name
+	}
+	return d.Name.Name
+}

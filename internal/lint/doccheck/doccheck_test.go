@@ -1,0 +1,12 @@
+package doccheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/doccheck"
+)
+
+func TestDoccheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src", doccheck.Analyzer, "docpkg", "nodoc")
+}

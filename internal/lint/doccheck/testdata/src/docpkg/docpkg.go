@@ -1,0 +1,37 @@
+// Package docpkg exercises doccheck: exported identifiers need doc
+// comments; unexported ones don't.
+package docpkg
+
+// Documented carries a doc comment — sanctioned.
+type Documented struct{}
+
+// Method is documented too.
+func (Documented) Method() {}
+
+func (Documented) Bare() {} // want `doccheck: exported func Documented\.Bare has no doc comment`
+
+type Naked struct{} // want `doccheck: exported type Naked has no doc comment`
+
+func Undocumented() {} // want `doccheck: exported func Undocumented has no doc comment`
+
+var Loose = 1 // want `doccheck: exported Loose has no doc comment`
+
+// A documented block covers its members the way godoc renders them.
+var (
+	Covered  = 1
+	AlsoFine = 2
+)
+
+const (
+	TightConst = 3 // an end-of-line comment counts as the member's doc
+)
+
+const LooseConst = 4 // want `doccheck: exported LooseConst has no doc comment`
+
+// unexported needs nothing.
+func unexported() {}
+
+type hidden struct{}
+
+// String is a method on an unexported type — not part of the surface.
+func (hidden) String() string { return "" }

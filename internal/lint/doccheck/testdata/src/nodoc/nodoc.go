@@ -1,0 +1,4 @@
+package nodoc // want `doccheck: package nodoc has no package doc comment`
+
+// Fine is documented; only the package comment is missing.
+func Fine() {}

@@ -1,0 +1,195 @@
+// Package eventcase proves Monitor-event exhaustiveness at compile
+// time: a type switch over the Monitor event interface (attack.Event,
+// re-exported as whitemirror.MonitorEvent) must name every concrete
+// event type — FlowDetected, ChoiceInferred, SessionFinalized,
+// FlowExpired — so that adding a fifth event type turns every consumer
+// that would silently drop it into a build-time (well, lint-time)
+// failure instead of a silent observability hole.
+//
+// The event interface is recognized structurally, by its unexported
+// monitorEvent() marker method, and the required case set is computed
+// from the interface's defining package — whatever concrete types
+// implement the marker there — so the analyzer extends itself when a
+// new event type lands. A default clause does not excuse missing cases
+// (that is precisely the silent-drop shape); a consumer that genuinely
+// cares about a subset lists the rest as empty cases or carries a
+// //lint:allow eventcase marker with its reason.
+package eventcase
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// markerMethod structurally identifies the Monitor event interface.
+const markerMethod = "monitorEvent"
+
+// Analyzer is the eventcase checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventcase",
+	Doc: "type switches over the Monitor event interface must be " +
+		"exhaustive over all concrete event types",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			checkSwitch(pass, ts)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSwitch verifies one type switch when its tag is an event
+// interface.
+func checkSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt) {
+	tag := switchTag(ts)
+	if tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[tag]
+	if !ok {
+		return
+	}
+	iface, ok := tv.Type.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	marker := findMarker(iface)
+	if marker == nil {
+		return
+	}
+	required := eventTypes(marker, iface)
+	if len(required) == 0 {
+		return
+	}
+	covered := map[string]bool{}
+	var coverAll bool
+	for _, clause := range ts.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, cexpr := range cc.List {
+			if id, ok := cexpr.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			ctv, ok := pass.TypesInfo.Types[cexpr]
+			if !ok {
+				continue
+			}
+			// Unalias so facade re-exports (`FlowDetected = attack.FlowDetected`)
+			// count as the event type they name under materialized aliases.
+			t := types.Unalias(ctv.Type)
+			if p, ok := t.(*types.Pointer); ok {
+				t = types.Unalias(p.Elem())
+			}
+			if sub, ok := t.Underlying().(*types.Interface); ok {
+				// An interface case (e.g. the event interface itself)
+				// covers every required type that implements it.
+				all := true
+				for _, req := range required {
+					if !types.Implements(req.typ, sub) && !types.Implements(types.NewPointer(req.typ), sub) {
+						all = false
+					}
+				}
+				if all {
+					coverAll = true
+				}
+				continue
+			}
+			if named, ok := t.(*types.Named); ok {
+				covered[named.Obj().Name()] = true
+			}
+		}
+	}
+	if coverAll {
+		return
+	}
+	var missing []string
+	for _, req := range required {
+		if !covered[req.name] {
+			missing = append(missing, req.name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(ts.Pos(), "eventcase: type switch over the Monitor event "+
+			"interface is missing cases %s; handle every event type (an empty "+
+			"case documents a deliberate ignore) so new events cannot be "+
+			"silently dropped", strings.Join(missing, ", "))
+	}
+}
+
+// switchTag extracts the x of `switch v := x.(type)`.
+func switchTag(ts *ast.TypeSwitchStmt) ast.Expr {
+	var assert ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		assert = a.X
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			assert = a.Rhs[0]
+		}
+	}
+	ta, ok := assert.(*ast.TypeAssertExpr)
+	if !ok {
+		return nil
+	}
+	return ta.X
+}
+
+// findMarker returns the monitorEvent marker method if iface carries it.
+func findMarker(iface *types.Interface) *types.Func {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if m := iface.Method(i); m.Name() == markerMethod {
+			return m
+		}
+	}
+	return nil
+}
+
+// eventType is one required concrete event type.
+type eventType struct {
+	name string
+	typ  types.Type
+}
+
+// eventTypes enumerates the concrete types in the marker method's
+// defining package that implement the event interface — the required
+// case set, computed fresh so new event types extend the check.
+func eventTypes(marker *types.Func, iface *types.Interface) []eventType {
+	pkg := marker.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var out []eventType
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			out = append(out, eventType{name: tn.Name(), typ: named})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

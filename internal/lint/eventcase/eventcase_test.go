@@ -1,0 +1,12 @@
+package eventcase_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/eventcase"
+)
+
+func TestEventcase(t *testing.T) {
+	analysistest.Run(t, "testdata/src", eventcase.Analyzer, "consumer")
+}

@@ -1,0 +1,30 @@
+package consumer
+
+import "facade"
+
+// AliasExhaustive switches on the aliased re-exports; each alias must
+// count as coverage of the event type it names — sanctioned.
+func AliasExhaustive(ev facade.Event) string {
+	switch ev.(type) {
+	case facade.FlowDetected:
+		return "detected"
+	case facade.ChoiceInferred:
+		return "choice"
+	case facade.SessionFinalized:
+		return "final"
+	case facade.FlowExpired:
+		return "expired"
+	}
+	return ""
+}
+
+// AliasPartial drops aliased event types on the floor.
+func AliasPartial(ev facade.Event) int {
+	switch ev.(type) { // want `eventcase: type switch over the Monitor event interface is missing cases ChoiceInferred, FlowDetected`
+	case facade.SessionFinalized:
+		return 1
+	case facade.FlowExpired:
+		return -1
+	}
+	return 0
+}

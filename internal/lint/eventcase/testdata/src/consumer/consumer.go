@@ -1,0 +1,90 @@
+// Package consumer exercises eventcase against the events fixture.
+package consumer
+
+import "events"
+
+// Exhaustive lists every event type — sanctioned.
+func Exhaustive(ev events.Event) string {
+	switch ev.(type) {
+	case events.FlowDetected:
+		return "detected"
+	case events.ChoiceInferred:
+		return "choice"
+	case events.SessionFinalized:
+		return "final"
+	case events.FlowExpired:
+		return "expired"
+	}
+	return ""
+}
+
+// Ignoring documents deliberate ignores with empty cases — sanctioned.
+func Ignoring(ev events.Event) int {
+	n := 0
+	switch ev.(type) {
+	case events.FlowDetected, events.ChoiceInferred:
+		// seen, deliberately uncounted
+	case events.SessionFinalized:
+		n++
+	case events.FlowExpired:
+		n--
+	}
+	return n
+}
+
+// Partial drops two event types on the floor.
+func Partial(ev events.Event) int {
+	switch ev.(type) { // want `eventcase: type switch over the Monitor event interface is missing cases ChoiceInferred, FlowDetected`
+	case events.SessionFinalized:
+		return 1
+	case events.FlowExpired:
+		return -1
+	}
+	return 0
+}
+
+// DefaultDoesNotExcuse hides the drop behind a default clause.
+func DefaultDoesNotExcuse(ev events.Event) int {
+	switch ev.(type) { // want `eventcase: type switch over the Monitor event interface is missing cases ChoiceInferred, FlowDetected, FlowExpired`
+	case events.SessionFinalized:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// PointerCases count as coverage of their element type.
+func PointerCases(ev events.Event) string {
+	switch ev.(type) {
+	case *events.FlowDetected, events.FlowDetected:
+		return "detected"
+	case events.ChoiceInferred:
+		return "choice"
+	case events.SessionFinalized:
+		return "final"
+	case events.FlowExpired:
+		return "expired"
+	}
+	return ""
+}
+
+// InterfaceCase covers everything through the interface itself.
+func InterfaceCase(ev events.Event) string {
+	switch ev.(type) {
+	case nil:
+		return "nil"
+	case events.Event:
+		return "event"
+	}
+	return ""
+}
+
+// NotAnEventSwitch is a type switch over a different interface — out of
+// scope.
+func NotAnEventSwitch(v any) string {
+	switch v.(type) {
+	case int:
+		return "int"
+	}
+	return ""
+}

@@ -1,0 +1,25 @@
+// Package events is an eventcase fixture mirroring the Monitor event
+// interface: a sealed interface with an unexported marker method and
+// four concrete event types.
+package events
+
+// Event is the sealed event interface (the marker method is how the
+// analyzer recognizes it).
+type Event interface{ monitorEvent() }
+
+// FlowDetected mirrors the real first-report event.
+type FlowDetected struct{}
+
+// ChoiceInferred mirrors the real per-report decode event.
+type ChoiceInferred struct{}
+
+// SessionFinalized mirrors the real final-inference event.
+type SessionFinalized struct{}
+
+// FlowExpired mirrors the real window-eviction event.
+type FlowExpired struct{}
+
+func (FlowDetected) monitorEvent()     {}
+func (ChoiceInferred) monitorEvent()   {}
+func (SessionFinalized) monitorEvent() {}
+func (FlowExpired) monitorEvent()      {}

@@ -1,0 +1,20 @@
+// Package facade re-exports the events fixture through type aliases,
+// the way the repo's root package re-exports attack's event types.
+package facade
+
+import "events"
+
+// Aliases mirror whitemirror.go: consumers switch on these names, and
+// eventcase must count them as the event types they alias.
+type (
+	// Event is the aliased event interface.
+	Event = events.Event
+	// FlowDetected aliases events.FlowDetected.
+	FlowDetected = events.FlowDetected
+	// ChoiceInferred aliases events.ChoiceInferred.
+	ChoiceInferred = events.ChoiceInferred
+	// SessionFinalized aliases events.SessionFinalized.
+	SessionFinalized = events.SessionFinalized
+	// FlowExpired aliases events.FlowExpired.
+	FlowExpired = events.FlowExpired
+)

@@ -1,0 +1,312 @@
+// Package loader type-checks Go packages for the wmlint analyzers
+// without golang.org/x/tools: target packages are parsed from source and
+// their dependencies are imported from compiler export data produced by
+// `go list -export`, so loading works offline from the build cache.
+//
+// Two entry points cover the two drivers. LoadModule resolves package
+// patterns inside a module the way cmd/wmlint needs (the real tree);
+// LoadTree type-checks a GOPATH-style source directory the way the
+// analysistest fixtures need (testdata/src/<path>), recursing into
+// sibling fixture packages from source and taking the standard library
+// from export data.
+package loader
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset maps positions for Files (shared across one load).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo carries the type-checker's maps for Files.
+	TypesInfo *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+}
+
+// goList runs `go list -export -deps -json` in dir and decodes the
+// stream.
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportImporter resolves imports from compiler export data via the gc
+// importer, with per-package ImportMap indirection layered on top.
+type exportImporter struct {
+	gc        types.ImporterFrom
+	mu        sync.Mutex
+	exports   map[string]string // import path -> export data file
+	importMap map[string]string // current package's vendor/module map
+}
+
+func newExportImporter(fset *token.FileSet) *exportImporter {
+	e := &exportImporter{exports: map[string]string{}}
+	e.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e.mu.Lock()
+		file, ok := e.exports[path]
+		e.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+	return e
+}
+
+func (e *exportImporter) add(entries []listEntry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ent := range entries {
+		if ent.Export != "" {
+			e.exports[ent.ImportPath] = ent.Export
+		}
+	}
+}
+
+func (e *exportImporter) has(path string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.exports[path]
+	return ok
+}
+
+// Import implements types.Importer.
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e.importMap != nil {
+		if mapped, ok := e.importMap[path]; ok {
+			path = mapped
+		}
+	}
+	return e.gc.ImportFrom(path, dir, mode)
+}
+
+// parseDir parses the named files of one package directory.
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newInfo allocates the TypesInfo maps every pass consumes.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// typeCheck runs the type checker over one package's parsed files.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("loader: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// LoadModule loads the packages matching patterns in the module rooted
+// at dir: targets are parsed and type-checked from source, dependencies
+// come from export data, test files are excluded (the invariants live
+// in production code; the doc lint never covered tests either).
+func LoadModule(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset)
+	imp.add(entries)
+	var pkgs []*Package
+	for _, ent := range entries {
+		if ent.DepOnly || ent.Standard || len(ent.GoFiles) == 0 {
+			continue
+		}
+		files, err := parseDir(fset, ent.Dir, append([]string(nil), ent.GoFiles...))
+		if err != nil {
+			return nil, fmt.Errorf("loader: parsing %s: %w", ent.ImportPath, err)
+		}
+		imp.importMap = ent.ImportMap
+		tpkg, info, err := typeCheck(fset, ent.ImportPath, files, imp)
+		imp.importMap = nil
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{Path: ent.ImportPath, Dir: ent.Dir,
+			Fset: fset, Files: files, Types: tpkg, TypesInfo: info})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// treeLoader type-checks a GOPATH-style source tree (import path ==
+// directory under root), recursing into tree packages from source and
+// resolving everything else from export data fetched lazily via
+// `go list -export -deps`.
+type treeLoader struct {
+	root string
+	fset *token.FileSet
+	imp  *exportImporter
+	pkgs map[string]*Package
+	seen map[string]bool // import-cycle guard
+}
+
+// Import implements types.Importer for fixture source trees.
+func (l *treeLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if fi, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if !l.imp.has(path) {
+		entries, err := goList(l.root, []string{path})
+		if err != nil {
+			return nil, err
+		}
+		l.imp.add(entries)
+	}
+	return l.imp.Import(path)
+}
+
+// load parses and type-checks one tree package (memoized).
+func (l *treeLoader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.seen[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	l.seen[path] = true
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %w", err)
+	}
+	var names []string
+	for _, de := range des {
+		if n := de.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	files, err := parseDir(l.fset, dir, names)
+	if err != nil {
+		return nil, fmt.Errorf("loader: parsing %s: %w", path, err)
+	}
+	tpkg, info, err := typeCheck(l.fset, path, files, l)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files,
+		Types: tpkg, TypesInfo: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadTree loads the named packages from a GOPATH-style source root
+// (the analysistest fixture layout: root/<import path>/*.go).
+func LoadTree(root string, paths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	l := &treeLoader{root: root, fset: fset, imp: newExportImporter(fset),
+		pkgs: map[string]*Package{}, seen: map[string]bool{}}
+	var out []*Package
+	for _, path := range paths {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package spanown_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/spanown"
+)
+
+func TestSpanown(t *testing.T) {
+	analysistest.Run(t, "testdata/src", spanown.Analyzer, "spanuser")
+}

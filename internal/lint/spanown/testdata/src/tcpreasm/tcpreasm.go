@@ -1,0 +1,9 @@
+// Package tcpreasm is a spanown fixture stub mirroring the real
+// reassembly chunk shape.
+package tcpreasm
+
+// Chunk is one delivered run of contiguous payload.
+type Chunk struct {
+	// Data is the span loaned from the feed.
+	Data []byte
+}
