@@ -193,6 +193,51 @@ func BenchmarkPipeline_AttackThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPipeline_QUICAttackThroughput measures the QUIC pipeline
+// (pcap parse → UDP demux → burst segmentation → burst-total
+// classification → decode) on one pre-rendered HTTP/3 capture — the
+// same deployment figure as the TCP pipeline benchmark, without TCP
+// reassembly or record scanning in the loop.
+func BenchmarkPipeline_QUICAttackThroughput(b *testing.B) {
+	tr, err := Simulate(SessionOptions{Seed: 21, Transport: TransportQUIC})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcapBytes, err := CapturePcap(tr, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	atk, err := TrainAttacker(TrainingOptions{
+		Seed: 22, Transport: TransportQUIC, Sessions: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(pcapBytes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atk.InferPcap(pcapBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenario_QUIC regenerates the HTTP/3 sweep's headline row:
+// detection and decode accuracy from burst features under two noise
+// flows at default datagram sizing.
+func BenchmarkScenario_QUIC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.QUIC(4, []experiments.QUICPolicy{{NoiseFlows: 2}}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			b.ReportMetric(100*p.MeanAccuracy, "%quic-accuracy")
+			b.ReportMetric(100*p.DetectionRate, "%quic-detection")
+		}
+	}
+}
+
 // BenchmarkPipeline_AttackThroughputShards4 measures the multi-core read
 // path: an interleaved multi-flow capture streamed through a Monitor
 // with four per-core shards. One flow cannot parallelize, so the input

@@ -9,6 +9,7 @@
 //	wmattack -pcap session.pcap -live          # stream the capture, print events
 //	wmattack -pcap tap.pcap -live -idle 2m     # rolling-window tap replay
 //	wmattack -pcap tap.pcap -live -shards 4    # multi-core sharded monitor
+//	wmattack -pcap h3.pcap -quic               # burst-feature attack on a QUIC capture
 //
 // Training happens in-process: the attacker profiles simulated sessions
 // under the named condition first (the paper's per-condition training),
@@ -36,6 +37,7 @@ import (
 	"repro/internal/media"
 	"repro/internal/netem"
 	"repro/internal/profiles"
+	"repro/internal/quicrec"
 	"repro/internal/script"
 	"repro/internal/session"
 	"repro/internal/tlsrec"
@@ -61,6 +63,8 @@ func main() {
 		tls13    = flag.Bool("tls13", false, "train under the TLS 1.3 record layer (attack a wmsession -tls13 capture)")
 		padTo    = flag.Int("pad-to", 0, "TLS 1.3 training: records were padded to a multiple of this many bytes")
 		padRand  = flag.Int("pad-random", 0, "TLS 1.3 training: records carried a random pad up to this many bytes")
+		quic     = flag.Bool("quic", false, "train under QUIC v1 burst features (attack a wmsession -quic capture)")
+		sizing   = flag.String("sizing", "", "QUIC training: the capture's datagram sizing policy (default | fixed-N | pad-full-N | pad-random-N+K)")
 	)
 	flag.Parse()
 
@@ -76,9 +80,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	transport, pol, err := quicrec.ResolveTransportFlags(*quic, *sizing)
+	if err != nil {
+		fatal(err)
+	}
+	if *quic && *tls13 {
+		fatal(fmt.Errorf("-quic and -tls13 are mutually exclusive (QUIC seals record framing inside 1-RTT packets)"))
+	}
+	// QUIC bands are learned over composite bursts (a report plus the
+	// variably-sized request merged behind it), so covering each class's
+	// range takes more profiling sessions than TLS's exact record lengths;
+	// raise the default unless the user chose a count.
+	if *quic {
+		trainSet := false
+		flag.Visit(func(f *flag.Flag) { trainSet = trainSet || f.Name == "train" })
+		if !trainSet {
+			*trainN = 10
+		}
+	}
 
 	g := script.Bandersnatch()
-	atk, err := train(g, cond, *trainN, *seed, recVer, padding)
+	atk, err := train(g, cond, *trainN, *seed, recVer, padding, transport, pol)
 	if err != nil {
 		fatal(err)
 	}
@@ -187,6 +209,9 @@ func attackLive(atk *attack.Attacker, data []byte, chunkBytes int, win *attack.W
 		case attack.FlowExpired:
 			fmt.Printf("[%s] FLOW EXPIRED    %v  (%s; %d records, %d bytes)\n",
 				at(e.At), e.Flow, e.Reason, e.Records, e.Bytes)
+		case attack.QUICFlowObserved:
+			fmt.Printf("[%s] QUIC FLOW       %v  (version %#x, %d-byte DCID)\n",
+				at(e.At), e.Flow, e.Version, e.DCIDLen)
 		}
 	}})
 	// With a sharded monitor, narrate occupancy at each quarter of the
@@ -227,10 +252,11 @@ func narrateShards(m *attack.Monitor, fed, total int) {
 }
 
 // train profiles the service under cond — and under the capture's record
-// layer, which moves every band — drawing extra sessions until both
-// report types appear in the training set.
+// layer or transport, which moves every band — drawing extra sessions
+// until both report types appear in the training set.
 func train(g *script.Graph, cond profiles.Condition, n int, seed uint64,
-	recVer tlsrec.RecordVersion, padding tlsrec.PaddingPolicy) (*attack.Attacker, error) {
+	recVer tlsrec.RecordVersion, padding tlsrec.PaddingPolicy,
+	transport quicrec.Transport, pol quicrec.SizingPolicy) (*attack.Attacker, error) {
 	enc := media.Encode(g, media.DefaultLadder, seed^0xabcd)
 	var traces []*session.Trace
 	for t := 0; t < n+8; t++ {
@@ -239,6 +265,7 @@ func train(g *script.Graph, cond profiles.Condition, n int, seed uint64,
 			Graph: g, Encoding: enc, Viewer: pop[0], Condition: cond,
 			SessionID: fmt.Sprintf("train-%d", t), Seed: seed + uint64(t)*101,
 			RecordVersion: recVer, Padding: padding,
+			Transport: transport, Sizing: pol,
 		})
 		if err != nil {
 			return nil, err
@@ -248,8 +275,11 @@ func train(g *script.Graph, cond profiles.Condition, n int, seed uint64,
 			break
 		}
 	}
-	return attack.NewAttackerWithTrainer(attack.TrainerFor(recVer, padding),
-		traces, g, script.BandersnatchMaxChoices)
+	trainer := attack.TrainerFor(recVer, padding)
+	if transport == quicrec.TransportQUIC {
+		trainer = attack.TrainerForQUIC(pol)
+	}
+	return attack.NewAttackerWithTrainer(trainer, traces, g, script.BandersnatchMaxChoices)
 }
 
 func bothClasses(traces []*session.Trace) bool {

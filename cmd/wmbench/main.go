@@ -169,6 +169,21 @@ func runners() []runner {
 				}
 				return m
 			}},
+		{"quic",
+			func(seed uint64) (any, error) { return experiments.QUIC(4, nil, seed) },
+			func(r any) map[string]float64 {
+				v := r.(*experiments.QUICResult)
+				m := map[string]float64{}
+				for _, p := range v.Points {
+					// Untrainable rows carry zero rates by construction
+					// (quicPoint returns before any session runs).
+					key := strings.NewReplacer("/", "_", ".", "", "-", "_", "+", "_").Replace(p.Policy.Label())
+					m["detection_pct_"+key] = 100 * p.DetectionRate
+					m["accuracy_pct_"+key] = 100 * p.MeanAccuracy
+					m["size_overhead_pct_"+key] = p.PadOverheadPct
+				}
+				return m
+			}},
 		{"soak",
 			func(seed uint64) (any, error) { return experiments.Soak(20, 2, seed) },
 			func(r any) map[string]float64 {
@@ -212,6 +227,8 @@ func report(r any) (string, error) {
 	case *experiments.InterleavedResult:
 		return v.Report, nil
 	case *experiments.TLS13Result:
+		return v.Report, nil
+	case *experiments.QUICResult:
 		return v.Report, nil
 	case *experiments.SoakResult:
 		return v.Report, nil
@@ -353,6 +370,49 @@ func pipelineBenchEntry() (benchEntry, error) {
 		res.T.Seconds() / (1 << 20)
 	return benchEntry{
 		Name:    "pipeline_attack_throughput",
+		NsPerOp: res.NsPerOp(), BytesPerOp: res.AllocedBytesPerOp(), AllocsPerOp: res.AllocsPerOp(),
+		Metrics: map[string]float64{
+			"capture_bytes": float64(len(pcapBytes)),
+			"mb_per_s":      mbps,
+		},
+	}, nil
+}
+
+// pipelineQUICBenchEntry measures the QUIC attack read path — UDP pcap
+// parse, burst segmentation and constrained decode via InferPcap — on
+// one pre-rendered HTTP/3 capture. Datagram framing roughly doubles the
+// packet count per client byte versus TCP, so this entry prices the
+// per-packet costs the burst pipeline adds.
+func pipelineQUICBenchEntry() (benchEntry, error) {
+	tr, err := whitemirror.Simulate(whitemirror.SessionOptions{
+		Seed: 21, Transport: whitemirror.TransportQUIC,
+	})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	pcapBytes, err := whitemirror.CapturePcap(tr, 21)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	atk, err := whitemirror.TrainAttacker(whitemirror.TrainingOptions{
+		Seed: 22, Transport: whitemirror.TransportQUIC, Sessions: 10,
+	})
+	if err != nil {
+		return benchEntry{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(pcapBytes)))
+		for i := 0; i < b.N; i++ {
+			if _, err := atk.InferPcap(pcapBytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mbps := float64(len(pcapBytes)) * float64(res.N) /
+		res.T.Seconds() / (1 << 20)
+	return benchEntry{
+		Name:    "pipeline_quic_attack_throughput",
 		NsPerOp: res.NsPerOp(), BytesPerOp: res.AllocedBytesPerOp(), AllocsPerOp: res.AllocsPerOp(),
 		Metrics: map[string]float64{
 			"capture_bytes": float64(len(pcapBytes)),
@@ -514,6 +574,12 @@ func runBenchJSON(path string, runs []runner, seed uint64, workers int, baseline
 				return fmt.Errorf("sharded pipeline bench: %w", err)
 			}
 			out.Entries = append(out.Entries, sharded)
+		case "quic":
+			pipe, err := pipelineQUICBenchEntry()
+			if err != nil {
+				return fmt.Errorf("quic pipeline bench: %w", err)
+			}
+			out.Entries = append(out.Entries, pipe)
 		}
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
@@ -571,6 +637,15 @@ func runCheck(path string, tol checkTolerances) error {
 			return fmt.Errorf("sharded pipeline bench: %w", err)
 		}
 		current = append(current, sharded)
+	}
+	// The QUIC pipeline bench joined the trail with BENCH_pr8; same
+	// age-tolerant rule as above.
+	if _, ok := baseline["pipeline_quic_attack_throughput"]; ok {
+		qpipe, err := pipelineQUICBenchEntry()
+		if err != nil {
+			return fmt.Errorf("quic pipeline bench: %w", err)
+		}
+		current = append(current, qpipe)
 	}
 
 	type metric struct {

@@ -8,11 +8,14 @@
 //	wmdataset -n 100 -seed 1 -out ./iitm-bandersnatch
 //	wmdataset -n 1000 -workers 8   # fan sessions across 8 workers
 //	wmdataset -n 100 -tls13 -pad-to 64   # a modern-stack dataset
+//	wmdataset -n 100 -quic               # an HTTP/3-era dataset (UDP)
 //
 // Generation is deterministic: the same -n and -seed produce byte-identical
 // pcaps at any -workers value. -tls13 generates every session under RFC
 // 8446 record framing; -pad-to / -pad-random apply a record-padding
-// policy under it.
+// policy under it. -quic generates every session as QUIC v1 over UDP,
+// with -sizing choosing the datagram sizing policy (default | fixed-N |
+// pad-full-N | pad-random-N+K).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/dataset"
+	"repro/internal/quicrec"
 	"repro/internal/tlsrec"
 )
 
@@ -35,16 +39,26 @@ func main() {
 		tls13     = flag.Bool("tls13", false, "speak the TLS 1.3 record layer (RFC 8446 framing)")
 		padTo     = flag.Int("pad-to", 0, "TLS 1.3: pad records to a multiple of this many bytes")
 		padRandom = flag.Int("pad-random", 0, "TLS 1.3: per-record seeded random pad up to this many bytes")
+		quic      = flag.Bool("quic", false, "speak QUIC v1 over UDP instead of TLS over TCP")
+		sizing    = flag.String("sizing", "", "QUIC: datagram sizing policy (default | fixed-N | pad-full-N | pad-random-N+K)")
 	)
 	flag.Parse()
 	recVer, padding, err := tlsrec.ResolveRecordFlags(*tls13, *padTo, *padRandom)
 	if err != nil {
 		fatal(err)
 	}
+	transport, pol, err := quicrec.ResolveTransportFlags(*quic, *sizing)
+	if err != nil {
+		fatal(err)
+	}
+	if *quic && *tls13 {
+		fatal(fmt.Errorf("-quic and -tls13 are mutually exclusive (QUIC seals record framing inside 1-RTT packets)"))
+	}
 
 	ds, err := dataset.Generate(dataset.Config{
 		N: *n, Seed: *seed, Workers: *workers,
 		RecordVersion: recVer, Padding: padding,
+		Transport: transport, Sizing: pol,
 	})
 	if err != nil {
 		fatal(err)

@@ -94,6 +94,53 @@ func ExampleNewMonitor_rollingWindow() {
 // the 1.3 suites move every band — and the trainer widens its learned
 // bands by the padding envelope; the streaming monitor then finds and
 // decodes the interactive flow exactly as it does for 1.2 captures.
+// ExampleNewMonitor_quic attacks an HTTP/3 stack: the session speaks
+// QUIC v1 over UDP, so there are no cleartext record boundaries at all —
+// the only observables are datagram sizes and inter-arrival gaps. The
+// attacker trains on burst totals (a report merges on the wire with the
+// request fired in the same event-loop turn, and the trainer learns the
+// composite); profiling draws more sessions than TLS needs, because
+// composite bands must cover the merged request's size range. The
+// monitor announces the flow with QUICFlowObserved when the long-header
+// handshake passes, then segments 1-RTT datagrams into bursts and
+// decodes choices exactly as it does record lengths.
+func ExampleNewMonitor_quic() {
+	tr, _ := Simulate(SessionOptions{
+		Seed: 1, Condition: ConditionUbuntu, Transport: TransportQUIC,
+	})
+	pcapBytes, _ := CapturePcapMulti(tr, 1, 2) // noise flows speak QUIC too
+	atk, _ := TrainAttacker(TrainingOptions{
+		Condition: ConditionUbuntu, Seed: 99,
+		Transport: TransportQUIC, Sessions: 10,
+	})
+
+	var observed, finalized FlowKey
+	m := NewMonitor(atk, MonitorOptions{OnEvent: func(ev MonitorEvent) {
+		switch e := ev.(type) {
+		case QUICFlowObserved:
+			observed = e.Flow // long-header packet: a QUIC handshake on the link
+		case SessionFinalized:
+			finalized = e.Flow
+		}
+	}})
+	if err := m.Feed(pcapBytes); err != nil {
+		panic(err)
+	}
+	inf, err := m.Close()
+	if err != nil {
+		panic(err)
+	}
+	correct, total := 0, len(tr.GroundTruthDecisions())
+	for i, d := range tr.GroundTruthDecisions() {
+		if i < len(inf.Decisions) && inf.Decisions[i] == d {
+			correct++
+		}
+	}
+	fmt.Printf("QUIC flows seen: %v, attacked flow: %s, choices recovered: %d/%d\n",
+		observed != FlowKey{}, finalized, correct, total)
+	// Output: QUIC flows seen: true, attacked flow: udp 192.168.1.23:51732 > 198.51.100.7:443, choices recovered: 8/8
+}
+
 func ExampleNewMonitor_tls13() {
 	tr, _ := Simulate(SessionOptions{
 		Seed: 1, Condition: ConditionUbuntu,

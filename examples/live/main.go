@@ -76,6 +76,9 @@ func main() {
 			case whitemirror.FlowExpired:
 				fmt.Printf("[%s] flow %v left the window (%s)\n",
 					clock(e.At), e.Flow, e.Reason)
+			case whitemirror.QUICFlowObserved:
+				fmt.Printf("[%s] flow %v is QUIC v%d (%d-byte DCID); switching to bursts\n",
+					clock(e.At), e.Flow, e.Version, e.DCIDLen)
 			}
 		},
 	})

@@ -13,26 +13,100 @@ import (
 // records with the ground-truth label. This mirrors the paper's setup,
 // where the attacker first observes instrumented sessions under a known
 // condition to learn that condition's bands.
+//
+// QUIC traces carry no client records — record boundaries are sealed
+// inside 1-RTT packets — so QUIC examples are wire bursts: labeled
+// writes whose datagrams arrive within the segmentation gap of each
+// other merge into one example whose length is the summed datagram
+// size, exactly what the monitor's BurstSegmenter will recover from the
+// capture. A report posted back-to-back with a chunk request trains as
+// the composite the eavesdropper actually sees.
 func TrainingSetFromTraces(traces []*session.Trace) []Example {
 	var out []Example
 	for _, tr := range traces {
+		quic := false
 		for _, w := range tr.ClientWrites {
-			var cls Class
-			switch w.Label {
-			case session.LabelType1:
-				cls = ClassType1
-			case session.LabelType2:
-				cls = ClassType2
-			case session.LabelHandshake:
+			if len(w.Datagrams) > 0 {
+				quic = true
+				break
+			}
+		}
+		if quic {
+			out = append(out, quicBurstExamples(tr)...)
+			continue
+		}
+		for _, w := range tr.ClientWrites {
+			cls := classOfLabel(w.Label)
+			if w.Label == session.LabelHandshake {
 				continue // not application data
-			default:
-				cls = ClassOther
 			}
 			for _, r := range w.Records {
 				out = append(out, Example{Length: r.Length, Class: cls})
 			}
 		}
 	}
+	return out
+}
+
+func classOfLabel(l session.WriteLabel) Class {
+	switch l {
+	case session.LabelType1:
+		return ClassType1
+	case session.LabelType2:
+		return ClassType2
+	default:
+		return ClassOther
+	}
+}
+
+// quicBurstExamples groups a QUIC trace's labeled client writes into the
+// bursts the wire shows, using the same gap rule as BurstSegmenter: a
+// write whose first datagram lands within DefaultBurstGap of the
+// previous write's last datagram joins the open burst. A burst's class
+// is the strongest report it contains (type-2 over type-1 over other) —
+// reports never co-occur within one gap, but a report and the chunk
+// request it triggers routinely do.
+//
+// Report bursts that a telemetry beacon happened to land on are
+// discarded: the profiler knows its own labels, and one collision would
+// widen a report band by an entire telemetry payload, overlapping the
+// other class and making the condition untrainable. At attack time the
+// same collision merely pushes that one burst out of band, costing at
+// most the affected choice.
+func quicBurstExamples(tr *session.Trace) []Example {
+	var out []Example
+	var open, telemetry bool
+	var bytes int
+	var cls Class
+	var last time.Time
+	flush := func() {
+		if open && !(telemetry && cls != ClassOther) {
+			out = append(out, Example{Length: bytes, Class: cls})
+		}
+		open, telemetry, bytes, cls = false, false, 0, ClassOther
+	}
+	for _, w := range tr.ClientWrites {
+		// The handshake travels in long-header datagrams, which the
+		// monitor's segmenter never feeds into bursts.
+		if w.Label == session.LabelHandshake || len(w.Datagrams) == 0 {
+			continue
+		}
+		if open && w.Datagrams[0].Time.Sub(last) > DefaultBurstGap {
+			flush()
+		}
+		open = true
+		telemetry = telemetry || w.Label == session.LabelTelemetry
+		for _, d := range w.Datagrams {
+			bytes += d.Size
+		}
+		if c := classOfLabel(w.Label); c > cls {
+			cls = c
+		}
+		if end := w.Datagrams[len(w.Datagrams)-1].Time; end.After(last) {
+			last = end
+		}
+	}
+	flush()
 	return out
 }
 
@@ -47,9 +121,9 @@ func HasBothClasses(traces []*session.Trace) bool {
 		for _, w := range tr.ClientWrites {
 			switch w.Label {
 			case session.LabelType1:
-				t1 = t1 || len(w.Records) > 0
+				t1 = t1 || len(w.Records) > 0 || len(w.Datagrams) > 0
 			case session.LabelType2:
-				t2 = t2 || len(w.Records) > 0
+				t2 = t2 || len(w.Records) > 0 || len(w.Datagrams) > 0
 			}
 			if t1 && t2 {
 				return true

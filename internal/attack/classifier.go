@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/quicrec"
 	"repro/internal/tlsrec"
 )
 
@@ -214,6 +215,16 @@ func TrainerFor(ver tlsrec.RecordVersion, pad tlsrec.PaddingPolicy) Trainer {
 		t.PadEnvelope = pad.Envelope()
 	}
 	return t
+}
+
+// TrainerForQUIC is TrainerFor's counterpart when the profiled service
+// speaks QUIC: training examples are burst totals, and the datagram
+// sizing policy plays the role TLS 1.3 record padding plays — a
+// PadRandom policy inflates a write by up to its envelope beyond what
+// any one training example shows, so the learned bands must widen by
+// that much to hold at attack time.
+func TrainerForQUIC(pol quicrec.SizingPolicy) Trainer {
+	return &IntervalBandTrainer{PadEnvelope: pol.Envelope()}
 }
 
 // --- Nearest-centroid classifier -------------------------------------------

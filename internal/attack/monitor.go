@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/layers"
 	"repro/internal/pcapio"
+	"repro/internal/quicrec"
 	"repro/internal/tcpreasm"
 	"repro/internal/tlsrec"
 )
@@ -18,9 +19,13 @@ import (
 // them into per-TCP-flow reassembly states, scans each flow's TLS records
 // as they complete, classifies client records against the trained bands
 // and maintains a live partial-path hypothesis per candidate flow by
-// extending the graph alignment one observation at a time. Typed events
-// fire on the way (FlowDetected, ChoiceInferred, SessionFinalized,
-// FlowExpired) and Close returns the final Inference for the best
+// extending the graph alignment one observation at a time. UDP flows
+// whose first datagram sniffs as QUIC run the same pipeline over burst
+// features instead: client datagrams are grouped into gap-delimited
+// bursts (BurstSegmenter) and each completed burst classifies as a
+// pseudo-record of its summed size. Typed events fire on the way
+// (FlowDetected, ChoiceInferred, SessionFinalized, FlowExpired,
+// QUICFlowObserved) and Close returns the final Inference for the best
 // candidate flow.
 //
 // The one-shot Attacker.InferPcap is a thin wrapper over a Monitor: for a
@@ -48,6 +53,7 @@ type Monitor struct {
 	onEvent func(Event)
 	win     *Window
 	ring    *pcapio.PacketRing
+	relSpan func([]byte) // releases a UDP payload span once consumed
 	eng     *shardEngine // non-nil when MonitorOptions.Shards > 0: all calls delegate
 
 	cr    *pcapio.ChunkReader
@@ -340,10 +346,29 @@ type FlowExpired struct {
 	Bytes int64
 }
 
+// QUICFlowObserved fires once per UDP flow whose traffic sniffs as QUIC,
+// on the first parseable long-header datagram — the eavesdropper's cue
+// that a QUIC handshake is underway and the flow will be observed as
+// bursts rather than records. It is informational: detection of the
+// interactive session still fires FlowDetected when the first in-band
+// burst classifies.
+type QUICFlowObserved struct {
+	// Flow is the client→server flow key when the client side was seen,
+	// else the canonical conversation key.
+	Flow layers.FlowKey
+	// At is the capture time of the triggering datagram.
+	At time.Time
+	// Version is the QUIC version from the long header (1 for v1).
+	Version uint32
+	// DCIDLen is the destination connection ID length the header carried.
+	DCIDLen int
+}
+
 func (FlowDetected) monitorEvent()     {}
 func (ChoiceInferred) monitorEvent()   {}
 func (SessionFinalized) monitorEvent() {}
 func (FlowExpired) monitorEvent()      {}
+func (QUICFlowObserved) monitorEvent() {}
 
 // MonitorStats is a point-in-time snapshot of a monitor's footprint, the
 // figure the soak harness asserts stays flat over an indefinite feed.
@@ -399,12 +424,32 @@ type monDir struct {
 	taken    int // complete records taken from the scanner (absolute index)
 }
 
-// monFlow is one TCP conversation under observation.
+// quicFlow is the QUIC/UDP replacement for the two reassembly directions:
+// direction bookkeeping, the client-side burst segmenter, and the
+// pseudo-records its completed bursts produce.
+type quicFlow struct {
+	sniffed    bool // first datagram examined
+	observed   bool // QUICFlowObserved emitted
+	haveClient bool
+	haveServer bool
+	serverKey  layers.FlowKey
+	seg        BurstSegmenter
+	// recs are the completed client bursts as pseudo-records: Length is
+	// the burst's summed datagram bytes, Time its first arrival. They are
+	// what observation() hands the attacker in place of scanned records.
+	recs        []tlsrec.Record
+	clientBytes int64
+	serverBytes int64
+}
+
+// monFlow is one TCP or QUIC conversation under observation. quic is
+// non-nil for UDP flows; then the monDir pair stays unused.
 type monFlow struct {
 	canonical layers.FlowKey
 	clientKey layers.FlowKey
 	client    monDir
 	server    monDir
+	quic      *quicFlow
 	detected  bool
 	firstSeq  uint64   // global ingest sequence of the flow's first packet
 	ent       *twEntry // idle-expiry wheel entry (window mode)
@@ -443,11 +488,16 @@ func NewMonitor(a *Attacker, opts MonitorOptions) *Monitor {
 		// from other feed paths are foreign to it and ignored.
 		asm.SetReleaseFunc(opts.FrameRing.Release)
 	}
+	var relSpan func([]byte)
+	if opts.FrameRing != nil {
+		relSpan = opts.FrameRing.Release
+	}
 	prm := a.Decode.withDefaults()
 	m := &Monitor{
 		atk:     a,
 		onEvent: opts.OnEvent,
 		ring:    opts.FrameRing,
+		relSpan: relSpan,
 		asm:     asm,
 		flows:   make(map[layers.FlowKey]*monFlow),
 		prm:     prm,
@@ -628,22 +678,14 @@ func (m *Monitor) ingestFrame(ts time.Time, frame []byte, ringOwned bool) {
 // dispatcher when sharded).
 func (m *Monitor) ingestDecoded(p *layers.Packet) {
 	m.evKey = 0
+	if p.Proto == layers.IPProtocolUDP {
+		m.ingestDatagram(p)
+		return
+	}
 	ts := p.Timestamp
 	st := m.asm.Feed(p)
 	canon, _ := p.Flow().Canonical()
-	f, ok := m.flows[canon]
-	if !ok {
-		f = &monFlow{canonical: canon, firstSeq: m.seqCtx}
-		m.flows[canon] = f
-		m.order = append(m.order, canon)
-		if m.win != nil {
-			if m.wheel == nil {
-				m.wheel = newTimeWheel(ts, m.win.IdleTimeout)
-			}
-			f.ent = &twEntry{deadline: ts.Add(m.win.IdleTimeout), ord: f.firstSeq, flow: f}
-			m.wheel.schedule(f.ent)
-		}
-	}
+	f := m.flowFor(canon, ts)
 	f.lastSeen = ts
 	dir, isClient := f.direction(st.Key)
 	if dir.stream == nil {
@@ -683,6 +725,132 @@ func (m *Monitor) ingestDecoded(p *layers.Packet) {
 	}
 }
 
+// flowFor finds or creates the tracked flow for a canonical key,
+// scheduling its idle-expiry wheel entry in window mode.
+func (m *Monitor) flowFor(canon layers.FlowKey, ts time.Time) *monFlow {
+	f, ok := m.flows[canon]
+	if !ok {
+		f = &monFlow{canonical: canon, firstSeq: m.seqCtx}
+		if canon.Proto == layers.IPProtocolUDP {
+			f.quic = &quicFlow{}
+		}
+		m.flows[canon] = f
+		m.order = append(m.order, canon)
+		if m.win != nil {
+			if m.wheel == nil {
+				m.wheel = newTimeWheel(ts, m.win.IdleTimeout)
+			}
+			f.ent = &twEntry{deadline: ts.Add(m.win.IdleTimeout), ord: f.firstSeq, flow: f}
+			m.wheel.schedule(f.ent)
+		}
+	}
+	return f
+}
+
+// ingestDatagram advances a UDP flow by one datagram. The first datagram
+// decides whether the flow is QUIC at all (the fixed bit); non-QUIC UDP
+// is deadened exactly as a non-TLS TCP conversation would be. Long-header
+// datagrams — the handshake — are announced once (QUICFlowObserved) and
+// excluded from burst segmentation; client short-header datagrams drive
+// the burst segmenter, and each completed burst replays through the
+// record pipeline as a pseudo-record of the burst's summed size. Nothing
+// beyond sizes and times is retained, so the payload span goes back to
+// the caller's ring immediately.
+func (m *Monitor) ingestDatagram(p *layers.Packet) {
+	if m.relSpan != nil {
+		defer m.relSpan(p.Payload)
+	}
+	ts := p.Timestamp
+	canon, _ := p.Flow().Canonical()
+	f := m.flowFor(canon, ts)
+	f.lastSeen = ts
+	if f.dead {
+		return
+	}
+	q := f.quic
+	if q == nil {
+		return // 5-tuple collision between transports cannot happen (Proto keys the map)
+	}
+	if !q.sniffed {
+		q.sniffed = true
+		if !quicrec.Sniff(p.Payload) {
+			// Not QUIC (plain DNS, WebRTC, ...): never attackable, stop
+			// tracking its bytes in every mode.
+			m.deadenFlow(f)
+			return
+		}
+	}
+	isClient := f.quicDirection(p.Flow())
+	if isClient {
+		if !q.haveClient {
+			q.haveClient = true
+			f.clientKey = p.Flow()
+		}
+		q.clientBytes += int64(len(p.Payload))
+	} else {
+		if !q.haveServer {
+			q.haveServer = true
+			q.serverKey = p.Flow()
+		}
+		q.serverBytes += int64(len(p.Payload))
+	}
+	if len(p.Payload) > 0 && quicrec.IsLongHeader(p.Payload[0]) {
+		if !q.observed {
+			if ver, dcidLen, ok := quicrec.ParseLongHeader(p.Payload); ok {
+				q.observed = true
+				m.emit(QUICFlowObserved{Flow: f.eventKey(), At: ts, Version: ver, DCIDLen: dcidLen})
+			}
+		}
+		return // handshake flights never join bursts
+	}
+	if isClient {
+		if b, ok := q.seg.Feed(ts, len(p.Payload)); ok {
+			m.quicBurst(f, b)
+		}
+	}
+	if m.win != nil {
+		m.noiseTick(f, func() { q.recs = q.recs[:0] })
+	}
+}
+
+// quicBurst records one completed client burst as a pseudo-record and
+// runs it through the same classify/detect/decode step a scanned TLS
+// record takes.
+func (m *Monitor) quicBurst(f *monFlow, b Burst) {
+	rec := tlsrec.Record{Type: tlsrec.ContentApplicationData, Length: b.Bytes, Time: b.Start}
+	f.quic.recs = append(f.quic.recs, rec)
+	m.onClientRecord(f, rec)
+}
+
+// flushQUIC closes a QUIC flow's open burst — the flow is ending, so the
+// silence that would have closed it will never be observed.
+func (m *Monitor) flushQUIC(f *monFlow) {
+	if f.quic == nil || f.dead {
+		return
+	}
+	if b, ok := f.quic.seg.Flush(); ok {
+		m.quicBurst(f, b)
+	}
+}
+
+// quicDirection resolves whether a directional UDP key is the client
+// side, by the same orientation rule direction() applies to TCP.
+func (f *monFlow) quicDirection(k layers.FlowKey) bool {
+	q := f.quic
+	switch {
+	case q.haveClient && f.clientKey == k:
+		return true
+	case q.haveServer && q.serverKey == k:
+		return false
+	case k.DstPort < 1024 && k.SrcPort >= 1024:
+		return true
+	case k.SrcPort < 1024 && k.DstPort >= 1024:
+		return false
+	default:
+		return !q.haveClient
+	}
+}
+
 // deadenFlow marks a conversation as unattackable and evicts its buffers:
 // reassembly stops retaining payloads and already-scanned descriptors are
 // dropped. Candidate selection is unaffected — the flow was never viable.
@@ -703,6 +871,9 @@ func (m *Monitor) deadenFlow(f *monFlow) {
 			d.sc.ReleaseRecords(d.sc.Released() + len(d.sc.Records()))
 		}
 	}
+	if f.quic != nil {
+		f.quic.recs = nil
+	}
 }
 
 // maintainFlow is the rolling-window bookkeeping after one packet: the
@@ -715,6 +886,15 @@ func (m *Monitor) maintainFlow(f *monFlow, dir *monDir, isClient bool) {
 		dir.sc.ReleaseRecords(dir.sc.Released() + len(dir.sc.Records()))
 		return
 	}
+	m.noiseTick(f, func() { dir.sc.ReleaseRecords(dir.taken) })
+}
+
+// noiseTick drives the zero-report rejection state machine for one flow's
+// client side after a packet on it. dropRecs releases the flow's retained
+// client record descriptors — scanner records for TCP, burst
+// pseudo-records for QUIC — which is the only transport-specific part of
+// the machine.
+func (m *Monitor) noiseTick(f *monFlow, dropRecs func()) {
 	if f.dead {
 		return
 	}
@@ -753,7 +933,7 @@ func (m *Monitor) maintainFlow(f *monFlow, dir *monDir, isClient bool) {
 			if w.RejectQuiet > 0 {
 				f.nextRecheckT = m.clock.Add(w.RejectQuiet)
 			}
-			dir.sc.ReleaseRecords(dir.taken)
+			dropRecs()
 		}
 		return
 	}
@@ -761,7 +941,7 @@ func (m *Monitor) maintainFlow(f *monFlow, dir *monDir, isClient bool) {
 	// re-check budget with still zero reports, evict terminally. Re-checks
 	// fire on whichever cadence — record count or capture clock — comes
 	// first, so slow drips cannot stretch probation indefinitely.
-	dir.sc.ReleaseRecords(dir.taken)
+	dropRecs()
 	recheckDue := f.classified >= f.nextRecheck ||
 		(!f.nextRecheckT.IsZero() && !m.clock.Before(f.nextRecheckT))
 	if recheckDue {
@@ -878,6 +1058,8 @@ func (m *Monitor) compactOrder() {
 // and everything else expires.
 func (m *Monitor) finalizeFlow(f *monFlow, at time.Time, reason string) {
 	defer m.dropFlow(f)
+	// A QUIC flow's last write never sees the gap that would close it.
+	m.flushQUIC(f)
 	if !f.dead && f.viable() && m.hardCount(f) >= minSessionHards {
 		if inf, err := m.atk.Infer(f.observation()); err == nil {
 			matched, score := m.hardCount(f), 0.0
@@ -961,9 +1143,12 @@ func (m *Monitor) dropFlow(f *monFlow) {
 	m.flowsGone++
 }
 
-// eventKey is the key FlowExpired carries: client→server when known.
+// eventKey is the key flow-level events carry: client→server when known.
 func (f *monFlow) eventKey() layers.FlowKey {
 	if f.client.stream != nil {
+		return f.clientKey
+	}
+	if f.quic != nil && f.quic.haveClient {
 		return f.clientKey
 	}
 	return f.canonical
@@ -1103,17 +1288,27 @@ func (m *Monitor) liveTable() *PathTable {
 	return t
 }
 
-// observation assembles the attacker's view of one monitored flow.
+// observation assembles the attacker's view of one monitored flow. For a
+// QUIC flow the client "records" are its burst pseudo-records; the server
+// direction contributes only its existence (the attack never reads server
+// record contents anyway).
 func (f *monFlow) observation() *Observation {
+	if f.quic != nil {
+		return &Observation{ClientRecords: f.quic.recs}
+	}
 	return &Observation{
 		ClientRecords: f.client.sc.Records(),
 		ServerRecords: f.server.sc.Records(),
 	}
 }
 
-// viable reports whether a flow is a complete, TLS-parsable conversation
-// — the batch extraction's admission rule.
+// viable reports whether a flow is a complete, attackable conversation —
+// the batch extraction's admission rule: both directions seen and
+// parsable as the flow's transport.
 func (f *monFlow) viable() bool {
+	if f.quic != nil {
+		return f.quic.haveClient && f.quic.haveServer
+	}
 	return f.client.stream != nil && f.server.stream != nil &&
 		f.client.sc.Err() == nil && f.server.sc.Err() == nil
 }
@@ -1145,6 +1340,9 @@ func (m *Monitor) Stats() MonitorStats {
 			if d.sc != nil {
 				st.RetainedBytes += int64(len(d.sc.Records())) * recordFootprint
 			}
+		}
+		if f.quic != nil {
+			st.RetainedBytes += int64(len(f.quic.recs)) * recordFootprint
 		}
 	}
 	return st
@@ -1178,6 +1376,14 @@ func (m *Monitor) Close() (*Inference, error) {
 	}
 	if m.win != nil {
 		return m.closeWindowed()
+	}
+
+	// End of feed: QUIC flows' open bursts close now — the silence that
+	// would have closed them will never be observed.
+	for _, k := range m.order {
+		if f, ok := m.flows[k]; ok {
+			m.flushQUIC(f)
+		}
 	}
 
 	// Candidate flows, ordered like the batch extraction (by client key).
@@ -1373,7 +1579,13 @@ func (m *Monitor) hardCount(f *monFlow) int {
 		return f.hards
 	}
 	n := 0
-	for _, r := range f.client.sc.Records() {
+	var recs []tlsrec.Record
+	if f.quic != nil {
+		recs = f.quic.recs
+	} else {
+		recs = f.client.sc.Records()
+	}
+	for _, r := range recs {
 		if r.Type != tlsrec.ContentApplicationData {
 			continue
 		}
@@ -1386,6 +1598,9 @@ func (m *Monitor) hardCount(f *monFlow) int {
 
 // totalBytes is the conversation's delivered byte count, both directions.
 func (f *monFlow) totalBytes() int64 {
+	if f.quic != nil {
+		return f.quic.clientBytes + f.quic.serverBytes
+	}
 	var n int64
 	if f.client.stream != nil {
 		n += f.client.stream.Len()

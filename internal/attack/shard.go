@@ -197,13 +197,17 @@ func newShardEngine(a *Attacker, opts MonitorOptions) *shardEngine {
 		}
 		if e.ring != nil {
 			// The ring is single-consumer (the dispatcher); shard-side
-			// releases are batched and drained at the next pump.
-			core.asm.SetReleaseFunc(func(span []byte) {
+			// releases are batched and drained at the next pump. QUIC
+			// datagram payloads (core.relSpan) batch through the same
+			// funnel as reassembled TCP spans.
+			release := func(span []byte) {
 				s.mu.Lock()
 				s.rel = append(s.rel, span)
 				s.relBytes += int64(len(span))
 				s.mu.Unlock()
-			})
+			}
+			core.asm.SetReleaseFunc(release)
+			core.relSpan = release
 		}
 		e.shards = append(e.shards, s)
 		e.wg.Add(1)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/layers"
 	"repro/internal/netem"
 	"repro/internal/pcapio"
+	"repro/internal/quicrec"
 	"repro/internal/session"
 	"repro/internal/tlsrec"
 	"repro/internal/wire"
@@ -97,6 +98,12 @@ type MultiOptions struct {
 	// RecordVersionSet marks RecordVersion as explicit (needed because
 	// RecordTLS12 is the zero value).
 	RecordVersionSet bool
+	// Transport is the transport the noise flows speak. The zero value
+	// inherits the interactive trace's transport — a QUIC household
+	// produces QUIC noise — mirroring RecordVersion inheritance; set
+	// TransportSet to mix transports on one tap.
+	Transport    quicrec.Transport
+	TransportSet bool
 }
 
 // frame is one synthesized packet awaiting interleave. Frame bytes live
@@ -130,6 +137,17 @@ func (m *muxer) add(ts time.Time, key layers.FlowKey, eth layers.Ethernet,
 	return nil
 }
 
+// addUDP serializes one UDP frame into the arena.
+func (m *muxer) addUDP(ts time.Time, key layers.FlowKey, eth layers.Ethernet, payload []byte) error {
+	start := m.arena.Len()
+	if err := layers.AppendUDPFrame(m.arena, key, eth, payload, m.ipID); err != nil {
+		return err
+	}
+	m.ipID++
+	m.frames = append(m.frames, frame{ts: ts.Add(m.shift), start: start, end: m.arena.Len(), seqKey: len(m.frames)})
+	return nil
+}
+
 // writeTo interleaves all frames by timestamp (stable on insertion order
 // within a tie) and emits the pcap file.
 func (m *muxer) writeTo(w io.Writer) error {
@@ -149,11 +167,16 @@ func (m *muxer) writeTo(w io.Writer) error {
 	return nil
 }
 
-// addConversation synthesizes one full TCP conversation — handshake, both
-// directions' data segments, FIN exchange — into the muxer. finAt is when
-// the FIN exchange starts.
+// addConversation synthesizes one full conversation into the muxer. A
+// direction carrying datagram descriptors renders as a QUIC/UDP exchange
+// (one frame per datagram, no TCP ceremony); otherwise the byte stream is
+// cut into TCP segments with a three-way handshake, both directions' data
+// segments and a FIN exchange. finAt is when the FIN exchange starts.
 func (m *muxer) addConversation(cl, sv session.DirStream, ep Endpoints,
 	mtu int, finAt time.Time, rng *wire.RNG) error {
+	if cl.Datagrams != nil {
+		return m.addQUICConversation(cl, sv, ep)
+	}
 	if mtu < 576 {
 		return fmt.Errorf("capture: MTU %d too small", mtu)
 	}
@@ -203,6 +226,37 @@ func (m *muxer) addConversation(cl, sv session.DirStream, ep Endpoints,
 		layers.TCP{Seq: sEnd, Ack: cEnd + 1, Flags: layers.TCPFin | layers.TCPAck, Window: 65160}, nil)
 }
 
+// addQUICConversation renders a QUIC conversation: exactly one UDP frame
+// per datagram descriptor in each direction, timestamped from the
+// descriptor itself. QUIC has no transport-layer ceremony on the wire —
+// connection open and close are themselves encrypted datagrams.
+func (m *muxer) addQUICConversation(cl, sv session.DirStream, ep Endpoints) error {
+	c2s := layers.FlowKey{SrcAddr: ep.ClientAddr, DstAddr: ep.ServerAddr,
+		SrcPort: ep.ClientPort, DstPort: ep.ServerPort, Proto: layers.IPProtocolUDP}
+	s2c := c2s.Reverse()
+	cEth := layers.Ethernet{Src: ep.ClientMAC, Dst: ep.ServerMAC}
+	sEth := layers.Ethernet{Src: ep.ServerMAC, Dst: ep.ClientMAC}
+	if err := m.datagramDirection(cl, c2s, cEth); err != nil {
+		return err
+	}
+	return m.datagramDirection(sv, s2c, sEth)
+}
+
+// datagramDirection emits one direction's datagrams as UDP frames.
+func (m *muxer) datagramDirection(d session.DirStream, key layers.FlowKey, eth layers.Ethernet) error {
+	for _, dg := range d.Datagrams {
+		end := dg.Offset + int64(dg.Size)
+		if dg.Offset < 0 || end > int64(len(d.Bytes)) {
+			return fmt.Errorf("capture: datagram [%d,%d) outside %d-byte stream (lean trace?)",
+				dg.Offset, end, len(d.Bytes))
+		}
+		if err := m.addUDP(dg.Time, key, eth, d.Bytes[dg.Offset:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // withDefaults resolves the zero values against a trace.
 func (o Options) withDefaults(tr *session.Trace) Options {
 	if o.MTU == 0 {
@@ -229,7 +283,8 @@ func WritePcap(w io.Writer, tr *session.Trace, opts Options) error {
 	opts = opts.withDefaults(tr)
 	streamBytes := len(tr.ClientToServer.Bytes) + len(tr.ServerToClient.Bytes)
 	arena, frameEstimate := arenaFor(streamBytes,
-		len(tr.ClientToServer.Writes)+len(tr.ServerToClient.Writes))
+		len(tr.ClientToServer.Writes)+len(tr.ServerToClient.Writes)+
+			len(tr.ClientToServer.Datagrams)+len(tr.ServerToClient.Datagrams))
 	defer wire.PutWriter(arena)
 	m := &muxer{arena: arena, frames: make([]frame, 0, frameEstimate), ipID: 1, shift: opts.TimeOffset}
 	rng := wire.NewRNG(opts.Seed + 0x9e37)
@@ -254,15 +309,27 @@ func WritePcapMulti(w io.Writer, tr *session.Trace, opts MultiOptions) error {
 		recVer = tr.Profile.RecordVersion()
 	}
 
+	transport := opts.Transport
+	if !opts.TransportSet {
+		transport = tr.Transport
+	}
+
 	// Synthesize the noise flows first so the arena can be sized for the
 	// whole capture.
 	noise := make([]noiseFlow, opts.NoiseFlows)
 	streamBytes := len(tr.ClientToServer.Bytes) + len(tr.ServerToClient.Bytes)
-	writes := len(tr.ClientToServer.Writes) + len(tr.ServerToClient.Writes)
+	writes := len(tr.ClientToServer.Writes) + len(tr.ServerToClient.Writes) +
+		len(tr.ClientToServer.Datagrams) + len(tr.ServerToClient.Datagrams)
 	for i := range noise {
-		noise[i] = synthNoiseFlow(opts.Seed^uint64(0xbeef+i*7919), start, end, recVer)
+		seed := opts.Seed ^ uint64(0xbeef+i*7919)
+		if transport == quicrec.TransportQUIC {
+			noise[i] = synthNoiseFlowQUIC(seed, start, end)
+		} else {
+			noise[i] = synthNoiseFlow(seed, start, end, recVer)
+		}
 		streamBytes += len(noise[i].client.Bytes) + len(noise[i].server.Bytes)
-		writes += len(noise[i].client.Writes) + len(noise[i].server.Writes)
+		writes += len(noise[i].client.Writes) + len(noise[i].server.Writes) +
+			len(noise[i].client.Datagrams) + len(noise[i].server.Datagrams)
 	}
 
 	arena, frameEstimate := arenaFor(streamBytes, writes)
@@ -343,6 +410,73 @@ func synthNoiseFlow(seed uint64, start, end time.Time, ver tlsrec.RecordVersion)
 		done := path.Transfer(respAt, resp)
 
 		// Next request after the player drains some buffer.
+		t = done.Add(time.Duration(rng.IntRange(3000, 9000)) * time.Millisecond)
+	}
+	f.client.Bytes = cBuf.CopyBytes()
+	f.server.Bytes = sBuf.CopyBytes()
+	f.endedAt = t
+	return f
+}
+
+// appendNoiseDGs back-fills stream offsets for datagrams just written to
+// w and records them on the noise direction.
+func appendNoiseDGs(d *session.DirStream, w *wire.Writer, dgs []quicrec.Datagram) {
+	off := int64(w.Len())
+	for i := len(dgs) - 1; i >= 0; i-- {
+		off -= int64(dgs[i].Size)
+		dgs[i].Offset = off
+	}
+	d.Datagrams = append(d.Datagrams, dgs...)
+}
+
+// synthNoiseFlowQUIC is synthNoiseFlow's QUIC twin: the same bulk
+// request/response shape carried as QUIC datagrams — handshake flights,
+// short-header data bursts, download acks. Its request bursts stray into
+// the report bands with the same 8% probability, so QUIC noise exerts the
+// same false-positive pressure on the burst classifier that TCP noise
+// exerts on the record classifier.
+func synthNoiseFlowQUIC(seed uint64, start, end time.Time) noiseFlow {
+	rng := wire.NewRNG(seed)
+	cQ := quicrec.NewConn(quicrec.Params{}, false, rng.Fork(1))
+	sQ := quicrec.NewConn(quicrec.Params{}, true, rng.Fork(3))
+	path := netem.NewPath(netem.Profile(netem.MediumWired, netem.TrafficMorning), rng.Fork(2))
+
+	var f noiseFlow
+	cBuf := wire.NewWriter(64 << 10)
+	sBuf := wire.NewWriter(4 << 20)
+
+	t := start.Add(time.Duration(rng.IntRange(200, 4000)) * time.Millisecond)
+	f.client.Writes = append(f.client.Writes, session.WriteMark{Offset: 0, Time: t})
+	appendNoiseDGs(&f.client, cBuf, cQ.HandshakeTranscript(cBuf, t, rng.IntRange(280, 560)))
+	st := t.Add(path.RTT() / 2)
+	f.server.Writes = append(f.server.Writes, session.WriteMark{Offset: 0, Time: st})
+	appendNoiseDGs(&f.server, sBuf, sQ.HandshakeTranscript(sBuf, st, 3700))
+
+	for t.Before(end) {
+		req := rng.IntRange(180, 1400)
+		if rng.Bool(0.08) {
+			req = rng.IntRange(2000, 3300)
+		}
+		f.client.Writes = append(f.client.Writes,
+			session.WriteMark{Offset: int64(cBuf.Len()), Time: t})
+		appendNoiseDGs(&f.client, cBuf, cQ.WriteApplicationData(cBuf, t, req))
+
+		respAt := path.Transfer(t, req+60)
+		resp := rng.IntRange(30_000, 120_000) + cdn.ResponseOverhead
+		f.server.Writes = append(f.server.Writes,
+			session.WriteMark{Offset: int64(sBuf.Len()), Time: respAt})
+		dgs := sQ.WriteApplicationData(sBuf, respAt, resp)
+		done := path.Transfer(respAt, resp)
+		span := done.Sub(respAt)
+		for i := range dgs {
+			dgs[i].Time = respAt.Add(span * time.Duration(i+1) / time.Duration(len(dgs)))
+		}
+		appendNoiseDGs(&f.server, sBuf, dgs)
+		for i := 9; i < len(dgs); i += 10 {
+			ack := cQ.WriteAck(cBuf, dgs[i].Time.Add(path.RTT()/2))
+			appendNoiseDGs(&f.client, cBuf, []quicrec.Datagram{ack})
+		}
+
 		t = done.Add(time.Duration(rng.IntRange(3000, 9000)) * time.Millisecond)
 	}
 	f.client.Bytes = cBuf.CopyBytes()

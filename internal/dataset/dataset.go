@@ -18,6 +18,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/parallel"
 	"repro/internal/profiles"
+	"repro/internal/quicrec"
 	"repro/internal/script"
 	"repro/internal/session"
 	"repro/internal/stats"
@@ -62,6 +63,13 @@ type Config struct {
 	RecordVersion tlsrec.RecordVersion
 	// Padding applies an RFC 8446 record-padding policy under TLS 1.3.
 	Padding tlsrec.PaddingPolicy
+	// Transport selects the wire transport (zero = TLS over TCP;
+	// TransportQUIC generates an HTTP/3-era dataset of UDP captures, under
+	// which RecordVersion and Padding are ignored — framing is sealed
+	// inside 1-RTT packets).
+	Transport quicrec.Transport
+	// Sizing applies a datagram sizing policy under QUIC.
+	Sizing quicrec.SizingPolicy
 }
 
 // Generate builds a dataset of N labeled sessions. Sessions are
@@ -103,6 +111,8 @@ func Generate(cfg Config) (*Dataset, error) {
 			Seed:          cfg.Seed*1_000_003 + uint64(i),
 			RecordVersion: cfg.RecordVersion,
 			Padding:       cfg.Padding,
+			Transport:     cfg.Transport,
+			Sizing:        cfg.Sizing,
 		})
 		if err != nil {
 			return Point{}, fmt.Errorf("dataset: session %d: %w", i, err)

@@ -185,32 +185,45 @@ func (a *TimingAttack) DetectEvents(client, server []tlsrec.Record) []TimingEven
 	if quiet <= 0 {
 		quiet = 3 * time.Second
 	}
-	var events []TimingEvent
+	// Flag every record that follows a client silence of at least quiet
+	// — each is the potential start of a choice event.
+	var starts []time.Time
 	var lastClient time.Time
 	for _, r := range client {
 		if r.Type != tlsrec.ContentApplicationData {
 			continue
 		}
 		if !lastClient.IsZero() && r.Time.Sub(lastClient) >= quiet {
-			events = append(events, TimingEvent{
-				At:            r.Time,
-				DownlinkGap:   downlinkGapAfter(server, r.Time),
-				DownlinkBytes: downlinkBytesAfter(server, r.Time),
-				PairCount:     pairCountAfter(client, r.Time),
-			})
+			starts = append(starts, r.Time)
 		}
 		lastClient = r.Time
+	}
+	var events []TimingEvent
+	for _, t := range starts {
+		events = append(events, TimingEvent{
+			At:            t,
+			DownlinkGap:   downlinkGapAfter(server, t),
+			DownlinkBytes: downlinkBytesAfter(server, t),
+			PairCount:     pairCountAfter(client, t),
+		})
 	}
 	return coalesceEvents(events, 5*time.Second)
 }
 
-// pairCountAfter counts sub-50ms client record pairs in the window after
-// t, skipping the first 200ms (the type-1/prefetch burst at the event
-// itself fires simultaneously and must not count as a decision pair).
+// pairCountAfter counts near-simultaneous client record pairs in the
+// window starting at t, the event's own burst included: the question's
+// report and the prefetch request it triggers leave one event-loop turn
+// back-to-back (pair one), and on a non-default choice the type-2
+// report and refetch do the same at decision time (pair two). A default
+// choice therefore shows one pair in its window and a non-default two —
+// while a lone periodic telemetry upload, even one that opens the
+// detection by breaking the pre-question quiet, pairs with nothing. The
+// pair gap is tight: unrelated writes that merely land close —
+// telemetry drifting across a chunk request — are tens of milliseconds
+// apart.
 func pairCountAfter(client []tlsrec.Record, t time.Time) int {
 	const (
-		skipLead   = 200 * time.Millisecond
-		pairGap    = 50 * time.Millisecond
+		pairGap    = 10 * time.Millisecond
 		windowSpan = 12 * time.Second
 	)
 	var pairs int
@@ -220,7 +233,7 @@ func pairCountAfter(client []tlsrec.Record, t time.Time) int {
 			continue
 		}
 		d := r.Time.Sub(t)
-		if d < skipLead {
+		if d < 0 {
 			continue
 		}
 		if d > windowSpan {
@@ -358,7 +371,9 @@ func (a *TimingAttack) ClassifyEvents(events []TimingEvent) []bool {
 		case FeatureGap:
 			out[i] = a.GapSplit == 0 || e.DownlinkGap <= a.GapSplit
 		default: // FeaturePairs
-			out[i] = e.PairCount == 0
+			// One pair is the question's own report+prefetch burst; a
+			// second marks the type-2+refetch at a non-default decision.
+			out[i] = e.PairCount < 2
 		}
 	}
 	return out

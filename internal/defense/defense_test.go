@@ -167,9 +167,11 @@ func TestCalibrateAndClassifyByVolume(t *testing.T) {
 
 func TestClassifyByPairs(t *testing.T) {
 	a := &TimingAttack{} // FeaturePairs is the default
+	// One pair is the question's own burst (default choice); two mark a
+	// decision pair on top of it (non-default).
 	got := a.ClassifyEvents([]TimingEvent{
-		{PairCount: 0},
 		{PairCount: 1},
+		{PairCount: 2},
 	})
 	if !got[0] || got[1] {
 		t.Errorf("classified = %v, want [true false]", got)
@@ -186,25 +188,27 @@ func TestClassifyUncalibratedFallsBackToDefault(t *testing.T) {
 
 func TestPairCountDetection(t *testing.T) {
 	a := &TimingAttack{QuietBefore: 3 * time.Second}
-	// Event at t=10 (after 10s quiet); at t=15 two records 20ms apart (a
-	// type-2 + refetch pair); the burst right at the event (t=10.0 and
-	// t=10.01) must not count.
+	// Event at t=10 (after 10s quiet): the question's report + prefetch
+	// request 5ms apart are pair one; the type-2 + refetch at t=15 are
+	// pair two; two merely-close records 20ms apart (telemetry drifting
+	// over a chunk request) must not count.
 	mk := func(sec int64, ns int64) tlsrec.Record {
 		return tlsrec.Record{Type: tlsrec.ContentApplicationData,
 			Time: time.Unix(sec, ns), Length: 1000}
 	}
 	client := []tlsrec.Record{
 		mk(0, 0),
-		mk(10, 0), mk(10, 10e6), // event + same-instant prefetch request
-		mk(15, 0), mk(15, 20e6), // decision pair
-		mk(17, 0),
+		mk(10, 0), mk(10, 5e6), // question: report + same-instant prefetch request
+		mk(13, 0),              // prefetch request during deliberation
+		mk(15, 0), mk(15, 5e6), // decision pair
+		mk(17, 0), mk(17, 20e6), // close but not a pair
 	}
 	events := a.DetectEvents(client, nil)
 	if len(events) != 1 {
 		t.Fatalf("events = %+v", events)
 	}
-	if events[0].PairCount != 1 {
-		t.Errorf("PairCount = %d, want 1", events[0].PairCount)
+	if events[0].PairCount != 2 {
+		t.Errorf("PairCount = %d, want 2 (question burst + decision pair)", events[0].PairCount)
 	}
 }
 

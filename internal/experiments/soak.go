@@ -146,6 +146,8 @@ func soakRun(sessions, noiseFlows int, seed uint64, shards int) (*SoakResult, er
 				finals[e.Flow] = e.Inference
 			case attack.FlowExpired:
 				res.ExpiredByReason[e.Reason]++
+			case attack.QUICFlowObserved:
+				// Transport observation, not a terminal outcome.
 			}
 		},
 	})

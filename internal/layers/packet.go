@@ -8,16 +8,20 @@ import (
 	"repro/internal/wire"
 )
 
-// FlowKey identifies one direction of a TCP conversation.
+// FlowKey identifies one direction of a transport conversation. Proto
+// distinguishes a UDP 5-tuple from a TCP one sharing the same addresses
+// and ports; its zero value means TCP, so every key built before UDP
+// support existed keeps its meaning (and its map bucket).
 type FlowKey struct {
 	SrcAddr, DstAddr netip.Addr
 	SrcPort, DstPort uint16
+	Proto            IPProtocol
 }
 
 // Reverse returns the key for the opposite direction.
 func (k FlowKey) Reverse() FlowKey {
 	return FlowKey{SrcAddr: k.DstAddr, DstAddr: k.SrcAddr,
-		SrcPort: k.DstPort, DstPort: k.SrcPort}
+		SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
 }
 
 // Canonical returns the direction-independent form of the key (the lesser
@@ -31,26 +35,37 @@ func (k FlowKey) Canonical() (FlowKey, bool) {
 	return k.Reverse(), false
 }
 
-// String renders "src:port > dst:port".
+// String renders "src:port > dst:port", with a "udp" marker for UDP
+// flows (TCP, the historical default, stays unadorned so existing
+// rendered output is unchanged).
 func (k FlowKey) String() string {
+	if k.Proto == IPProtocolUDP {
+		return fmt.Sprintf("udp %s:%d > %s:%d", k.SrcAddr, k.SrcPort, k.DstAddr, k.DstPort)
+	}
 	return fmt.Sprintf("%s:%d > %s:%d", k.SrcAddr, k.SrcPort, k.DstAddr, k.DstPort)
 }
 
 // Packet is a fully decoded frame: link, network and transport headers plus
-// application payload and capture timestamp.
+// application payload and capture timestamp. Proto selects which transport
+// header is populated: TCP (the zero value's meaning) or UDP.
 type Packet struct {
 	Timestamp time.Time
 	Eth       Ethernet
 	IPVersion int // 4 or 6
 	IP4       IPv4
 	IP6       IPv6
+	Proto     IPProtocol
 	TCP       TCP
+	UDP       UDP
 	Payload   []byte
 }
 
 // Flow returns the packet's directional flow key.
 func (p *Packet) Flow() FlowKey {
 	k := FlowKey{SrcPort: p.TCP.SrcPort, DstPort: p.TCP.DstPort}
+	if p.Proto == IPProtocolUDP {
+		k.SrcPort, k.DstPort, k.Proto = p.UDP.SrcPort, p.UDP.DstPort, IPProtocolUDP
+	}
 	if p.IPVersion == 4 {
 		k.SrcAddr, k.DstAddr = p.IP4.Src, p.IP4.Dst
 	} else {
@@ -59,8 +74,8 @@ func (p *Packet) Flow() FlowKey {
 	return k
 }
 
-// DecodePacket parses an Ethernet/IP/TCP frame. Non-TCP frames return
-// ErrUnsupported; the caller typically skips them.
+// DecodePacket parses an Ethernet/IP/{TCP,UDP} frame. Frames carrying any
+// other transport return ErrUnsupported; the caller typically skips them.
 func DecodePacket(ts time.Time, frame []byte) (*Packet, error) {
 	eth, rest, err := DecodeEthernet(frame)
 	if err != nil {
@@ -84,14 +99,22 @@ func DecodePacket(ts time.Time, frame []byte) (*Packet, error) {
 	default:
 		return nil, fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, uint16(eth.EtherType))
 	}
-	if proto != IPProtocolTCP {
+	switch proto {
+	case IPProtocolTCP:
+		tcp, payload, err := DecodeTCP(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Proto, p.TCP, p.Payload = IPProtocolTCP, tcp, payload
+	case IPProtocolUDP:
+		udp, payload, err := DecodeUDP(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Proto, p.UDP, p.Payload = IPProtocolUDP, udp, payload
+	default:
 		return nil, fmt.Errorf("%w: IP protocol %d", ErrUnsupported, proto)
 	}
-	tcp, payload, err := DecodeTCP(rest)
-	if err != nil {
-		return nil, err
-	}
-	p.TCP, p.Payload = tcp, payload
 	return p, nil
 }
 

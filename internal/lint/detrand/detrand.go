@@ -40,6 +40,7 @@ var criticalSegments = map[string]bool{
 	"parallel": true,
 	"attack":   true,
 	"capture":  true,
+	"quicrec":  true,
 }
 
 // allowedEnv are the documented environment knobs (README "Performance";

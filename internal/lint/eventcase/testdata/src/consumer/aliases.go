@@ -14,13 +14,15 @@ func AliasExhaustive(ev facade.Event) string {
 		return "final"
 	case facade.FlowExpired:
 		return "expired"
+	case facade.QUICFlowObserved:
+		return "quic"
 	}
 	return ""
 }
 
 // AliasPartial drops aliased event types on the floor.
 func AliasPartial(ev facade.Event) int {
-	switch ev.(type) { // want `eventcase: type switch over the Monitor event interface is missing cases ChoiceInferred, FlowDetected`
+	switch ev.(type) { // want `eventcase: type switch over the Monitor event interface is missing cases ChoiceInferred, FlowDetected, QUICFlowObserved`
 	case facade.SessionFinalized:
 		return 1
 	case facade.FlowExpired:

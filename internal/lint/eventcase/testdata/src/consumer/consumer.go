@@ -14,6 +14,8 @@ func Exhaustive(ev events.Event) string {
 		return "final"
 	case events.FlowExpired:
 		return "expired"
+	case events.QUICFlowObserved:
+		return "quic"
 	}
 	return ""
 }
@@ -22,7 +24,7 @@ func Exhaustive(ev events.Event) string {
 func Ignoring(ev events.Event) int {
 	n := 0
 	switch ev.(type) {
-	case events.FlowDetected, events.ChoiceInferred:
+	case events.FlowDetected, events.ChoiceInferred, events.QUICFlowObserved:
 		// seen, deliberately uncounted
 	case events.SessionFinalized:
 		n++
@@ -32,9 +34,9 @@ func Ignoring(ev events.Event) int {
 	return n
 }
 
-// Partial drops two event types on the floor.
+// Partial drops three event types on the floor.
 func Partial(ev events.Event) int {
-	switch ev.(type) { // want `eventcase: type switch over the Monitor event interface is missing cases ChoiceInferred, FlowDetected`
+	switch ev.(type) { // want `eventcase: type switch over the Monitor event interface is missing cases ChoiceInferred, FlowDetected, QUICFlowObserved`
 	case events.SessionFinalized:
 		return 1
 	case events.FlowExpired:
@@ -45,7 +47,7 @@ func Partial(ev events.Event) int {
 
 // DefaultDoesNotExcuse hides the drop behind a default clause.
 func DefaultDoesNotExcuse(ev events.Event) int {
-	switch ev.(type) { // want `eventcase: type switch over the Monitor event interface is missing cases ChoiceInferred, FlowDetected, FlowExpired`
+	switch ev.(type) { // want `eventcase: type switch over the Monitor event interface is missing cases ChoiceInferred, FlowDetected, FlowExpired, QUICFlowObserved`
 	case events.SessionFinalized:
 		return 1
 	default:
@@ -64,6 +66,8 @@ func PointerCases(ev events.Event) string {
 		return "final"
 	case events.FlowExpired:
 		return "expired"
+	case events.QUICFlowObserved:
+		return "quic"
 	}
 	return ""
 }

@@ -1,6 +1,6 @@
 // Package events is an eventcase fixture mirroring the Monitor event
 // interface: a sealed interface with an unexported marker method and
-// four concrete event types.
+// five concrete event types.
 package events
 
 // Event is the sealed event interface (the marker method is how the
@@ -19,7 +19,11 @@ type SessionFinalized struct{}
 // FlowExpired mirrors the real window-eviction event.
 type FlowExpired struct{}
 
+// QUICFlowObserved mirrors the real QUIC-handshake event.
+type QUICFlowObserved struct{}
+
 func (FlowDetected) monitorEvent()     {}
 func (ChoiceInferred) monitorEvent()   {}
 func (SessionFinalized) monitorEvent() {}
 func (FlowExpired) monitorEvent()      {}
+func (QUICFlowObserved) monitorEvent() {}

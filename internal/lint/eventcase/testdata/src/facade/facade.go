@@ -17,4 +17,6 @@ type (
 	SessionFinalized = events.SessionFinalized
 	// FlowExpired aliases events.FlowExpired.
 	FlowExpired = events.FlowExpired
+	// QUICFlowObserved aliases events.QUICFlowObserved.
+	QUICFlowObserved = events.QUICFlowObserved
 )

@@ -223,7 +223,7 @@ func (p *playback) fetchIntoBuffer(c media.Chunk) {
 		elapsed = 0
 	}
 	// Playback consumes buffer while the download runs.
-	p.consume(elapsed)
+	p.consume(p.now, elapsed)
 	p.now = done
 	p.buf.Add(c.Duration)
 	// If the buffer is full, the player paces: it waits until one chunk
@@ -244,12 +244,17 @@ func (p *playback) advance(d time.Duration) {
 		return
 	}
 	p.now = p.now.Add(d)
-	p.consume(d)
+	p.consume(p.now.Add(-d), d)
 }
 
-// consume drains media from the buffer for d of wall time, charging
-// stalls on underrun, and fires telemetry ticks.
-func (p *playback) consume(d time.Duration) {
+// consume drains media from the buffer for the wall-time span
+// [start, start+d], charging stalls on underrun, and fires telemetry
+// ticks. Ticks are stamped at the instant the interval actually elapsed
+// inside the span — not at the span's edge — so a periodic upload lands
+// where its timer fired, not wherever the event loop's next stride
+// happened to end (which would synchronize it with whatever event closed
+// the stride, e.g. a choice point).
+func (p *playback) consume(start time.Time, d time.Duration) {
 	if d <= 0 {
 		return
 	}
@@ -257,10 +262,11 @@ func (p *playback) consume(d time.Duration) {
 	p.stalls += stall
 	p.played += d - stall
 	if p.cfg.TelemetryInterval > 0 {
+		pre := p.sinceTelemetry
 		p.sinceTelemetry += d
-		for p.sinceTelemetry >= p.cfg.TelemetryInterval {
+		for at := start.Add(p.cfg.TelemetryInterval - pre); p.sinceTelemetry >= p.cfg.TelemetryInterval; at = at.Add(p.cfg.TelemetryInterval) {
 			p.sinceTelemetry -= p.cfg.TelemetryInterval
-			p.env.SendReport(p.now, EventTelemetry, "", "", p.playedMs())
+			p.env.SendReport(at, EventTelemetry, "", "", p.playedMs())
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/netem"
+	"repro/internal/quicrec"
 	"repro/internal/tlsrec"
 )
 
@@ -193,6 +194,24 @@ func (p Profile) ForVersion(v tlsrec.RecordVersion) Profile {
 		return p
 	}
 	p.Suite = tlsrec.Suite13Equivalent(p.Suite)
+	return p
+}
+
+// ForTransport returns the profile as negotiated over a transport:
+// TransportTCP returns p unchanged, TransportQUIC applies the HTTP/3
+// framing shifts — QPACK's dynamic-table compression trims the HTTP
+// header bytes around every report and request body (the JSON payloads
+// themselves are transport-oblivious). The bands move, exactly as they
+// move across record versions, so the attack profiles per transport the
+// same way it profiles per condition.
+func (p Profile) ForTransport(t quicrec.Transport) Profile {
+	if t != quicrec.TransportQUIC {
+		return p
+	}
+	p.Type1BodyLen -= 34
+	p.Type2BodyLen -= 34
+	p.RequestLen -= 120
+	p.TelemetryLen -= 34
 	return p
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/player"
 	"repro/internal/profiles"
+	"repro/internal/quicrec"
 	"repro/internal/script"
 	"repro/internal/statejson"
 	"repro/internal/tlsrec"
@@ -56,23 +57,36 @@ func (l WriteLabel) String() string {
 	}
 }
 
-// LabeledWrite is one client application write and the TLS records it
-// produced.
+// LabeledWrite is one client application write and the wire units it
+// produced: TLS records over TCP, QUIC datagrams over UDP. Exactly one of
+// Records and Datagrams is populated, per the session's transport.
 type LabeledWrite struct {
 	Label   WriteLabel
 	Time    time.Time
 	Plain   int // plaintext bytes handed to TLS
 	Records []tlsrec.Record
+	// Datagrams is the write's UDP datagram burst (TransportQUIC only),
+	// including any dummy datagrams a random-padding sizing policy added —
+	// the burst-level ground truth the attack trains on.
+	Datagrams []quicrec.Datagram
 }
 
 // DirStream is one direction's wire bytes plus the write schedule needed
-// to timestamp TCP segments.
+// to timestamp TCP segments (or, for QUIC, the datagram boundaries needed
+// to frame UDP packets).
 type DirStream struct {
-	// Bytes is the TLS record byte stream.
+	// Bytes is the TLS record byte stream (TCP) or the concatenated QUIC
+	// packet bytes (QUIC).
 	Bytes []byte
 	// Writes gives (stream offset, time) checkpoints: bytes at or after
 	// Offset were written at Time. Offsets are strictly increasing.
 	Writes []WriteMark
+	// Datagrams frames Bytes into UDP datagrams (TransportQUIC only; nil
+	// for TCP). Each descriptor's Offset/Size addresses a contiguous span
+	// of Bytes and its Time is the datagram's send instant — capture emits
+	// exactly one UDP frame per entry. Includes handshake flights and
+	// ack-only datagrams, in send order.
+	Datagrams []quicrec.Datagram
 }
 
 // WriteMark timestamps a range of stream bytes.
@@ -113,6 +127,9 @@ type Trace struct {
 	Condition profiles.Condition
 	Profile   profiles.Profile
 	SessionID string
+	// Transport records which wire transport the session spoke; the zero
+	// value is TransportTCP (TLS records over TCP).
+	Transport quicrec.Transport
 
 	ClientToServer DirStream
 	ServerToClient DirStream
@@ -174,6 +191,18 @@ type Config struct {
 	// mechanism and ignores it). Random policies draw from dedicated
 	// seeded streams, so lean and full runs stay byte-identical.
 	Padding tlsrec.PaddingPolicy
+	// Transport selects the wire transport. The zero value is
+	// TransportTCP — TLS records over TCP, the stack the paper measured.
+	// TransportQUIC replaces the record layer with QUIC v1 datagrams over
+	// UDP (quicrec): record boundaries disappear, the condition profile
+	// shifts for HTTP/3 framing (profiles.Profile.ForTransport), and
+	// RecordVersion/Padding are ignored — QUIC's protection is always
+	// 1.3-style and sizing defenses are expressed via Sizing instead.
+	Transport quicrec.Transport
+	// Sizing is the QUIC datagram-sizing policy (TransportQUIC only).
+	// The zero value is the default 1350-byte cap; padding policies model
+	// datagram-level defenses the way Padding does for TLS 1.3 records.
+	Sizing quicrec.SizingPolicy
 }
 
 // Run simulates one session.
@@ -190,7 +219,7 @@ func Run(cfg Config) (*Trace, error) {
 	if cfg.Start.IsZero() {
 		cfg.Start = time.Unix(1735689600, 0) // 2025-01-01T00:00:00Z epoch for traces
 	}
-	prof := profiles.Lookup(cfg.Condition).ForVersion(cfg.RecordVersion)
+	prof := profiles.Lookup(cfg.Condition).ForVersion(cfg.RecordVersion).ForTransport(cfg.Transport)
 	recVer := cfg.RecordVersion.WireVersion()
 	rng := wire.NewRNG(cfg.Seed)
 
@@ -215,6 +244,7 @@ func Run(cfg Config) (*Trace, error) {
 			Condition: cfg.Condition,
 			Profile:   prof,
 			SessionID: cfg.SessionID,
+			Transport: cfg.Transport,
 			// A typical walk meets ~50-150 labeled writes.
 			ClientWrites: make([]LabeledWrite, 0, 96),
 		},
@@ -239,6 +269,14 @@ func Run(cfg Config) (*Trace, error) {
 		// of the session model itself is untouched by the policy.
 		env.cEnc.SetPadding(cfg.Padding, rng.Fork(7))
 		env.sEnc.SetPadding(cfg.Padding, rng.Fork(8))
+	}
+	if cfg.Transport == quicrec.TransportQUIC {
+		// QUIC endpoints draw from forks 9 and 10, past every label the
+		// TCP path consumes, so adding the transport cannot perturb any
+		// existing seeded stream.
+		env.transport = quicrec.TransportQUIC
+		env.cQ = quicrec.NewConn(quicrec.Params{Sizing: cfg.Sizing}, false, rng.Fork(9))
+		env.sQ = quicrec.NewConn(quicrec.Params{Sizing: cfg.Sizing}, true, rng.Fork(10))
 	}
 
 	// TLS handshake opens the connection.
@@ -287,12 +325,68 @@ type simEnv struct {
 	defense  func(WriteLabel, int) []int
 	est      abr.ThroughputEstimator
 
+	// QUIC mode: when transport is TransportQUIC, cQ/sQ replace cEnc/sEnc
+	// as the wire synthesizers and the encryptors go unused.
+	transport quicrec.Transport
+	cQ, sQ    *quicrec.Conn
+
 	cBuf *wire.Writer
 	sBuf *wire.Writer
 }
 
+// appendClientDGs back-computes stream offsets for datagrams just written
+// to cBuf and records them in the client direction's frame schedule.
+func (e *simEnv) appendClientDGs(dgs []quicrec.Datagram) []quicrec.Datagram {
+	stampOffsets(dgs, int64(e.cBuf.Len()))
+	e.trace.ClientToServer.Datagrams = append(e.trace.ClientToServer.Datagrams, dgs...)
+	return dgs
+}
+
+// appendServerDGs is the server-direction counterpart. Descriptors are
+// kept even in lean mode (a discard writer still advances Len), exactly
+// as ServerRecords survives OmitServerPayload on the TCP path.
+func (e *simEnv) appendServerDGs(dgs []quicrec.Datagram) []quicrec.Datagram {
+	stampOffsets(dgs, int64(e.sBuf.Len()))
+	e.trace.ServerToClient.Datagrams = append(e.trace.ServerToClient.Datagrams, dgs...)
+	return dgs
+}
+
+// stampOffsets assigns each datagram its stream offset, given the buffer
+// length measured after the whole run was written.
+func stampOffsets(dgs []quicrec.Datagram, end int64) {
+	off := end
+	for i := len(dgs) - 1; i >= 0; i-- {
+		off -= int64(dgs[i].Size)
+		dgs[i].Offset = off
+	}
+}
+
+// clientAck emits one ack-only client datagram (never a labeled write).
+func (e *simEnv) clientAck(t time.Time) {
+	d := e.cQ.WriteAck(e.cBuf, t)
+	e.appendClientDGs([]quicrec.Datagram{d})
+}
+
+// serverAck emits one ack-only server datagram.
+func (e *simEnv) serverAck(t time.Time) {
+	d := e.sQ.WriteAck(e.sBuf, t)
+	e.appendServerDGs([]quicrec.Datagram{d})
+}
+
+// lerpTime spreads item i of n across [start, start+span].
+func lerpTime(start time.Time, span time.Duration, i, n int) time.Time {
+	if n <= 1 {
+		return start.Add(span)
+	}
+	return start.Add(span * time.Duration(i+1) / time.Duration(n))
+}
+
 // handshake writes both directions' handshake transcripts.
 func (e *simEnv) handshake(t time.Time, helloLen int) {
+	if e.transport == quicrec.TransportQUIC {
+		e.quicHandshake(t, helloLen)
+		return
+	}
 	e.trace.ClientToServer.mark(int64(e.cBuf.Len()), t)
 	recs := e.cEnc.HandshakeTranscript(e.cBuf, t, helloLen)
 	e.trace.ClientWrites = append(e.trace.ClientWrites, LabeledWrite{
@@ -305,10 +399,44 @@ func (e *simEnv) handshake(t time.Time, helloLen int) {
 	e.trace.ServerRecords = append(e.trace.ServerRecords, srecs...)
 }
 
+// quicHandshake exchanges both QUIC handshake flights: the client's
+// padded Initial and the server's coalesced Initial+Handshake response.
+// Long-header datagrams are the attack's cue to skip the handshake, the
+// QUIC analogue of skipping records until ChangeCipherSpec.
+func (e *simEnv) quicHandshake(t time.Time, helloLen int) {
+	e.trace.ClientToServer.mark(int64(e.cBuf.Len()), t)
+	dgs := e.appendClientDGs(e.cQ.HandshakeTranscript(e.cBuf, t, helloLen))
+	e.trace.ClientWrites = append(e.trace.ClientWrites, LabeledWrite{
+		Label: LabelHandshake, Time: t, Plain: helloLen, Datagrams: dgs,
+	})
+	st := t.Add(e.downlink.RTT() / 2)
+	e.trace.ServerToClient.mark(int64(e.sBuf.Len()), st)
+	e.appendServerDGs(e.sQ.HandshakeTranscript(e.sBuf, st, 3700))
+	// Client acks the server flight; the connection is now 1-RTT.
+	e.clientAck(st.Add(e.uplink.RTT() / 2))
+}
+
 // writeClient encrypts one client application write, with the defense
 // transform applied if configured.
 func (e *simEnv) writeClient(t time.Time, label WriteLabel, plain int) {
 	e.trace.ClientToServer.mark(int64(e.cBuf.Len()), t)
+	if e.transport == quicrec.TransportQUIC {
+		var dgs []quicrec.Datagram
+		if e.defense == nil {
+			dgs = e.cQ.WriteApplicationData(e.cBuf, t, plain)
+		} else {
+			for _, n := range e.defense(label, plain) {
+				dgs = append(dgs, e.cQ.WriteApplicationData(e.cBuf, t, n)...)
+			}
+		}
+		dgs = e.appendClientDGs(dgs)
+		e.trace.ClientWrites = append(e.trace.ClientWrites, LabeledWrite{
+			Label: label, Time: t, Plain: plain, Datagrams: dgs,
+		})
+		// The server acks the flight half an RTT out.
+		e.serverAck(t.Add(e.downlink.RTT() / 2))
+		return
+	}
 	var recs []tlsrec.Record
 	if e.defense == nil {
 		recs = e.cEnc.WriteApplicationData(e.cBuf, t, plain)
@@ -333,6 +461,23 @@ func (e *simEnv) FetchChunk(now time.Time, c media.Chunk) time.Time {
 	respSize := e.server.ChunkResponseSize(c)
 	respStart := reqArrive
 	e.trace.ServerToClient.mark(int64(e.sBuf.Len()), respStart)
+	if e.transport == quicrec.TransportQUIC {
+		dgs := e.sQ.WriteApplicationData(e.sBuf, respStart, respSize)
+		done := e.downlink.Transfer(respStart, respSize)
+		// Datagram departures pace the bottleneck link: restamp the
+		// synthesizer's nominal spacing across the transfer window.
+		span := done.Sub(respStart)
+		for i := range dgs {
+			dgs[i].Time = lerpTime(respStart, span, i, len(dgs))
+		}
+		dgs = e.appendServerDGs(dgs)
+		// The client acks roughly every tenth datagram of the download.
+		for i := 9; i < len(dgs); i += 10 {
+			e.clientAck(dgs[i].Time.Add(e.uplink.RTT() / 2))
+		}
+		e.est.Observe(respSize, done.Sub(now))
+		return done
+	}
 	srecs := e.sEnc.WriteApplicationData(e.sBuf, respStart, respSize)
 	e.trace.ServerRecords = append(e.trace.ServerRecords, srecs...)
 	done := e.downlink.Transfer(respStart, respSize)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/pcapio"
 	"repro/internal/profiles"
+	"repro/internal/quicrec"
 	"repro/internal/script"
 	"repro/internal/session"
 	"repro/internal/tlsrec"
@@ -75,7 +76,8 @@ type (
 	// ShardStats is one shard's slice of a sharded monitor's MonitorStats.
 	ShardStats = attack.ShardStats
 	// MonitorEvent is a typed Monitor notification; the concrete types are
-	// FlowDetected, ChoiceInferred, SessionFinalized and FlowExpired.
+	// FlowDetected, ChoiceInferred, SessionFinalized, FlowExpired and
+	// QUICFlowObserved.
 	MonitorEvent = attack.Event
 	// FlowDetected fires when a flow first produces an in-band report.
 	FlowDetected = attack.FlowDetected
@@ -87,8 +89,12 @@ type (
 	// FlowExpired fires in rolling-window mode when a flow is evicted
 	// without finalizing as a session.
 	FlowExpired = attack.FlowExpired
-	// FlowKey identifies one direction of a TCP conversation (as carried
-	// by Monitor events).
+	// QUICFlowObserved fires once per UDP flow whose first datagram
+	// carries a QUIC long header; the monitor tracks the flow by burst
+	// features from then on.
+	QUICFlowObserved = attack.QUICFlowObserved
+	// FlowKey identifies one direction of a TCP or UDP conversation (as
+	// carried by Monitor events).
 	FlowKey = layers.FlowKey
 	// PacketRing is the caller-owned frame arena backing the zero-copy
 	// Monitor.FeedPacketOwned path: a live capture loop reads frames into
@@ -104,6 +110,16 @@ type (
 	// PaddingPolicy is an RFC 8446 record-padding policy applied under
 	// TLS 1.3; build one with PadToMultipleOf or PadRandomUpTo.
 	PaddingPolicy = tlsrec.PaddingPolicy
+
+	// Transport selects the wire protocol a simulated stack speaks:
+	// TransportTCP (the zero value — TLS records over TCP) or
+	// TransportQUIC (HTTP/3: 1-RTT packets in UDP datagrams, record
+	// boundaries invisible on the wire).
+	Transport = quicrec.Transport
+	// SizingPolicy shapes QUIC 1-RTT datagram sizes; build one with
+	// QUICFixed, QUICPadFull or QUICPadRandom (the zero value packs
+	// datagrams up to the default 1350-byte cap).
+	SizingPolicy = quicrec.SizingPolicy
 )
 
 // Record-layer generations, re-exported for SessionOptions.RecordVersion
@@ -122,6 +138,28 @@ func PadToMultipleOf(n int) PaddingPolicy { return tlsrec.PadToMultipleOf(n) }
 // PadRandomUpTo returns the TLS 1.3 padding policy that appends a
 // seeded uniform random pad of [0, n] bytes per record.
 func PadRandomUpTo(n int) PaddingPolicy { return tlsrec.PadRandomUpTo(n) }
+
+// Transports, re-exported for SessionOptions.Transport and
+// TrainingOptions.Transport.
+const (
+	// TransportTCP is TLS records over TCP — the paper's stack.
+	TransportTCP = quicrec.TransportTCP
+	// TransportQUIC is HTTP/3: the same session over QUIC datagrams.
+	TransportQUIC = quicrec.TransportQUIC
+)
+
+// QUICFixed returns the QUIC sizing policy that caps datagrams at n
+// bytes.
+func QUICFixed(n int) SizingPolicy { return quicrec.Fixed(n) }
+
+// QUICPadFull returns the QUIC sizing policy that pads every 1-RTT
+// datagram to n bytes.
+func QUICPadFull(n int) SizingPolicy { return quicrec.PadFull(n) }
+
+// QUICPadRandom returns the QUIC sizing policy that pads datagrams to n
+// bytes and appends a seeded uniform 0..k dummy datagrams per write —
+// the burst-feature countermeasure.
+func QUICPadRandom(n, k int) SizingPolicy { return quicrec.PadRandom(n, k) }
 
 // NewMonitor returns a streaming monitor for a trained attacker. The
 // monitor accepts pcap bytes in chunks of any size (Feed) or decoded
@@ -184,11 +222,17 @@ type SessionOptions struct {
 	// experiments); CapturePcap requires a non-lean trace.
 	Lean bool
 	// RecordVersion selects the TLS record layer the session speaks
-	// (default RecordTLS12; RecordTLS13 models a modern stack).
+	// (default RecordTLS12; RecordTLS13 models a modern stack). Ignored
+	// under TransportQUIC, which has its own record protection.
 	RecordVersion RecordVersion
 	// Padding applies an RFC 8446 record-padding policy under TLS 1.3
-	// (ignored for 1.2, which has no such mechanism).
+	// (ignored for 1.2, which has no such mechanism, and under QUIC).
 	Padding PaddingPolicy
+	// Transport selects TCP (default) or QUIC framing for the same
+	// application behaviour.
+	Transport Transport
+	// Sizing shapes QUIC datagram sizes (TransportQUIC only).
+	Sizing SizingPolicy
 }
 
 // Simulate runs one end-to-end viewing session and returns its trace.
@@ -223,6 +267,8 @@ func Simulate(opts SessionOptions) (*Trace, error) {
 		OmitServerPayload: opts.Lean,
 		RecordVersion:     opts.RecordVersion,
 		Padding:           opts.Padding,
+		Transport:         opts.Transport,
+		Sizing:            opts.Sizing,
 	})
 }
 
@@ -290,6 +336,14 @@ type TrainingOptions struct {
 	// policy wide enough to smear the report classes together fails
 	// training with a "not separable" error rather than misclassifying.
 	Padding PaddingPolicy
+	// Transport is the wire protocol the profiled service speaks. Under
+	// TransportQUIC the attacker trains interval bands on labeled burst
+	// totals (summed datagram sizes per write) instead of record lengths.
+	Transport Transport
+	// Sizing is the QUIC datagram sizing policy in force during
+	// profiling; its envelope widens the learned bands exactly as
+	// Padding's does under TLS 1.3.
+	Sizing SizingPolicy
 }
 
 // TrainAttacker profiles the service under a condition and returns an
@@ -324,6 +378,8 @@ func TrainAttacker(opts TrainingOptions) (*Attacker, error) {
 			Lean:          true,
 			RecordVersion: opts.RecordVersion,
 			Padding:       opts.Padding,
+			Transport:     opts.Transport,
+			Sizing:        opts.Sizing,
 		})
 	}
 	traces, err := parallel.MapN(opts.Workers, n, func(t int) (*Trace, error) {
@@ -341,8 +397,11 @@ func TrainAttacker(opts TrainingOptions) (*Attacker, error) {
 		}
 		traces = append(traces, tr)
 	}
-	return attack.NewAttackerWithTrainer(attack.TrainerFor(opts.RecordVersion, opts.Padding),
-		traces, g, script.BandersnatchMaxChoices)
+	trainer := attack.TrainerFor(opts.RecordVersion, opts.Padding)
+	if opts.Transport == TransportQUIC {
+		trainer = attack.TrainerForQUIC(opts.Sizing)
+	}
+	return attack.NewAttackerWithTrainer(trainer, traces, g, script.BandersnatchMaxChoices)
 }
 
 // GenerateDataset builds an n-viewer synthetic IITM-Bandersnatch-style
