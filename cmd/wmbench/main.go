@@ -37,8 +37,13 @@ import (
 
 	whitemirror "repro"
 	"repro/internal/attack"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/profiles"
+	"repro/internal/script"
+	"repro/internal/statejson"
+	"repro/internal/wire"
 )
 
 // runner executes one experiment once; report and metrics are derived
@@ -339,6 +344,70 @@ func decoderBenchEntries() ([]benchEntry, error) {
 	}, nil
 }
 
+// datasetBenchEntries measures the corpus pipeline's two unit costs:
+// lean streaming generation throughput (the wmdataset hot path — one
+// worker so the number is a unit cost, not a parallelism measurement)
+// and the state-report serializer whose plan-cached encoder replaced the
+// double json.Marshal round trip.
+func datasetBenchEntries() ([]benchEntry, error) {
+	const points = 32
+	var genErr error
+	gen := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := dataset.Stream(dataset.Config{N: points, Seed: 17, Lean: true, Workers: 1},
+				func(p dataset.Point) error {
+					p.Trace.Release()
+					return nil
+				}); err != nil {
+				genErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if genErr != nil {
+		return nil, genErr
+	}
+	p := profiles.Lookup(profiles.Fig2Ubuntu)
+	var bundleBytes int
+	var encErr error
+	enc := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		bld := statejson.NewBuilder(p, "80988062", "iitm-bench", wire.NewRNG(7))
+		for i := 0; i < b.N; i++ {
+			t1, _, err := bld.Type1(script.SegmentID("S2"), int64(i)*1000)
+			if err != nil {
+				encErr = err
+				b.Fatal(err)
+			}
+			t2, _, err := bld.Type2(script.SegmentID("S2"), script.SegmentID("S3b"), int64(i)*1000)
+			if err != nil {
+				encErr = err
+				b.Fatal(err)
+			}
+			bundleBytes = len(t1) + len(t2) + len(bld.RequestBody()) + len(bld.TelemetryBody())
+		}
+	})
+	if encErr != nil {
+		return nil, encErr
+	}
+	return []benchEntry{
+		{
+			Name:    "dataset_generate_throughput",
+			NsPerOp: gen.NsPerOp(), BytesPerOp: gen.AllocedBytesPerOp(), AllocsPerOp: gen.AllocsPerOp(),
+			Metrics: map[string]float64{
+				"points":       points,
+				"ns_per_point": float64(gen.NsPerOp()) / points,
+			},
+		},
+		{
+			Name:    "statejson_encode",
+			NsPerOp: enc.NsPerOp(), BytesPerOp: enc.AllocedBytesPerOp(), AllocsPerOp: enc.AllocsPerOp(),
+			Metrics: map[string]float64{"bundle_bytes": float64(bundleBytes)},
+		},
+	}, nil
+}
+
 // pipelineBenchEntry measures the end-to-end attack read path — pcap
 // parse through constrained decode via the streaming-monitor-backed
 // InferPcap — on one pre-rendered capture. Its alloc count is the figure
@@ -557,6 +626,12 @@ func runBenchJSON(path string, runs []runner, seed uint64, workers int, baseline
 	// was asked for.
 	for _, r := range runs {
 		switch r.name {
+		case "table1":
+			ds, err := datasetBenchEntries()
+			if err != nil {
+				return fmt.Errorf("dataset bench: %w", err)
+			}
+			out.Entries = append(out.Entries, ds...)
 		case "decode":
 			dec, err := decoderBenchEntries()
 			if err != nil {
@@ -646,6 +721,15 @@ func runCheck(path string, tol checkTolerances) error {
 			return fmt.Errorf("quic pipeline bench: %w", err)
 		}
 		current = append(current, qpipe)
+	}
+	// The dataset pipeline benches joined the trail with BENCH_pr9; same
+	// age-tolerant rule as above.
+	if _, ok := baseline["dataset_generate_throughput"]; ok {
+		ds, err := datasetBenchEntries()
+		if err != nil {
+			return fmt.Errorf("dataset bench: %w", err)
+		}
+		current = append(current, ds...)
 	}
 
 	type metric struct {

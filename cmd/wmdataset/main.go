@@ -1,7 +1,9 @@
 // Command wmdataset generates the synthetic IITM-Bandersnatch-style
 // dataset: N viewer sessions spanning the Table-I operational and
 // behavioural attribute grid, persisted as {NNN.pcap, NNN.json} pairs
-// plus an attributes CSV, with the Table-I summary printed to stdout.
+// plus a content-hashed manifest.json and an attributes CSV, with the
+// Table-I summary printed to stdout. DATASET.md documents the corpus
+// format.
 //
 // Usage:
 //
@@ -10,19 +12,24 @@
 //	wmdataset -n 100 -tls13 -pad-to 64   # a modern-stack dataset
 //	wmdataset -n 100 -quic               # an HTTP/3-era dataset (UDP)
 //
+//	# Fleet-scale: four processes, one shard each, then a merge.
+//	wmdataset -n 100000 -shard 0/4 -out shard0   # ... 1/4, 2/4, 3/4
+//	wmdataset -merge -out corpus shard0 shard1 shard2 shard3
+//
 // Generation is deterministic: the same -n and -seed produce byte-identical
-// pcaps at any -workers value. -tls13 generates every session under RFC
-// 8446 record framing; -pad-to / -pad-random apply a record-padding
-// policy under it. -quic generates every session as QUIC v1 over UDP,
-// with -sizing choosing the datagram sizing policy (default | fixed-N |
-// pad-full-N | pad-random-N+K).
+// pcaps at any -workers value, and a merged -shard run is byte-identical
+// to a single-process run (manifest and attributes.csv included). Points
+// stream to disk one at a time, so resident memory is constant in -n.
+// -tls13 generates every session under RFC 8446 record framing;
+// -pad-to / -pad-random apply a record-padding policy under it. -quic
+// generates every session as QUIC v1 over UDP, with -sizing choosing the
+// datagram sizing policy (default | fixed-N | pad-full-N | pad-random-N+K).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"repro/internal/dataset"
 	"repro/internal/quicrec"
@@ -41,8 +48,28 @@ func main() {
 		padRandom = flag.Int("pad-random", 0, "TLS 1.3: per-record seeded random pad up to this many bytes")
 		quic      = flag.Bool("quic", false, "speak QUIC v1 over UDP instead of TLS over TCP")
 		sizing    = flag.String("sizing", "", "QUIC: datagram sizing policy (default | fixed-N | pad-full-N | pad-random-N+K)")
+		shardSpec = flag.String("shard", "", "generate one shard of a partitioned corpus: index/count (e.g. 0/4)")
+		merge     = flag.Bool("merge", false, "merge shard directories (positional arguments) into -out")
 	)
 	flag.Parse()
+
+	if *merge {
+		if *out == "" {
+			fatal(fmt.Errorf("-merge needs -out"))
+		}
+		dirs := flag.Args()
+		if len(dirs) == 0 {
+			fatal(fmt.Errorf("-merge needs shard directories as positional arguments"))
+		}
+		man, err := dataset.MergeShards(*out, *csv, dirs...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("merged %d shards into %s (%d points, seed %d, %s)\n",
+			len(dirs), *out, len(man.Points), man.Seed, man.Wire)
+		return
+	}
+
 	recVer, padding, err := tlsrec.ResolveRecordFlags(*tls13, *padTo, *padRandom)
 	if err != nil {
 		fatal(err)
@@ -54,37 +81,46 @@ func main() {
 	if *quic && *tls13 {
 		fatal(fmt.Errorf("-quic and -tls13 are mutually exclusive (QUIC seals record framing inside 1-RTT packets)"))
 	}
-
-	ds, err := dataset.Generate(dataset.Config{
+	var shard dataset.Shard
+	if *shardSpec != "" {
+		if shard, err = dataset.ParseShard(*shardSpec); err != nil {
+			fatal(err)
+		}
+	}
+	cfg := dataset.Config{
 		N: *n, Seed: *seed, Workers: *workers,
 		RecordVersion: recVer, Padding: padding,
 		Transport: transport, Sizing: pol,
-	})
+		Shard: shard,
+	}
+
+	if *out == "" {
+		// Table only: stream lean sessions (no payload materialization)
+		// and keep just the attribute columns.
+		cfg.Lean = true
+		var points []dataset.Point
+		if err := dataset.Stream(cfg, func(p dataset.Point) error {
+			p.Trace.Release()
+			points = append(points, p)
+			return nil
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Println((&dataset.Dataset{Points: points, Config: cfg}).TableI())
+		return
+	}
+
+	man, points, err := dataset.GenerateTo(cfg, *out, *csv)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(ds.TableI())
-
-	if *out == "" {
-		return
+	if man.Shard == "" {
+		fmt.Println((&dataset.Dataset{Points: points, Config: cfg}).TableI())
+		fmt.Printf("wrote %d sessions to %s\n", len(points), *out)
+	} else {
+		fmt.Printf("wrote shard %s of the %d-point corpus to %s (%d sessions); combine with wmdataset -merge\n",
+			man.Shard, man.N, *out, len(points))
 	}
-	if err := ds.WriteTo(*out); err != nil {
-		fatal(err)
-	}
-	if *csv {
-		f, err := os.Create(filepath.Join(*out, "attributes.csv"))
-		if err != nil {
-			fatal(err)
-		}
-		if err := ds.WriteAttributesCSV(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-	}
-	fmt.Printf("wrote %d sessions to %s\n", len(ds.Points), *out)
 }
 
 func fatal(err error) {

@@ -19,7 +19,8 @@ func TestExportedIdentifiersDocumented(t *testing.T) {
 		t.Skip("loads and type-checks the documented surface")
 	}
 	pkgs, err := loader.LoadModule(".",
-		".", "./internal/attack", "./internal/tcpreasm", "./internal/tlsrec", "./internal/pcapio")
+		".", "./internal/attack", "./internal/tcpreasm", "./internal/tlsrec", "./internal/pcapio",
+		"./internal/dataset", "./internal/statejson")
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}

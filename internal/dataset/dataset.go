@@ -1,8 +1,17 @@
 // Package dataset assembles the reproduction's analogue of the paper's
 // IITM-Bandersnatch dataset: data points of the form {encrypted trace,
 // ground-truth choices} for a population of viewers spanning the Table I
-// operational and behavioural attributes. Points carry the full session
-// trace in memory and can persist to disk as {pcap, metadata JSON} pairs.
+// operational and behavioural attributes.
+//
+// Generation is streaming-first: Stream hands points to a sink in index
+// order while retaining only a bounded window of in-flight traces, so
+// resident memory is constant in the corpus size; Generate is a thin
+// accumulator over it for callers that want the whole corpus in memory.
+// A deterministic shard protocol (Config.Shard) lets K processes split a
+// corpus and MergeShards reassemble it byte-identically — every point's
+// bytes depend only on (Config.Seed, point index), never on which shard
+// produced it or how many workers ran. DATASET.md documents the on-disk
+// corpus format, the manifest schema and the determinism guarantees.
 package dataset
 
 import (
@@ -12,8 +21,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
-	"repro/internal/capture"
 	"repro/internal/media"
 	"repro/internal/netem"
 	"repro/internal/parallel"
@@ -39,6 +49,75 @@ type Point struct {
 type Dataset struct {
 	Points []Point
 	Graph  *script.Graph
+	// Config is the normalized configuration that generated the dataset;
+	// WriteTo stamps it into the corpus manifest.
+	Config Config
+}
+
+// Shard identifies one slice of the deterministic corpus partition:
+// shard Index of Count owns every point whose global index i satisfies
+// i % Count == Index. Point bytes are a pure function of (Seed, index),
+// so the K shard outputs of a corpus are disjoint subsets of the
+// single-process output and MergeShards reassembles them byte-identically
+// (the shard-equivalence invariant; see DATASET.md).
+type Shard struct {
+	// Index is this shard's position, in [0, Count).
+	Index int
+	// Count is the total number of shards; zero or one means unsharded.
+	Count int
+}
+
+// enabled reports whether the shard actually partitions the corpus.
+func (s Shard) enabled() bool { return s.Count > 1 }
+
+// owns reports whether this shard generates point i.
+func (s Shard) owns(i int) bool { return !s.enabled() || i%s.Count == s.Index }
+
+// String renders the shard as the CLI spells it — "index/count" — or ""
+// when unsharded, which is also how the manifest records it.
+func (s Shard) String() string {
+	if !s.enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// validate rejects out-of-range shard coordinates.
+func (s Shard) validate() error {
+	if s.Count <= 1 {
+		if s.Count < 0 || s.Index != 0 {
+			return fmt.Errorf("dataset: invalid shard %d/%d", s.Index, s.Count)
+		}
+		return nil
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("dataset: shard index %d out of range [0,%d)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// ParseShard parses the CLI spelling "index/count" (e.g. "0/4").
+func ParseShard(spec string) (Shard, error) {
+	idx, cnt, ok := strings.Cut(spec, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("dataset: shard spec %q is not index/count", spec)
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		return Shard{}, fmt.Errorf("dataset: shard spec %q: bad index: %w", spec, err)
+	}
+	c, err := strconv.Atoi(cnt)
+	if err != nil {
+		return Shard{}, fmt.Errorf("dataset: shard spec %q: bad count: %w", spec, err)
+	}
+	if c < 1 {
+		return Shard{}, fmt.Errorf("dataset: shard spec %q: count must be >= 1", spec)
+	}
+	s := Shard{Index: i, Count: c}
+	if err := s.validate(); err != nil {
+		return Shard{}, err
+	}
+	return s, nil
 }
 
 // Config controls generation.
@@ -70,13 +149,27 @@ type Config struct {
 	Transport quicrec.Transport
 	// Sizing applies a datagram sizing policy under QUIC.
 	Sizing quicrec.SizingPolicy
+	// Shard restricts generation to one slice of the deterministic
+	// partition: only points with index i where i % Shard.Count ==
+	// Shard.Index are produced. The viewer population, condition
+	// assignment and per-point seeds are computed for the full corpus in
+	// every shard, so each point's bytes are identical at any shard
+	// count. The zero value generates the full corpus.
+	Shard Shard
+	// Lean omits server payload bytes from generated traces
+	// (session.Config.OmitServerPayload): record and datagram geometry,
+	// client bytes and ground truth stay exact while the large server
+	// payloads are never materialized. Lean corpora feed size-only
+	// consumers — attackers, Table 1, decode experiments — at a fraction
+	// of the memory; they cannot be persisted by DatasetWriter, which
+	// needs the payload bytes to synthesize captures.
+	Lean bool
 }
 
-// Generate builds a dataset of N labeled sessions. Sessions are
-// independent given their pre-assigned viewer, condition and seed, so
-// they fan out across the worker pool; the result is byte-identical to a
-// sequential run at any worker count.
-func Generate(cfg Config) (*Dataset, error) {
+// withDefaults resolves zero fields to the documented defaults, so every
+// consumer (Stream, writers, manifests) agrees on the effective
+// configuration.
+func (cfg Config) withDefaults() Config {
 	if cfg.N <= 0 {
 		cfg.N = 100
 	}
@@ -86,43 +179,96 @@ func Generate(cfg Config) (*Dataset, error) {
 	if cfg.Encoding == nil {
 		cfg.Encoding = media.EncodeCached(cfg.Graph, media.DefaultLadder, cfg.Seed^0xabcd)
 	}
-	conds := cfg.Conditions
-	if len(conds) == 0 {
-		conds = profiles.Grid()
+	if len(cfg.Conditions) == 0 {
+		cfg.Conditions = profiles.Grid()
+	}
+	return cfg
+}
+
+// wireLabel fingerprints the wire configuration for the manifest: the
+// transport plus whichever framing policy shapes observable lengths.
+func (cfg Config) wireLabel() string {
+	if cfg.Transport == quicrec.TransportQUIC {
+		return "quic+" + cfg.Sizing.Label()
+	}
+	label := cfg.RecordVersion.String()
+	if cfg.RecordVersion == tlsrec.RecordTLS13 {
+		if pad := cfg.Padding.String(); pad != "none" {
+			label += "+" + pad
+		}
+	}
+	return label
+}
+
+// Stream generates the corpus one point at a time, handing each owned
+// point to sink in ascending index order. Only a bounded window of
+// traces (O(Workers), via parallel.StreamN) is in flight at once, so
+// resident memory is constant in N — the property that lets wmdataset
+// write fleet-scale corpora. The sink must be done with the point's
+// trace when it returns (call Trace.Release to drop the wire bytes);
+// a sink error aborts generation.
+func Stream(cfg Config, sink func(Point) error) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Shard.validate(); err != nil {
+		return err
 	}
 	rng := wire.NewRNG(cfg.Seed)
+	// Population and condition assignment are computed for the FULL
+	// corpus in every shard — they are cheap, and doing so keeps point i
+	// identical no matter which shard produces it.
 	pop := viewer.SamplePopulation(cfg.N, rng.Fork(1))
-
-	// Shuffle condition assignment so axes mix across viewers.
 	order := make([]int, cfg.N)
 	for i := range order {
-		order[i] = i % len(conds)
+		order[i] = i % len(cfg.Conditions)
 	}
 	rng.Fork(2).Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 
-	points, err := parallel.MapN(cfg.Workers, cfg.N, func(i int) (Point, error) {
-		cond := conds[order[i]]
+	var own []int
+	for i := 0; i < cfg.N; i++ {
+		if cfg.Shard.owns(i) {
+			own = append(own, i)
+		}
+	}
+	return parallel.StreamN(cfg.Workers, len(own), func(j int) (Point, error) {
+		i := own[j]
+		cond := cfg.Conditions[order[i]]
 		tr, err := session.Run(session.Config{
-			Graph:         cfg.Graph,
-			Encoding:      cfg.Encoding,
-			Viewer:        pop[i],
-			Condition:     cond,
-			SessionID:     fmt.Sprintf("iitm-%03d", i+1),
-			Seed:          cfg.Seed*1_000_003 + uint64(i),
-			RecordVersion: cfg.RecordVersion,
-			Padding:       cfg.Padding,
-			Transport:     cfg.Transport,
-			Sizing:        cfg.Sizing,
+			Graph:             cfg.Graph,
+			Encoding:          cfg.Encoding,
+			Viewer:            pop[i],
+			Condition:         cond,
+			SessionID:         fmt.Sprintf("iitm-%03d", i+1),
+			Seed:              cfg.Seed*1_000_003 + uint64(i),
+			RecordVersion:     cfg.RecordVersion,
+			Padding:           cfg.Padding,
+			Transport:         cfg.Transport,
+			Sizing:            cfg.Sizing,
+			OmitServerPayload: cfg.Lean,
 		})
 		if err != nil {
 			return Point{}, fmt.Errorf("dataset: session %d: %w", i, err)
 		}
 		return Point{Index: i, Viewer: pop[i], Condition: cond, Trace: tr}, nil
+	}, func(_ int, p Point) error {
+		return sink(p)
 	})
-	if err != nil {
+}
+
+// Generate builds a dataset of N labeled sessions. Sessions are
+// independent given their pre-assigned viewer, condition and seed, so
+// they fan out across the worker pool; the result is byte-identical to a
+// sequential run at any worker count. All N traces are held in memory —
+// for large corpora, use Stream or GenerateTo instead.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	points := make([]Point, 0, cfg.N)
+	if err := Stream(cfg, func(p Point) error {
+		points = append(points, p)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	return &Dataset{Points: points, Graph: cfg.Graph}, nil
+	return &Dataset{Points: points, Graph: cfg.Graph, Config: cfg}, nil
 }
 
 // Metadata is the JSON sidecar persisted per point.
@@ -142,52 +288,45 @@ type conditionJSON struct {
 	TrafficTime string `json:"trafficTime"`
 }
 
-// WriteTo persists the dataset under dir as NNN.pcap + NNN.json pairs.
-func (ds *Dataset) WriteTo(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("dataset: %w", err)
+// metadataOf builds a point's sidecar document from its trace.
+func metadataOf(p Point) Metadata {
+	meta := Metadata{
+		SessionID: p.Trace.SessionID,
+		Viewer:    p.Viewer,
+		Condition: conditionJSON{
+			OS:          string(p.Condition.OS),
+			Platform:    string(p.Condition.Platform),
+			Browser:     string(p.Condition.Browser),
+			Medium:      string(p.Condition.Medium),
+			TrafficTime: string(p.Condition.TrafficTime),
+		},
+		Decisions: p.Trace.GroundTruthDecisions(),
 	}
-	for _, p := range ds.Points {
-		base := filepath.Join(dir, fmt.Sprintf("%03d", p.Index+1))
-		f, err := os.Create(base + ".pcap")
-		if err != nil {
-			return fmt.Errorf("dataset: %w", err)
-		}
-		err = capture.WritePcap(f, p.Trace, capture.Options{Seed: uint64(p.Index)})
-		cerr := f.Close()
-		if err != nil {
-			return fmt.Errorf("dataset: writing %s.pcap: %w", base, err)
-		}
-		if cerr != nil {
-			return fmt.Errorf("dataset: closing %s.pcap: %w", base, cerr)
-		}
-		meta := Metadata{
-			SessionID: p.Trace.SessionID,
-			Viewer:    p.Viewer,
-			Condition: conditionJSON{
-				OS:          string(p.Condition.OS),
-				Platform:    string(p.Condition.Platform),
-				Browser:     string(p.Condition.Browser),
-				Medium:      string(p.Condition.Medium),
-				TrafficTime: string(p.Condition.TrafficTime),
-			},
-			Decisions: p.Trace.GroundTruthDecisions(),
-		}
-		for _, s := range p.Trace.Result.Path.Segments {
-			meta.Segments = append(meta.Segments, string(s))
-		}
-		buf, err := json.MarshalIndent(meta, "", "  ")
-		if err != nil {
-			return fmt.Errorf("dataset: %w", err)
-		}
-		if err := os.WriteFile(base+".json", buf, 0o644); err != nil {
-			return fmt.Errorf("dataset: %w", err)
-		}
+	for _, s := range p.Trace.Result.Path.Segments {
+		meta.Segments = append(meta.Segments, string(s))
 	}
-	return nil
+	return meta
 }
 
-// ReadMetadata loads the sidecar files from a persisted dataset directory.
+// WriteTo persists the dataset under dir as NNN.pcap + NNN.json pairs
+// plus a manifest.json (see DATASET.md). Traces are left intact; callers
+// that stream should prefer GenerateTo, which also releases each trace.
+func (ds *Dataset) WriteTo(dir string) error {
+	w, err := NewDatasetWriter(dir, ds.Config)
+	if err != nil {
+		return err
+	}
+	w.CSV = false
+	for _, p := range ds.Points {
+		if err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ReadMetadata loads the sidecar files from a persisted dataset
+// directory, skipping the corpus manifest.
 func ReadMetadata(dir string) ([]Metadata, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -195,7 +334,7 @@ func ReadMetadata(dir string) ([]Metadata, error) {
 	}
 	var out []Metadata
 	for _, e := range entries {
-		if filepath.Ext(e.Name()) != ".json" {
+		if filepath.Ext(e.Name()) != ".json" || e.Name() == ManifestName {
 			continue
 		}
 		buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
@@ -264,35 +403,44 @@ func (ds *Dataset) TableI() string {
 	return stats.RenderTable([]string{"Conditions", "Attribute", "Value", "Viewers"}, rows)
 }
 
+// attributesHeader is the CSV schema behavioural-sciences consumers of
+// the corpus ingest; DATASET.md documents it.
+var attributesHeader = []string{"session", "os", "platform", "browser", "medium",
+	"traffic", "age", "gender", "politics", "mind", "decisions"}
+
+// attributesRow renders one point's CSV row from its sidecar document,
+// so the streaming writer and MergeShards (which rebuilds the table from
+// persisted sidecars) produce identical bytes.
+func attributesRow(m Metadata) []string {
+	dec := ""
+	for _, d := range m.Decisions {
+		if d {
+			dec += "D"
+		} else {
+			dec += "A"
+		}
+	}
+	return []string{
+		m.SessionID,
+		m.Condition.OS, m.Condition.Platform,
+		m.Condition.Browser, m.Condition.Medium,
+		m.Condition.TrafficTime,
+		string(m.Viewer.Age), string(m.Viewer.Gender),
+		string(m.Viewer.Politics), string(m.Viewer.Mind),
+		dec,
+	}
+}
+
 // WriteAttributesCSV emits the behavioural/operational attribute table as
 // CSV, the form behavioural-sciences consumers of the paper's dataset
 // would ingest.
 func (ds *Dataset) WriteAttributesCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	header := []string{"session", "os", "platform", "browser", "medium",
-		"traffic", "age", "gender", "politics", "mind", "decisions"}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(attributesHeader); err != nil {
 		return err
 	}
 	for _, p := range ds.Points {
-		dec := ""
-		for _, d := range p.Trace.GroundTruthDecisions() {
-			if d {
-				dec += "D"
-			} else {
-				dec += "A"
-			}
-		}
-		row := []string{
-			p.Trace.SessionID,
-			string(p.Condition.OS), string(p.Condition.Platform),
-			string(p.Condition.Browser), string(p.Condition.Medium),
-			string(p.Condition.TrafficTime),
-			string(p.Viewer.Age), string(p.Viewer.Gender),
-			string(p.Viewer.Politics), string(p.Viewer.Mind),
-			dec,
-		}
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(attributesRow(metadataOf(p))); err != nil {
 			return err
 		}
 	}

@@ -92,11 +92,18 @@ func TestWriteAndReadBack(t *testing.T) {
 	if err := ds.WriteTo(dir); err != nil {
 		t.Fatal(err)
 	}
-	// Three pcap + three json files.
+	// Three pcap + three label json files, plus the manifest.
 	pcaps, _ := filepath.Glob(filepath.Join(dir, "*.pcap"))
 	jsons, _ := filepath.Glob(filepath.Join(dir, "*.json"))
-	if len(pcaps) != 3 || len(jsons) != 3 {
+	if len(pcaps) != 3 || len(jsons) != 4 {
 		t.Fatalf("files: %d pcap, %d json", len(pcaps), len(jsons))
+	}
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Points) != 3 || man.N != 3 || man.Shard != "" {
+		t.Fatalf("manifest: n=%d shard=%q points=%d", man.N, man.Shard, len(man.Points))
 	}
 	// Pcaps must be non-trivial.
 	for _, p := range pcaps {

@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// readTree returns name -> contents for every regular file in dir.
+func readTree(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = buf
+	}
+	return out
+}
+
+// TestShardEquivalence_Dataset pins the shard-equivalence invariant:
+// splitting generation across 2, 4 or 8 processes and merging the shard
+// directories yields a corpus byte-identical to the single-process run —
+// pcaps, label sidecars, attributes.csv and the manifest itself.
+func TestShardEquivalence_Dataset(t *testing.T) {
+	cfg := Config{N: 8, Seed: 21}
+	refDir := t.TempDir()
+	if _, _, err := GenerateTo(cfg, refDir, true); err != nil {
+		t.Fatal(err)
+	}
+	ref := readTree(t, refDir)
+	if len(ref) != 2*cfg.N+2 { // pcap+json per point, manifest, attributes.csv
+		names := make([]string, 0, len(ref))
+		for n := range ref {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Fatalf("reference corpus has %d files: %v", len(ref), names)
+	}
+
+	for _, count := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", count), func(t *testing.T) {
+			dirs := make([]string, count)
+			for i := 0; i < count; i++ {
+				dirs[i] = t.TempDir()
+				shardCfg := cfg
+				shardCfg.Shard = Shard{Index: i, Count: count}
+				man, _, err := GenerateTo(shardCfg, dirs[i], true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if man.Shard != fmt.Sprintf("%d/%d", i, count) {
+					t.Fatalf("shard manifest marker = %q", man.Shard)
+				}
+				for _, e := range man.Points {
+					if e.Index%count != i {
+						t.Fatalf("shard %d/%d produced point %d", i, count, e.Index)
+					}
+				}
+			}
+			out := t.TempDir()
+			if _, err := MergeShards(out, true, dirs...); err != nil {
+				t.Fatal(err)
+			}
+			got := readTree(t, out)
+			if len(got) != len(ref) {
+				t.Fatalf("merged corpus has %d files, reference %d", len(got), len(ref))
+			}
+			for name, want := range ref {
+				if string(got[name]) != string(want) {
+					t.Errorf("%s differs from the single-process corpus", name)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeShardsRejectsGaps: a merge missing a shard must name the
+// first uncovered point instead of silently writing a partial corpus.
+func TestMergeShardsRejectsGaps(t *testing.T) {
+	cfg := Config{N: 4, Seed: 5}
+	shard0, shard1 := t.TempDir(), t.TempDir()
+	c0 := cfg
+	c0.Shard = Shard{Index: 0, Count: 2}
+	if _, _, err := GenerateTo(c0, shard0, false); err != nil {
+		t.Fatal(err)
+	}
+	c1 := cfg
+	c1.Shard = Shard{Index: 1, Count: 2}
+	if _, _, err := GenerateTo(c1, shard1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards(t.TempDir(), false, shard0); err == nil {
+		t.Fatal("merge of half the shards succeeded")
+	}
+	// Mismatched seeds must be rejected too.
+	other := t.TempDir()
+	cOther := cfg
+	cOther.Seed = 6
+	cOther.Shard = Shard{Index: 1, Count: 2}
+	if _, _, err := GenerateTo(cOther, other, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards(t.TempDir(), false, shard0, other); err == nil {
+		t.Fatal("merge across different seeds succeeded")
+	}
+	// The well-formed merge still works.
+	if _, err := MergeShards(t.TempDir(), false, shard0, shard1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardSpecRoundTrip covers the CLI spelling.
+func TestShardSpecRoundTrip(t *testing.T) {
+	s, err := ParseShard("2/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != (Shard{Index: 2, Count: 4}) || s.String() != "2/4" {
+		t.Fatalf("parsed %+v (%q)", s, s.String())
+	}
+	for _, bad := range []string{"", "3", "4/4", "-1/4", "a/b", "0/0"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestGenerateConstantMemory pins the streaming path's memory bound:
+// generating a 1,000-point lean corpus holds resident heap flat — a
+// bounded window of in-flight traces, never O(N) retention. Checkpoints
+// sample HeapAlloc after a forced GC every 100 points; later checkpoints
+// may not grow materially over the warmed-up baseline.
+func TestGenerateConstantMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak-style memory regression; skipped in -short")
+	}
+	const (
+		n     = 1000
+		every = 100
+	)
+	var samples []uint64
+	count := 0
+	err := Stream(Config{N: n, Seed: 3, Lean: true}, func(p Point) error {
+		p.Trace.Release()
+		count++
+		if count%every == 0 {
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			samples = append(samples, ms.HeapAlloc)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("streamed %d of %d points", count, n)
+	}
+	// Baseline after two checkpoints: caches (encoding, profiles) are
+	// warm. Allow 50% growth plus fixed slack before calling it a leak —
+	// O(N) retention would blow through this by orders of magnitude.
+	base := samples[1]
+	limit := base + base/2 + 8<<20
+	for i, s := range samples[2:] {
+		if s > limit {
+			t.Fatalf("heap grew with corpus size: checkpoint %d retains %d bytes (baseline %d, limit %d)",
+				i+2, s, base, limit)
+		}
+	}
+	t.Logf("heap checkpoints (bytes): first=%d base=%d last=%d", samples[0], base, samples[len(samples)-1])
+}

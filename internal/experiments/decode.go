@@ -54,7 +54,9 @@ func DecodeRobustness(n int, seed uint64) (*DecodeRobustnessResult, error) {
 	if n <= 0 {
 		n = 6
 	}
-	ds, err := dataset.Generate(dataset.Config{N: n, Seed: seed})
+	// Lean: the decoder reads client bytes and server record geometry,
+	// never server payloads, so skip materializing them.
+	ds, err := dataset.Generate(dataset.Config{N: n, Seed: seed, Lean: true})
 	if err != nil {
 		return nil, err
 	}

@@ -100,8 +100,10 @@ type Table1Result struct {
 }
 
 // Table1 generates an n-viewer dataset and renders its attribute table.
+// Generation is lean — the table reads only viewer and condition
+// attributes, so server payloads are never materialized.
 func Table1(n int, seed uint64) (*Table1Result, error) {
-	ds, err := dataset.Generate(dataset.Config{N: n, Seed: seed})
+	ds, err := dataset.Generate(dataset.Config{N: n, Seed: seed, Lean: true})
 	if err != nil {
 		return nil, err
 	}

@@ -34,13 +34,14 @@ import (
 // the final import-path segment (so fixtures named like the real
 // packages exercise the analyzer).
 var criticalSegments = map[string]bool{
-	"session":  true,
-	"dataset":  true,
-	"wire":     true,
-	"parallel": true,
-	"attack":   true,
-	"capture":  true,
-	"quicrec":  true,
+	"session":   true,
+	"dataset":   true,
+	"statejson": true,
+	"wire":      true,
+	"parallel":  true,
+	"attack":    true,
+	"capture":   true,
+	"quicrec":   true,
 }
 
 // allowedEnv are the documented environment knobs (README "Performance";

@@ -18,15 +18,18 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-// SurfacePackages is the documented surface: the facade plus the four
-// core internal packages ARCHITECTURE.md maps (the same set
-// doclint_test.go checked). The driver consults this via AppliesTo.
+// SurfacePackages is the documented surface: the facade plus the core
+// internal packages ARCHITECTURE.md maps (the same set doclint_test.go
+// checked), extended with the dataset pipeline packages whose corpus
+// format DATASET.md documents. The driver consults this via AppliesTo.
 var SurfacePackages = map[string]bool{
-	"repro":                   true,
-	"repro/internal/attack":   true,
-	"repro/internal/tcpreasm": true,
-	"repro/internal/tlsrec":   true,
-	"repro/internal/pcapio":   true,
+	"repro":                    true,
+	"repro/internal/attack":    true,
+	"repro/internal/tcpreasm":  true,
+	"repro/internal/tlsrec":    true,
+	"repro/internal/pcapio":    true,
+	"repro/internal/dataset":   true,
+	"repro/internal/statejson": true,
 }
 
 // Analyzer is the doccheck checker.

@@ -1,0 +1,219 @@
+package parallel
+
+import (
+	"sync"
+)
+
+// streamWindow bounds how many results StreamN may hold between the
+// worker that produced them and the in-order emit cursor, as a multiple
+// of the worker count. The window is what makes StreamN a constant-memory
+// primitive: a slow emit (disk flush) backpressures the pool instead of
+// letting finished results accumulate without bound.
+const streamWindow = 2
+
+// StreamN runs fn over the index range [0, n) with at most
+// Workers(workers) goroutines and delivers every result to emit in
+// strict index order — ordered streaming completion, not ordered
+// collection. Each result is handed to emit as soon as it and all lower
+// indices have completed, then dropped; at no time are more than
+// 2×workers results retained, so resident memory is constant in n. emit
+// is never called concurrently and always observes indices 0, 1, 2, …
+//
+// Error semantics mirror MapN: emit sees every index below the minimal
+// failing one (fn error, emit error or panic), and that minimal-index
+// error is returned — exactly where a sequential fn/emit loop would have
+// stopped. A panic inside fn is re-raised on the calling goroutine.
+func StreamN[R any](workers, n int, fn func(i int) (R, error), emit func(i int, r R) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return err
+			}
+			if err := emit(i, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	win := streamWindow * w
+	s := &streamState[R]{
+		pending: make(map[int]R, win),
+		errs:    make(map[int]error),
+		panics:  make(map[int]any),
+		tokens:  make(chan struct{}, win),
+		done:    make(chan struct{}),
+		emit:    emit,
+	}
+	for i := 0; i < win; i++ {
+		s.tokens <- struct{}{}
+	}
+
+	var next int
+	var nextMu sync.Mutex
+	claim := func() (int, bool) {
+		// A token gates the claim, not the deposit: at most win indices
+		// are ever past this point, which is the retained-results bound.
+		select {
+		case <-s.tokens:
+		case <-s.done:
+			return 0, false
+		}
+		nextMu.Lock()
+		i := next
+		next++
+		nextMu.Unlock()
+		if i >= n {
+			return 0, false
+		}
+		return i, true
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				s.run(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	s.drain() // pick up any deposit that raced the last drainer's exit
+
+	// Deterministic failure selection: claims are issued in index order
+	// and a claimed index always runs, so the minimal failing index is
+	// always present; report it exactly as the sequential loop would,
+	// re-raising an original panic value ahead of returning an error.
+	if s.failed {
+		for i := 0; i < n; i++ {
+			if p, ok := s.panics[i]; ok {
+				panic(p)
+			}
+			if err := s.errs[i]; err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// streamState is StreamN's shared reorder buffer and cursor.
+type streamState[R any] struct {
+	mu       sync.Mutex
+	pending  map[int]R // completed, not yet emitted
+	errs     map[int]error
+	panics   map[int]any
+	cursor   int // next index to emit
+	draining bool
+	failed   bool
+	closed   bool
+	tokens   chan struct{}
+	done     chan struct{}
+	emit     func(i int, r R) error
+}
+
+// fail marks the run failed and unblocks workers parked on the token
+// channel. Callers hold mu.
+func (s *streamState[R]) fail() {
+	s.failed = true
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+	}
+}
+
+// run executes fn(i), deposits the result and drains the in-order
+// prefix. A panic is captured for deterministic re-raise.
+func (s *streamState[R]) run(i int, fn func(int) (R, error)) {
+	var r R
+	var err error
+	panicked := true
+	func() {
+		defer func() {
+			if panicked {
+				if p := recover(); p != nil {
+					s.mu.Lock()
+					s.panics[i] = p
+					s.fail()
+					s.mu.Unlock()
+				}
+			}
+		}()
+		r, err = fn(i)
+		panicked = false
+	}()
+	if panicked {
+		return
+	}
+	s.mu.Lock()
+	if err != nil {
+		s.errs[i] = err
+		s.fail()
+		s.mu.Unlock()
+		return
+	}
+	s.pending[i] = r
+	s.mu.Unlock()
+	s.drain()
+}
+
+// drain emits the contiguous completed prefix at the cursor. Only one
+// goroutine drains at a time; emit runs outside the lock so depositors
+// are never blocked behind sink I/O. An index is only emitted once every
+// lower index has been emitted without error.
+func (s *streamState[R]) drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	for {
+		if s.errAt(s.cursor) {
+			break
+		}
+		r, ok := s.pending[s.cursor]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.cursor)
+		i := s.cursor
+		s.mu.Unlock()
+		err := s.emit(i, r)
+		s.mu.Lock()
+		if err != nil {
+			s.errs[i] = err
+			s.fail()
+			break
+		}
+		s.cursor++
+		// Never blocks: capacity equals the number of outstanding tokens.
+		s.tokens <- struct{}{}
+	}
+	s.draining = false
+	s.mu.Unlock()
+}
+
+// errAt reports whether index i already failed (fn error or panic), in
+// which case nothing at or above it may be emitted. Callers hold mu.
+func (s *streamState[R]) errAt(i int) bool {
+	if _, ok := s.errs[i]; ok {
+		return true
+	}
+	_, ok := s.panics[i]
+	return ok
+}

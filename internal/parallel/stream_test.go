@@ -1,0 +1,154 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStreamNOrderedEmission(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		var got []int
+		err := StreamN(w, 100, func(i int) (int, error) {
+			// Perturb completion order so ordering is earned, not luck.
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			return i * i, nil
+		}, func(i, r int) error {
+			if r != i*i {
+				t.Fatalf("workers=%d: emit(%d) = %d, want %d", w, i, r, i*i)
+			}
+			got = append(got, i)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: emitted %d results", w, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: emission order %v", w, got[:i+1])
+			}
+		}
+	}
+}
+
+func TestStreamNBoundedWindow(t *testing.T) {
+	// With emit slowed down, at most 2×workers results may sit between
+	// completion and emission; the token gate also bounds how many fn
+	// calls can start ahead of the cursor.
+	const workers = 4
+	var cursor atomic.Int64
+	var maxAhead atomic.Int64
+	err := StreamN(workers, 200, func(i int) (int, error) {
+		ahead := int64(i) - cursor.Load()
+		for {
+			m := maxAhead.Load()
+			if ahead <= m || maxAhead.CompareAndSwap(m, ahead) {
+				break
+			}
+		}
+		return i, nil
+	}, func(i, r int) error {
+		cursor.Store(int64(i))
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cursor sample races the claim by design; allow one extra
+	// window of slack on top of the documented 2×workers bound.
+	if limit := int64(4*streamWindow*workers + 1); maxAhead.Load() > limit {
+		t.Fatalf("worker ran %d indices ahead of the emit cursor (limit %d)",
+			maxAhead.Load(), limit)
+	}
+}
+
+func TestStreamNMinimalErrorIndex(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, w := range []int{1, 3, 8} {
+		var emitted []int
+		err := StreamN(w, 64, func(i int) (int, error) {
+			if i == 20 || i == 41 {
+				return 0, fmt.Errorf("task %d: %w", i, sentinel)
+			}
+			return i, nil
+		}, func(i, r int) error {
+			emitted = append(emitted, i)
+			return nil
+		})
+		if err == nil || err.Error() != "task 20: boom" {
+			t.Fatalf("workers=%d: err = %v, want task 20", w, err)
+		}
+		if len(emitted) < 20 {
+			t.Fatalf("workers=%d: only %d results emitted before the failing index", w, len(emitted))
+		}
+		for i := 0; i < 20; i++ {
+			if emitted[i] != i {
+				t.Fatalf("workers=%d: emission prefix %v", w, emitted[:i+1])
+			}
+		}
+		for _, i := range emitted {
+			if i >= 20 {
+				t.Fatalf("workers=%d: index %d emitted past the failing index", w, i)
+			}
+		}
+	}
+}
+
+func TestStreamNEmitError(t *testing.T) {
+	sentinel := errors.New("sink full")
+	for _, w := range []int{1, 4} {
+		var emitted int
+		err := StreamN(w, 50, func(i int) (int, error) {
+			return i, nil
+		}, func(i, r int) error {
+			if i == 10 {
+				return sentinel
+			}
+			emitted++
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v", w, err)
+		}
+		if emitted != 10 {
+			t.Fatalf("workers=%d: emitted %d before the sink error", w, emitted)
+		}
+	}
+}
+
+func TestStreamNPanicPropagates(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if p != "kaboom-7" {
+			t.Fatalf("recovered %v, want the minimal-index panic", p)
+		}
+	}()
+	_ = StreamN(4, 32, func(i int) (int, error) {
+		if i == 7 || i == 23 {
+			panic(fmt.Sprintf("kaboom-%d", i))
+		}
+		return i, nil
+	}, func(i, r int) error { return nil })
+}
+
+func TestStreamNEmpty(t *testing.T) {
+	called := false
+	if err := StreamN(4, 0, func(i int) (int, error) { return 0, nil },
+		func(i, r int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("emit called for empty range")
+	}
+}

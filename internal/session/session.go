@@ -151,6 +151,23 @@ func (t *Trace) GroundTruthDecisions() []bool {
 	return append([]bool(nil), t.Result.Path.Decisions...)
 }
 
+// Release drops the trace's materialized wire data — both directions'
+// byte streams, write schedules, datagram frames, the labeled client
+// writes and the server record ground truth — so the memory (tens of
+// megabytes per full-fidelity session) can be reclaimed the moment a
+// consumer has serialized or scored the trace. The player-level ground
+// truth (Result, GroundTruthDecisions) and the identity fields survive,
+// which is exactly what corpus sidecar metadata needs after the pcap has
+// been flushed. Streaming consumers (dataset.GenerateTo) call this per
+// point to hold resident memory constant in corpus size; a released
+// trace cannot be serialized again.
+func (t *Trace) Release() {
+	t.ClientToServer = DirStream{}
+	t.ServerToClient = DirStream{}
+	t.ClientWrites = nil
+	t.ServerRecords = nil
+}
+
 // Config parameterizes a session run.
 type Config struct {
 	Graph     *script.Graph

@@ -1,0 +1,24 @@
+package statejson
+
+import (
+	"testing"
+
+	"repro/internal/profiles"
+	"repro/internal/wire"
+)
+
+func BenchmarkEncodeReports(b *testing.B) {
+	p := profiles.Lookup(profiles.Fig2Ubuntu)
+	bld := NewBuilder(p, "movie", "bench-sess", wire.NewRNG(7))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bld.Type1("S2", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := bld.Type2("S2", "S3b", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		bld.RequestBody()
+		bld.TelemetryBody()
+	}
+}

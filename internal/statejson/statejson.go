@@ -10,6 +10,8 @@ package statejson
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"unicode/utf8"
 
 	"repro/internal/profiles"
 	"repro/internal/script"
@@ -61,18 +63,73 @@ type Report struct {
 }
 
 // Builder mints size-calibrated reports for one session under one
-// condition profile.
+// condition profile. Serialization is an append-only buffer writer over
+// cached struct plans: the invariant JSON skeleton of each report shape
+// (event name, movie and session IDs, field punctuation) is escaped and
+// measured once at construction, so the per-report hot path appends the
+// variable parts — choice point, selection, position digits, state blob
+// — into a reused buffer without ever calling encoding/json. The bytes
+// produced are exactly what json.Marshal(Report) emits (the property
+// suite pins this), because the trace corpus format documents report
+// bodies as real encoding/json documents.
 type Builder struct {
 	profile profiles.Profile
 	movieID string
 	session string
 	rng     *wire.RNG
+	buf     []byte // reused per-document scratch; outputs are exact-size copies
+	type1   plan
+	type2   plan
 }
+
+// plan caches one report shape's invariant skeleton: the byte prefix up
+// to the choicePointId value and the number of fixed bytes a document of
+// this shape costs before its variable parts are added.
+type plan struct {
+	// prefix is `{"event":"…","movieId":"…","sessionId":"…","choicePointId":"`.
+	prefix []byte
+	// fixed is the document length with empty choice point, selection,
+	// position and state: len(prefix) + the punctuation appended around
+	// the variable fields (selKey for type-2, posKey, stateTail).
+	fixed int
+	// selection marks the type-2 shape (a `","selection":"…` field
+	// between the choice point and the position).
+	selection bool
+}
+
+// Skeleton fragments shared by both report shapes.
+var (
+	selKey    = []byte(`","selection":"`)
+	posKey    = []byte(`","positionMs":`)
+	stateKey  = []byte(`,"state":"`)
+	docClose  = []byte(`"}`)
+	stateTail = len(stateKey) + len(docClose) // `,"state":""}` with empty blob
+)
 
 // NewBuilder returns a Builder. rng drives token generation and the small
 // per-report size jitter; it must be the session's dedicated stream.
 func NewBuilder(p profiles.Profile, movieID, sessionID string, rng *wire.RNG) *Builder {
-	return &Builder{profile: p, movieID: movieID, session: sessionID, rng: rng}
+	b := &Builder{profile: p, movieID: movieID, session: sessionID, rng: rng}
+	b.type1 = newPlan("interactive.choicePointReached", movieID, sessionID, false)
+	b.type2 = newPlan("interactive.selectionCommitted", movieID, sessionID, true)
+	return b
+}
+
+// newPlan escapes and measures one report shape's skeleton.
+func newPlan(event, movieID, sessionID string, selection bool) plan {
+	var p []byte
+	p = append(p, `{"event":"`...)
+	p = appendEscaped(p, event)
+	p = append(p, `","movieId":"`...)
+	p = appendEscaped(p, movieID)
+	p = append(p, `","sessionId":"`...)
+	p = appendEscaped(p, sessionID)
+	p = append(p, `","choicePointId":"`...)
+	fixed := len(p) + len(posKey) + stateTail
+	if selection {
+		fixed += len(selKey)
+	}
+	return plan{prefix: p, fixed: fixed, selection: selection}
 }
 
 // Type1 builds the report sent when playback reaches the question at cp.
@@ -89,7 +146,7 @@ func (b *Builder) Type1(cp script.SegmentID, positionMs int64) ([]byte, Report, 
 		ChoicePoint: string(cp),
 		PositionMs:  positionMs,
 	}
-	body, err := b.padToTarget(&r, target)
+	body, err := b.encode(&b.type1, &r, target)
 	return body, r, err
 }
 
@@ -106,7 +163,7 @@ func (b *Builder) Type2(cp, sel script.SegmentID, positionMs int64) ([]byte, Rep
 		Selection:   string(sel),
 		PositionMs:  positionMs,
 	}
-	body, err := b.padToTarget(&r, target)
+	body, err := b.encode(&b.type2, &r, target)
 	return body, r, err
 }
 
@@ -118,43 +175,61 @@ func (b *Builder) jitter(j int) int {
 	return b.rng.IntRange(-j, j)
 }
 
-// padToTarget sizes the State blob so the marshalled document is exactly
-// target bytes long.
-func (b *Builder) padToTarget(r *Report, target int) ([]byte, error) {
-	r.State = ""
-	base, err := json.Marshal(r)
-	if err != nil {
-		return nil, fmt.Errorf("statejson: marshal: %w", err)
+// encode renders r through its cached plan, sizing the State blob so the
+// document is exactly target bytes long — the arithmetic replaces the
+// old double json.Marshal round trip, byte for byte. The state token is
+// minted into the document first and r.State aliases a copy of it, so
+// the RNG draw sequence (jitter, then one draw per state character) is
+// identical to the marshal-based encoder's.
+func (b *Builder) encode(p *plan, r *Report, target int) ([]byte, error) {
+	buf := append(b.buf[:0], p.prefix...)
+	buf = appendEscaped(buf, r.ChoicePoint)
+	base := p.fixed - len(p.prefix) + len(buf)
+	if p.selection {
+		buf = append(buf, selKey...)
+		sel := len(buf)
+		buf = appendEscaped(buf, r.Selection)
+		base += len(buf) - sel
 	}
-	need := target - len(base)
+	buf = append(buf, posKey...)
+	digits := len(buf)
+	buf = strconv.AppendInt(buf, r.PositionMs, 10)
+	base += len(buf) - digits
+	need := target - base
 	if need < 0 {
+		b.buf = buf[:0]
 		return nil, fmt.Errorf("statejson: %s report base %d bytes exceeds target %d",
-			r.Kind, len(base), target)
+			r.Kind, base, target)
 	}
-	r.State = b.token(need)
-	body, err := json.Marshal(r)
-	if err != nil {
-		return nil, fmt.Errorf("statejson: marshal padded: %w", err)
-	}
-	if len(body) != target {
+	buf = append(buf, stateKey...)
+	state := len(buf)
+	buf = b.appendToken(buf, need)
+	r.State = string(buf[state:])
+	buf = append(buf, docClose...)
+	b.buf = buf[:0]
+	if len(buf) != target {
 		return nil, fmt.Errorf("statejson: padded %s report is %d bytes, want %d",
-			r.Kind, len(body), target)
+			r.Kind, len(buf), target)
 	}
-	return body, nil
+	return append([]byte(nil), buf...), nil
 }
 
 const tokenAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+// appendToken appends n JSON-safe random characters (one RNG draw each).
+func (b *Builder) appendToken(dst []byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, tokenAlphabet[b.rng.Intn(len(tokenAlphabet))])
+	}
+	return dst
+}
 
 // token returns n JSON-safe random characters.
 func (b *Builder) token(n int) string {
 	if n <= 0 {
 		return ""
 	}
-	out := make([]byte, n)
-	for i := range out {
-		out[i] = tokenAlphabet[b.rng.Intn(len(tokenAlphabet))]
-	}
-	return string(out)
+	return string(b.appendToken(make([]byte, 0, n), n))
 }
 
 // Parse decodes a report body and infers its kind from the event name,
@@ -182,11 +257,79 @@ func (b *Builder) RequestBody() []byte {
 	if n < 16 {
 		n = 16
 	}
-	return []byte(fmt.Sprintf(`{"req":"%s"}`, b.token(n-11)))
+	return b.opaqueBody(`{"req":"`, n-11)
 }
 
 // TelemetryBody synthesizes a periodic telemetry upload (large "others").
 func (b *Builder) TelemetryBody() []byte {
 	n := b.profile.TelemetryLen + b.jitter(b.profile.TelemetryJitter)
-	return []byte(fmt.Sprintf(`{"tel":"%s"}`, b.token(n-11)))
+	return b.opaqueBody(`{"tel":"`, n-11)
+}
+
+// opaqueBody appends key + tokens chars + `"}` through the reused buffer.
+func (b *Builder) opaqueBody(key string, tokens int) []byte {
+	buf := append(b.buf[:0], key...)
+	if tokens > 0 {
+		buf = b.appendToken(buf, tokens)
+	}
+	buf = append(buf, docClose...)
+	b.buf = buf[:0]
+	return append([]byte(nil), buf...)
+}
+
+// appendEscaped appends s as the inside of a JSON string literal, byte
+// for byte as encoding/json (escapeHTML mode, the json.Marshal default)
+// renders it: short escapes for \b \f \n \r \t, \u00xx for the other
+// control bytes, \u003c/\u003e/\u0026 for the HTML-sensitive
+// characters, U+FFFD for invalid UTF-8 bytes and \u2028/\u2029 for the
+// JS line separators. TestAppendEscapedMatchesEncodingJSON pins the
+// equivalence.
+func appendEscaped(dst []byte, s string) []byte {
+	const hexDigits = "0123456789abcdef"
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				dst = append(dst, '\\', c)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[r&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	return append(dst, s[start:]...)
 }
